@@ -1,0 +1,236 @@
+// Package bond is a Go implementation of BOND — Branch-and-bound ON
+// Decomposed data — the k-nearest-neighbor search technique of de Vries,
+// Mamoulis, Nes and Kersten, "Efficient k-NN Search on Vertically
+// Decomposed Data", ACM SIGMOD 2002.
+//
+// A Collection stores N-dimensional feature vectors vertically decomposed:
+// one column per dimension plus a per-vector total. k-NN queries are
+// answered by scanning columns in a query-dependent order and pruning
+// vectors branch-and-bound style as partial scores accumulate, which on
+// skewed real-world data (color histograms, clustered embeddings) touches
+// a small fraction of the data a sequential scan would read.
+//
+// Basic use:
+//
+//	col := bond.NewCollection(vectors)          // vectors: [][]float64
+//	res, err := col.Search(query, bond.Options{K: 10, Criterion: bond.Hq})
+//
+// Supported query classes (all exact):
+//
+//   - histogram-intersection similarity (criteria Hq, Hh),
+//   - squared Euclidean distance (criteria Eq, Ev),
+//   - weighted Euclidean and dimensional-subspace queries,
+//   - filter-and-refine search on 8-bit compressed fragments,
+//   - multi-feature queries across several collections (see MultiSearch).
+//
+// Collections persist to a checksummed binary format (Save/Open), support
+// appends and bitmap-marked deletes, and can be compacted in place.
+package bond
+
+import (
+	"bond/internal/bitmap"
+	"bond/internal/cluster"
+	"bond/internal/core"
+	"bond/internal/multifeature"
+	"bond/internal/quant"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// Re-exported search types. See package core for the full documentation of
+// each criterion, ordering, and option.
+type (
+	// Options configures a Search. Zero value + K is a sensible default
+	// (criterion Hq, descending-query order, step 8).
+	Options = core.Options
+	// Criterion selects pruning rule and metric.
+	Criterion = core.Criterion
+	// Order selects the dimension processing order.
+	Order = core.Order
+	// Result is a completed search with work statistics.
+	Result = core.Result
+	// CompressedResult is a completed filter-and-refine search.
+	CompressedResult = core.CompressedResult
+	// Neighbor is one scored match.
+	Neighbor = topk.Result
+	// Stats describes the work a search performed.
+	Stats = core.Stats
+	// MILOptions configures the MIL reference engine.
+	MILOptions = core.MILOptions
+	// Feature is one component of a multi-feature query.
+	Feature = multifeature.Feature
+	// Aggregate combines per-feature similarities.
+	Aggregate = multifeature.Aggregate
+	// MultiOptions configures a multi-feature search.
+	MultiOptions = multifeature.Options
+	// MultiResult is a completed multi-feature search.
+	MultiResult = multifeature.Result
+	// ClusterOptions configures k-means over the decomposed collection.
+	ClusterOptions = cluster.Options
+	// ClusterResult is a completed clustering.
+	ClusterResult = cluster.Result
+)
+
+// Pruning criteria (Section 4 of the paper).
+const (
+	// Hq: histogram intersection, query-only bounds. The paper's best
+	// all-round criterion.
+	Hq = core.Hq
+	// Hh: histogram intersection, per-vector bounds (tighter, more
+	// bookkeeping).
+	Hh = core.Hh
+	// Eq: squared Euclidean distance, constant bounds.
+	Eq = core.Eq
+	// Ev: squared Euclidean distance, per-vector bounds.
+	Ev = core.Ev
+)
+
+// Dimension orderings (Section 5.1).
+const (
+	OrderQueryDesc = core.OrderQueryDesc
+	OrderQueryAsc  = core.OrderQueryAsc
+	OrderRandom    = core.OrderRandom
+	OrderNatural   = core.OrderNatural
+)
+
+// Aggregates for multi-feature queries (Section 8.2).
+const (
+	WeightedAvg = multifeature.WeightedAvg
+	MinAgg      = multifeature.MinAgg
+	MaxAgg      = multifeature.MaxAgg
+)
+
+// Collection is a vertically decomposed vector collection with optional
+// 8-bit compressed fragments.
+type Collection struct {
+	store *vstore.Store
+	codes *vstore.QuantStore
+}
+
+// NewCollection decomposes a row-major collection. It panics on empty or
+// ragged input (programmer error); use New plus Add for incremental builds.
+func NewCollection(vectors [][]float64) *Collection {
+	return &Collection{store: vstore.FromVectors(vectors)}
+}
+
+// New returns an empty collection of the given dimensionality.
+func New(dims int) *Collection {
+	return &Collection{store: vstore.New(dims)}
+}
+
+// Open loads a collection previously written by Save.
+func Open(path string) (*Collection, error) {
+	s, err := vstore.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{store: s}, nil
+}
+
+// Save writes the collection to path in the checksummed binary format.
+// Compressed fragments are rebuilt on demand and are not persisted.
+func (c *Collection) Save(path string) error { return c.store.SaveFile(path) }
+
+// Dims returns the dimensionality.
+func (c *Collection) Dims() int { return c.store.Dims() }
+
+// Len returns the number of vector slots, including delete-marked ones.
+func (c *Collection) Len() int { return c.store.Len() }
+
+// Live returns the number of searchable vectors.
+func (c *Collection) Live() int { return c.store.Live() }
+
+// Vector returns a copy of vector id.
+func (c *Collection) Vector(id int) []float64 { return c.store.Row(id) }
+
+// Add appends a vector and returns its id. Compressed fragments are
+// invalidated and rebuilt on the next compressed search.
+func (c *Collection) Add(v []float64) int {
+	c.codes = nil
+	return c.store.Append(v)
+}
+
+// AddBatch appends many vectors, returning the first new id.
+func (c *Collection) AddBatch(vectors [][]float64) int {
+	c.codes = nil
+	return c.store.AppendBatch(vectors)
+}
+
+// Delete marks vector id as deleted; it is skipped by every search until
+// Compact removes it physically.
+func (c *Collection) Delete(id int) { c.store.Delete(id) }
+
+// Compact removes delete-marked vectors, returning the old-id → new-id
+// mapping (−1 for removed ids).
+func (c *Collection) Compact() []int {
+	c.codes = nil
+	return c.store.Reorganize()
+}
+
+// Search runs BOND and returns the exact K best matches for q.
+func (c *Collection) Search(q []float64, opts Options) (Result, error) {
+	return core.Search(c.store, q, opts)
+}
+
+// SearchParallel runs BOND over shards of the collection concurrently and
+// merges the results; the answer is identical to Search.
+func (c *Collection) SearchParallel(q []float64, opts Options, shards int) (Result, error) {
+	return core.SearchParallel(c.store, q, opts, shards)
+}
+
+// Progressive is an incremental search whose steps the caller drives,
+// with the shrinking candidate set inspectable in between.
+type Progressive = core.Progressive
+
+// SearchProgressive prepares an incremental search; call Step until it
+// returns false (or stop early) and Finish for the exact results.
+func (c *Collection) SearchProgressive(q []float64, opts Options) (*Progressive, error) {
+	return core.NewProgressive(c.store, q, opts)
+}
+
+// SearchCompressed runs the filter step on 8-bit fragments (built lazily on
+// first use) and refines on the exact columns. Criteria Hq and Eq.
+func (c *Collection) SearchCompressed(q []float64, opts Options) (CompressedResult, error) {
+	if c.codes == nil {
+		c.codes = c.store.Quantize(quant.NewUnit())
+	}
+	return core.SearchCompressed(c.store, c.codes, q, opts)
+}
+
+// SearchMIL runs BOND (criterion Hq) through the MIL relational-operator
+// engine — the Section 6.1 reference implementation.
+func (c *Collection) SearchMIL(q []float64, opts MILOptions) (Result, error) {
+	return core.SearchMIL(c.store, q, opts)
+}
+
+// AsFeature wraps the collection as one component of a multi-feature query.
+func (c *Collection) AsFeature(query []float64, weight float64) Feature {
+	return Feature{Store: c.store, Query: query, Weight: weight}
+}
+
+// MultiSearch answers a multi-feature query over several collections
+// holding the same objects (Section 8.2), using synchronized BOND.
+func MultiSearch(features []Feature, opts MultiOptions) (MultiResult, error) {
+	return multifeature.Search(features, opts)
+}
+
+// NewExclusion returns an empty exclusion bitmap sized to the collection,
+// for combining k-NN search with prior selection predicates: set the bits
+// of the objects a predicate ruled out and pass it as Options.Exclude.
+func (c *Collection) NewExclusion() *bitmap.Bitmap { return bitmap.New(c.store.Len()) }
+
+// Cluster runs exact k-means over the live vectors with BOND-style
+// branch-and-bound assignment on the decomposed columns — the clustering
+// direction the paper's Section 9 proposes as future work.
+func (c *Collection) Cluster(opts ClusterOptions) (ClusterResult, error) {
+	return cluster.KMeans(c.store, opts)
+}
+
+// QueryUsefulness scores a query's expected pruning power in [0, 1]
+// (Section 9's query-quality proposal): ~0 for a uniform query on which
+// branch-and-bound cannot help, approaching 1 for queries whose mass (or
+// weight) concentrates on few dimensions. Pass nil weights for unweighted
+// queries.
+func QueryUsefulness(q, weights []float64, criterion Criterion) float64 {
+	return core.Usefulness(q, weights, criterion)
+}

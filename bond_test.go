@@ -1,0 +1,163 @@
+package bond
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"bond/internal/dataset"
+	"bond/internal/seqscan"
+)
+
+func testCollection(t *testing.T) ([][]float64, *Collection) {
+	t.Helper()
+	vs := dataset.CorelLike(600, 32, 2024)
+	return vs, NewCollection(vs)
+}
+
+func TestFacadeSearchMatchesScan(t *testing.T) {
+	vs, col := testCollection(t)
+	q := vs[10]
+	res, err := col.Search(q, Options{K: 5, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := seqscan.SearchHistogram(vs, q, 5)
+	for i := range want {
+		if res.Results[i].ID != want[i].ID &&
+			math.Abs(res.Results[i].Score-want[i].Score) > 1e-9 {
+			t.Errorf("rank %d: id %d, want %d", i, res.Results[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestFacadeLifecycle(t *testing.T) {
+	vs, col := testCollection(t)
+	if col.Dims() != 32 || col.Len() != 600 || col.Live() != 600 {
+		t.Fatalf("shape: %d×%d live %d", col.Len(), col.Dims(), col.Live())
+	}
+	id := col.Add(vs[0])
+	if id != 600 || col.Live() != 601 {
+		t.Fatalf("Add: id=%d live=%d", id, col.Live())
+	}
+	col.Delete(id)
+	if col.Live() != 600 {
+		t.Fatalf("Delete: live=%d", col.Live())
+	}
+	mapping := col.Compact()
+	if col.Len() != 600 || mapping[600] != -1 {
+		t.Fatalf("Compact: len=%d mapping=%v", col.Len(), mapping[600])
+	}
+	v := col.Vector(3)
+	for d := range v {
+		if v[d] != vs[3][d] {
+			t.Fatal("Vector mismatch after compact")
+		}
+	}
+}
+
+func TestFacadeSaveOpenRoundTrip(t *testing.T) {
+	vs, col := testCollection(t)
+	path := filepath.Join(t.TempDir(), "col.bond")
+	if err := col.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vs[5]
+	a, err := col.Search(q, Options{K: 3, Criterion: Ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Search(q, Options{K: 3, Criterion: Ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Errorf("result %d differs after round trip", i)
+		}
+	}
+}
+
+func TestFacadeCompressedLazyBuildAndInvalidation(t *testing.T) {
+	vs, col := testCollection(t)
+	q := vs[7]
+	a, err := col.SearchCompressed(q, Options{K: 5, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding a vector invalidates the codes; a repeat search must see it.
+	col.Add(q)
+	b, err := col.SearchCompressed(q, Options{K: 1, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Results[0].ID != 600 && b.Results[0].Score < a.Results[0].Score {
+		t.Error("appended exact duplicate not found by compressed search")
+	}
+}
+
+func TestFacadeMILAndExclusion(t *testing.T) {
+	vs, col := testCollection(t)
+	q := vs[0]
+	excl := col.NewExclusion()
+	excl.Set(0)
+	res, err := col.Search(q, Options{K: 1, Criterion: Hq, Exclude: excl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].ID == 0 {
+		t.Error("excluded id returned")
+	}
+	mil, err := col.SearchMIL(q, MILOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mil.Results[0].ID != 0 {
+		t.Errorf("MIL best = %d, want the query itself", mil.Results[0].ID)
+	}
+}
+
+func TestFacadeMultiSearch(t *testing.T) {
+	v1 := dataset.CorelLike(200, 16, 1)
+	v2 := dataset.CorelLike(200, 24, 2)
+	c1, c2 := NewCollection(v1), NewCollection(v2)
+	features := []Feature{
+		c1.AsFeature(v1[0], 0.5),
+		c2.AsFeature(v2[0], 0.5),
+	}
+	res, err := MultiSearch(features, MultiOptions{K: 3, Agg: WeightedAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].ID != 0 {
+		t.Errorf("best = %d, want 0 (self query)", res.Results[0].ID)
+	}
+}
+
+func TestFacadeWeightedAndSubspace(t *testing.T) {
+	vs, col := testCollection(t)
+	q := vs[9]
+	w := dataset.WeightsZipf(32, 2, 7)
+	res, err := col.Search(q, Options{K: 4, Criterion: Ev, Weights: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := seqscan.SearchWeightedEuclidean(vs, q, w, 4)
+	for i := range want {
+		if res.Results[i].ID != want[i].ID &&
+			math.Abs(res.Results[i].Score-want[i].Score) > 1e-9 {
+			t.Errorf("weighted rank %d: id %d, want %d", i, res.Results[i].ID, want[i].ID)
+		}
+	}
+	sub, err := col.Search(q, Options{K: 4, Criterion: Ev, Dims: []int{0, 5, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Results) != 4 {
+		t.Errorf("subspace returned %d results", len(sub.Results))
+	}
+}

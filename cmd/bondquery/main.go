@@ -1,0 +1,101 @@
+// Command bondquery runs k-NN queries against a stored collection.
+//
+// Usage:
+//
+//	bondquery -store corel.bond -id 17 -k 10 -criterion Hq
+//	bondquery -store skew1.bond -id 0 -k 5 -criterion Ev -stats
+//
+// The query vector is taken from the collection by id (the common
+// query-by-example pattern of image retrieval).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bond/internal/core"
+	"bond/internal/vstore"
+)
+
+func main() {
+	storePath := flag.String("store", "", "path to a store written by bondgen or Collection.Save (required)")
+	id := flag.Int("id", 0, "query-by-example: id of the query vector inside the collection")
+	k := flag.Int("k", 10, "number of neighbors")
+	criterion := flag.String("criterion", "Hq", "pruning criterion: Hq, Hh, Eq, Ev")
+	step := flag.Int("step", core.DefaultStep, "pruning step m")
+	order := flag.String("order", "desc", "dimension order: desc, asc, random, natural")
+	showStats := flag.Bool("stats", false, "print per-step pruning statistics")
+	flag.Parse()
+
+	if *storePath == "" {
+		fmt.Fprintln(os.Stderr, "bondquery: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	store, err := vstore.LoadFile(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	if *id < 0 || *id >= store.Len() {
+		fatal(fmt.Errorf("id %d outside collection [0,%d)", *id, store.Len()))
+	}
+
+	var crit core.Criterion
+	switch strings.ToLower(*criterion) {
+	case "hq":
+		crit = core.Hq
+	case "hh":
+		crit = core.Hh
+	case "eq":
+		crit = core.Eq
+	case "ev":
+		crit = core.Ev
+	default:
+		fatal(fmt.Errorf("unknown criterion %q", *criterion))
+	}
+	var ord core.Order
+	switch strings.ToLower(*order) {
+	case "desc":
+		ord = core.OrderQueryDesc
+	case "asc":
+		ord = core.OrderQueryAsc
+	case "random":
+		ord = core.OrderRandom
+	case "natural":
+		ord = core.OrderNatural
+	default:
+		fatal(fmt.Errorf("unknown order %q", *order))
+	}
+
+	q := store.Row(*id)
+	res, err := core.Search(store, q, core.Options{K: *k, Criterion: crit, Step: *step, Order: ord})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("collection %s: %d × %d, query id %d, criterion %s\n",
+		*storePath, store.Len(), store.Dims(), *id, crit)
+	for rank, r := range res.Results {
+		fmt.Printf("%3d. id=%-8d score=%.6f\n", rank+1, r.ID, r.Score)
+	}
+	full := int64(store.Live() * store.Dims())
+	fmt.Printf("values scanned: %d of %d (%.1f%% of a full scan)\n",
+		res.Stats.ValuesScanned, full, 100*float64(res.Stats.ValuesScanned)/float64(full))
+	if *showStats {
+		fmt.Println("pruning steps:")
+		for _, st := range res.Stats.Steps {
+			suffix := ""
+			if st.Skipped {
+				suffix = " (skipped: futile)"
+			}
+			fmt.Printf("  after %3d dims: %d candidates%s\n", st.DimsProcessed, st.Candidates, suffix)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bondquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+package bat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bond/internal/bitmap"
+)
+
+func TestVoidHeads(t *testing.T) {
+	b := NewFloatVoid(5, []float64{1, 2, 3})
+	if !b.IsVoid() {
+		t.Fatal("expected void head")
+	}
+	if b.HeadAt(0) != 5 || b.HeadAt(2) != 7 {
+		t.Errorf("HeadAt = %d, %d; want 5, 7", b.HeadAt(0), b.HeadAt(2))
+	}
+	m := &Float{Head: []int{9, 4}, Tail: []float64{1, 2}}
+	if m.IsVoid() {
+		t.Error("materialized head reported void")
+	}
+	if m.HeadAt(1) != 4 {
+		t.Errorf("HeadAt(1) = %d, want 4", m.HeadAt(1))
+	}
+}
+
+func TestMapMinConst(t *testing.T) {
+	b := NewFloatVoid(0, []float64{0.1, 0.5, 0.9})
+	got := MapMinConst(b, 0.4)
+	want := []float64{0.1, 0.4, 0.4}
+	for i := range want {
+		if got.Tail[i] != want[i] {
+			t.Errorf("tail[%d] = %v, want %v", i, got.Tail[i], want[i])
+		}
+	}
+	if b.Tail[1] != 0.5 {
+		t.Error("MapMinConst must not mutate its input")
+	}
+}
+
+func TestMapSqDiffConst(t *testing.T) {
+	b := NewFloatVoid(0, []float64{0.0, 1.0})
+	got := MapSqDiffConst(b, 0.4)
+	if got.Tail[0] != 0.16000000000000003 && got.Tail[0] != 0.16 {
+		t.Errorf("tail[0] = %v", got.Tail[0])
+	}
+	if d := got.Tail[1] - 0.36; d > 1e-12 || d < -1e-12 {
+		t.Errorf("tail[1] = %v, want 0.36", got.Tail[1])
+	}
+}
+
+func TestMultiAddAndAddInto(t *testing.T) {
+	a := NewFloatVoid(0, []float64{1, 2})
+	b := NewFloatVoid(0, []float64{10, 20})
+	c := NewFloatVoid(0, []float64{100, 200})
+	sum := MultiAdd(a, b, c)
+	if sum.Tail[0] != 111 || sum.Tail[1] != 222 {
+		t.Errorf("MultiAdd = %v", sum.Tail)
+	}
+	AddInto(sum, a)
+	if sum.Tail[0] != 112 {
+		t.Errorf("AddInto = %v", sum.Tail)
+	}
+}
+
+func TestMultiAddPanicsOnMisalignment(t *testing.T) {
+	a := NewFloatVoid(0, []float64{1, 2})
+	b := NewFloatVoid(1, []float64{1, 2}) // different base
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on misaligned bases")
+		}
+	}()
+	MultiAdd(a, b)
+}
+
+func TestKFetch(t *testing.T) {
+	b := NewFloatVoid(0, []float64{0.3, 0.9, 0.1, 0.7})
+	if got := KFetch(b, 2, true); got != 0.7 {
+		t.Errorf("KFetch largest = %v, want 0.7", got)
+	}
+	if got := KFetch(b, 2, false); got != 0.3 {
+		t.Errorf("KFetch smallest = %v, want 0.3", got)
+	}
+}
+
+func TestUSelect(t *testing.T) {
+	b := NewFloatVoid(10, []float64{0.2, 0.8, 0.5, 0.9})
+	c := USelect(b, 0.5, 1.0)
+	want := []int{11, 12, 13}
+	if len(c.Tail) != 3 {
+		t.Fatalf("selected %d, want 3", len(c.Tail))
+	}
+	for i := range want {
+		if c.Tail[i] != want[i] {
+			t.Errorf("oid[%d] = %d, want %d", i, c.Tail[i], want[i])
+		}
+	}
+}
+
+func TestUSelectBitmap(t *testing.T) {
+	b := NewFloatVoid(0, []float64{0.2, 0.8, 0.5})
+	bm := USelectBitmap(b, 0.5, 1.0, 3)
+	if bm.Count() != 2 || !bm.Get(1) || !bm.Get(2) {
+		t.Errorf("bitmap = %v", bm.Slice())
+	}
+}
+
+func TestUSelectBitmapPanicsOnMaterializedHead(t *testing.T) {
+	b := &Float{Head: []int{3, 1}, Tail: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	USelectBitmap(b, 0, 1, 4)
+}
+
+func TestJoinFloatPositionalGather(t *testing.T) {
+	hi := NewFloatVoid(0, []float64{0.0, 0.1, 0.2, 0.3, 0.4})
+	c := NewOIDVoid(0, []int{4, 1, 3})
+	got := JoinFloat(c, hi)
+	want := []float64{0.4, 0.1, 0.3}
+	for i := range want {
+		if got.Tail[i] != want[i] {
+			t.Errorf("gather[%d] = %v, want %v", i, got.Tail[i], want[i])
+		}
+	}
+}
+
+func TestJoinFloatPanicsOnBadOID(t *testing.T) {
+	hi := NewFloatVoid(0, []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	JoinFloat(NewOIDVoid(0, []int{5}), hi)
+}
+
+func TestSelectFloat(t *testing.T) {
+	b := NewFloatVoid(0, []float64{10, 20, 30, 40})
+	bm := bitmap.FromSlice(4, []int{0, 2})
+	got := SelectFloat(b, bm)
+	if len(got.Tail) != 2 || got.Tail[0] != 10 || got.Tail[1] != 30 {
+		t.Errorf("SelectFloat = %v", got.Tail)
+	}
+}
+
+// Property: USelect and USelectBitmap agree on the selected oid set.
+func TestUSelectVariantsAgree(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%100 + 1
+		tail := make([]float64, n)
+		for i := range tail {
+			tail[i] = rng.Float64()
+		}
+		b := NewFloatVoid(0, tail)
+		lo, hi := rng.Float64(), rng.Float64()
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		oids := USelect(b, lo, hi).Tail
+		bm := USelectBitmap(b, lo, hi, n)
+		if len(oids) != bm.Count() {
+			return false
+		}
+		for _, oid := range oids {
+			if !bm.Get(oid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MultiAdd is order-independent (the aggregates are commutative,
+// the property Section 5.1 relies on for dimension reordering).
+func TestMultiAddCommutative(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%50 + 1
+		a := NewFloatVoid(0, randTail(rng, n))
+		b := NewFloatVoid(0, randTail(rng, n))
+		c := NewFloatVoid(0, randTail(rng, n))
+		x := MultiAdd(a, b, c)
+		y := MultiAdd(c, a, b)
+		for i := range x.Tail {
+			d := x.Tail[i] - y.Tail[i]
+			if d > 1e-12 || d < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randTail(rng *rand.Rand, n int) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = rng.Float64()
+	}
+	return t
+}
+
+func BenchmarkMapMinConst(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bat := NewFloatVoid(0, randTail(rng, 100000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MapMinConst(bat, 0.5)
+	}
+}
+
+func BenchmarkJoinFloat(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	hi := NewFloatVoid(0, randTail(rng, 100000))
+	oids := rng.Perm(100000)[:1000]
+	c := NewOIDVoid(0, oids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinFloat(c, hi)
+	}
+}

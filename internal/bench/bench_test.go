@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bond/internal/core"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{N: 600, Dims: 32, Queries: 4, K: 5, Step: 8, Seed: 7}
+}
+
+func TestPruneGrid(t *testing.T) {
+	grid := pruneGrid(32, 8)
+	want := []int{8, 16, 24}
+	if len(grid) != len(want) {
+		t.Fatalf("grid = %v", grid)
+	}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Errorf("grid[%d] = %d, want %d", i, grid[i], want[i])
+		}
+	}
+	if g := pruneGrid(8, 8); len(g) != 0 {
+		t.Errorf("grid covering all dims should be empty, got %v", g)
+	}
+}
+
+func TestCandidateCurve(t *testing.T) {
+	steps := []core.StepStat{
+		{DimsProcessed: 8, Candidates: 100},
+		{DimsProcessed: 16, Candidates: 20},
+	}
+	grid := []int{8, 16, 24}
+	got := candidateCurve(steps, grid, 500)
+	want := []float64{100, 20, 20} // padded after last step
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("curve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// No steps at all: the whole collection remains.
+	got = candidateCurve(nil, grid, 500)
+	for i := range got {
+		if got[i] != 500 {
+			t.Errorf("empty curve[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestCurveStats(t *testing.T) {
+	lo, mean, hi := curveStats([][]float64{{1, 10}, {3, 20}})
+	if lo[0] != 1 || hi[0] != 3 || mean[0] != 2 {
+		t.Errorf("stats at 0: %v %v %v", lo[0], mean[0], hi[0])
+	}
+	if lo[1] != 10 || hi[1] != 20 || mean[1] != 15 {
+		t.Errorf("stats at 1: %v %v %v", lo[1], mean[1], hi[1])
+	}
+}
+
+func findSeries(t *testing.T, f Figure, label string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: series %q not found (have %v)", f.ID, label, seriesLabels(f))
+	return Series{}
+}
+
+func seriesLabels(f Figure) []string {
+	out := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func last(xs []float64) float64 { return xs[len(xs)-1] }
+
+func TestFig2Shapes(t *testing.T) {
+	f := Fig2DatasetStats(tiny())
+	prof := findSeries(t, f, "mean sorted profile")
+	// Zipfian decay: first rank dominates, tail near zero.
+	if prof.Y[0] < 5*prof.Y[10] {
+		t.Errorf("profile not Zipfian: %v vs %v", prof.Y[0], prof.Y[10])
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	f := Fig4PruningHqHh(tiny())
+	cfg := tiny()
+	hqAvg := findSeries(t, f, "Hq avg")
+	hhAvg := findSeries(t, f, "Hh avg")
+	// Strong pruning by the end.
+	if last(hqAvg.Y) > 0.1*float64(cfg.N) {
+		t.Errorf("Hq avg final candidates %v too high", last(hqAvg.Y))
+	}
+	// Hh dominates Hq at every step.
+	for i := range hqAvg.Y {
+		if hhAvg.Y[i] > hqAvg.Y[i]+1e-9 {
+			t.Errorf("Hh avg %v > Hq avg %v at step %d", hhAvg.Y[i], hqAvg.Y[i], i)
+		}
+	}
+	// best ≤ avg ≤ worst.
+	best := findSeries(t, f, "Hq best")
+	worst := findSeries(t, f, "Hq worst")
+	for i := range hqAvg.Y {
+		if best.Y[i] > hqAvg.Y[i] || hqAvg.Y[i] > worst.Y[i] {
+			t.Errorf("envelope violated at %d", i)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	f := Fig5PruningEqEv(tiny())
+	eq := findSeries(t, f, "Eq avg")
+	ev := findSeries(t, f, "Ev avg")
+	// The paper: Eq prunes hardly anything, Ev prunes well.
+	if last(ev.Y) >= last(eq.Y) {
+		t.Errorf("Ev final %v should beat Eq final %v", last(ev.Y), last(eq.Y))
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	f := Fig6EffectOfK(tiny())
+	k1 := findSeries(t, f, "k=1")
+	k100 := findSeries(t, f, "k=100")
+	// Larger k retains at least as many candidates.
+	for i := range k1.Y {
+		if k1.Y[i] > k100.Y[i]+1e-9 {
+			t.Errorf("k=1 kept more than k=100 at %d", i)
+		}
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	f := Fig7Orderings(tiny())
+	desc := findSeries(t, f, "desc")
+	asc := findSeries(t, f, "asc")
+	// Descending order must prune far better than ascending by the end.
+	if last(desc.Y) >= last(asc.Y) {
+		t.Errorf("desc final %v should beat asc final %v", last(desc.Y), last(asc.Y))
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	f := Fig8Dimensionality(tiny())
+	if len(f.Series) != 4 {
+		t.Fatalf("want 4 dimensionalities, got %v", seriesLabels(f))
+	}
+	for _, s := range f.Series {
+		if last(s.Y) > 0.5 {
+			t.Errorf("%s: final candidate fraction %v too high", s.Label, last(s.Y))
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	f := Fig9Compression(tiny())
+	exact := findSeries(t, f, "exact")
+	comp := findSeries(t, f, "compressed")
+	// Compressed pruning follows the exact trend: both shrink hard, and
+	// compressed is never better than exact (its bounds are looser).
+	if last(comp.Y) < last(exact.Y)-1e-9 {
+		t.Errorf("compressed final %v below exact %v", last(comp.Y), last(exact.Y))
+	}
+	cfg := tiny()
+	if last(comp.Y) > 0.5*float64(cfg.N) {
+		t.Errorf("compressed pruning too weak: %v", last(comp.Y))
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	f := Fig10DataSkew(tiny())
+	t0 := findSeries(t, f, "theta=0.0")
+	t2 := findSeries(t, f, "theta=2.0")
+	// Skew favors pruning: θ=2 must end with fewer candidates than θ=0.
+	if last(t2.Y) >= last(t0.Y) {
+		t.Errorf("theta=2 final %v not below theta=0 final %v", last(t2.Y), last(t0.Y))
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	f := Fig11WeightSkew(tiny())
+	w0 := findSeries(t, f, "wskew=0.0")
+	w3 := findSeries(t, f, "wskew=3.0")
+	// Heavy weight skew enables pruning on otherwise hostile uniform data.
+	if last(w3.Y) >= last(w0.Y) {
+		t.Errorf("wskew=3 final %v not below wskew=0 final %v", last(w3.Y), last(w0.Y))
+	}
+}
+
+func TestTable3ShapeAndRender(t *testing.T) {
+	tab := Table3ResponseTimes(tiny())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	avg := func(name string) float64 {
+		for _, r := range tab.Rows {
+			if r[0] == name {
+				v, err := strconv.ParseFloat(r[3], 64)
+				if err != nil {
+					t.Fatalf("bad avg cell %q", r[3])
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return 0
+	}
+	_ = avg("Hq")
+	_ = avg("SSH")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := Table4Approximations(tiny())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Rows)
+	}
+	if tab.Rows[0][0] != "filter Hq^c" || tab.Rows[1][0] != "filter SSVA" {
+		t.Errorf("unexpected row order: %v", tab.Rows)
+	}
+}
+
+func TestMultiFeatureComparisonShape(t *testing.T) {
+	cfg := tiny()
+	cfg.N = 300
+	cfg.Queries = 2
+	tab := MultiFeatureComparison(cfg)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "avg" || tab.Rows[1][0] != "min" {
+		t.Errorf("aggregates: %v", tab.Rows)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	cfg := tiny()
+	cfg.Queries = 2
+	if tab := AblationStepM(cfg); len(tab.Rows) == 0 {
+		t.Error("AblationStepM empty")
+	}
+	if tab := AblationBitmapSwitch(cfg); len(tab.Rows) != 5 {
+		t.Error("AblationBitmapSwitch rows")
+	}
+	if tab := AblationAbandonScan(cfg); len(tab.Rows) != 4 {
+		t.Error("AblationAbandonScan rows")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Fig2DatasetStats(tiny())
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "mean value per bin") {
+		t.Errorf("render output incomplete:\n%s", out[:min(200, len(out))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestUsefulnessValidationShape(t *testing.T) {
+	tab := UsefulnessValidation(tiny())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Usefulness must rise with concentration, scanned fraction must fall
+	// from the first to the last bucket.
+	firstU, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	lastU, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
+	if lastU <= firstU {
+		t.Errorf("usefulness not increasing: %v .. %v", firstU, lastU)
+	}
+	firstS, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	lastS, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][2], 64)
+	if lastS >= firstS {
+		t.Errorf("scanned %% not decreasing: %v .. %v", firstS, lastS)
+	}
+}
+
+func TestClusteringComparisonShape(t *testing.T) {
+	cfg := tiny()
+	cfg.N = 400
+	tab := ClusteringComparison(cfg)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Identical inertia (exactness), fewer values scanned when pruned.
+	if tab.Rows[0][3] != tab.Rows[1][3] {
+		t.Errorf("inertia differs: %v vs %v", tab.Rows[0][3], tab.Rows[1][3])
+	}
+	pruned, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	naive, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if pruned >= naive {
+		t.Errorf("pruned scanned %v >= naive %v", pruned, naive)
+	}
+}
+
+func TestAblationAdaptiveStepShape(t *testing.T) {
+	cfg := tiny()
+	cfg.Queries = 2
+	tab := AblationAdaptiveStep(cfg)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	fixed, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	adaptive, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if adaptive > fixed {
+		t.Errorf("adaptive made more prune attempts (%v) than fixed (%v)", adaptive, fixed)
+	}
+}

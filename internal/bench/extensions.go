@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bond/internal/cluster"
+	"bond/internal/core"
+	"bond/internal/dataset"
+	"bond/internal/stats"
+	"bond/internal/vstore"
+)
+
+// UsefulnessValidation regenerates the Section 9 query-quality proposal as
+// an experiment: it buckets queries by their usefulness score and reports
+// the average fraction of values BOND actually scanned per bucket. A valid
+// measure produces monotonically decreasing work as usefulness rises.
+func UsefulnessValidation(cfg Config) Table {
+	_, store, _ := corelWorkload(cfg)
+	full := float64(store.Live() * store.Dims())
+
+	// Query family sweeping from uniform (hostile) to point-mass (useful):
+	// mass 1−α spread evenly, mass α on a handful of dimensions.
+	t := Table{
+		ID:     "Sec. 9 usefulness",
+		Title:  "Query usefulness vs. fraction of data scanned (Hq)",
+		Header: []string{"concentration", "usefulness", "scanned %"},
+	}
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 0.95} {
+		q := make([]float64, cfg.Dims)
+		for i := range q {
+			q[i] = (1 - alpha) / float64(cfg.Dims)
+		}
+		heavy := 4
+		for i := 0; i < heavy; i++ {
+			q[i*7%cfg.Dims] += alpha / float64(heavy)
+		}
+		u := core.Usefulness(q, nil, core.Hq)
+		res, err := core.Search(store, q, core.Options{K: cfg.K, Criterion: core.Hq, Step: cfg.Step})
+		if err != nil {
+			panic(fmt.Sprintf("bench: usefulness search failed: %v", err))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", alpha),
+			fmt.Sprintf("%.3f", u),
+			fmt.Sprintf("%.1f", 100*float64(res.Stats.ValuesScanned)/full),
+		})
+	}
+	return t
+}
+
+// ClusteringComparison measures exact k-means with BOND-style pruned
+// assignment against the naive decomposed assignment — the Section 9
+// future-work direction.
+func ClusteringComparison(cfg Config) Table {
+	vectors := dataset.Clustered(dataset.DefaultClustered(cfg.N, cfg.Dims, 0.8, cfg.Seed))
+	store := vstore.FromVectors(vectors)
+
+	t := Table{
+		ID:     "Sec. 9 clustering",
+		Title:  "Exact k-means on decomposed data: pruned vs naive assignment",
+		Header: []string{"variant", "ms", "values scanned", "inertia"},
+	}
+	for _, variant := range []struct {
+		name    string
+		noPrune bool
+	}{{"pruned", false}, {"naive", true}} {
+		var res cluster.Result
+		elapsed := timeIt(func() {
+			var err error
+			res, err = cluster.KMeans(store, cluster.Options{
+				K: 16, Seed: cfg.Seed, MaxIters: 5, NoPrune: variant.noPrune,
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+		t.Rows = append(t.Rows, []string{
+			variant.name,
+			fmt.Sprintf("%.1f", float64(elapsed)/float64(time.Millisecond)),
+			fmt.Sprintf("%d", res.ValuesScanned),
+			fmt.Sprintf("%.2f", res.Inertia),
+		})
+	}
+	return t
+}
+
+// AblationAdaptiveStep compares the fixed pruning step against the
+// Section 5.2 dynamic-m variant on a hostile workload (Euclidean Ev on
+// mildly clustered data), where pruning dries up mid-search and the fixed
+// step keeps paying for fruitless kfetch passes.
+func AblationAdaptiveStep(cfg Config) Table {
+	vectors := dataset.Clustered(dataset.DefaultClustered(cfg.N, cfg.Dims, 0.5, cfg.Seed))
+	store := vstore.FromVectors(vectors)
+	queries, _ := dataset.SampleQueries(vectors, cfg.Queries, cfg.Seed+1)
+
+	t := Table{
+		ID:     "Ablation adaptive m",
+		Title:  "Fixed vs adaptive pruning step (Ev); times in msec",
+		Header: []string{"variant", "avg ms", "avg prune attempts"},
+	}
+	for _, variant := range []struct {
+		name     string
+		adaptive bool
+	}{{"fixed m", false}, {"adaptive m", true}} {
+		var times []time.Duration
+		var attempts float64
+		for _, q := range queries {
+			var res core.Result
+			times = append(times, timeIt(func() {
+				var err error
+				res, err = core.Search(store, q, core.Options{
+					K: cfg.K, Criterion: core.Ev, Step: cfg.Step,
+					AdaptiveStep: variant.adaptive,
+				})
+				if err != nil {
+					panic(err)
+				}
+			}))
+			attempts += float64(len(res.Stats.Steps))
+		}
+		s := stats.SummarizeDurations(times)
+		t.Rows = append(t.Rows, []string{
+			variant.name,
+			fmt.Sprintf("%.2f", s.Mean),
+			fmt.Sprintf("%.1f", attempts/float64(len(queries))),
+		})
+	}
+	return t
+}

@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"bond/internal/core"
+	"bond/internal/dataset"
+	"bond/internal/quant"
+	"bond/internal/stats"
+	"bond/internal/vstore"
+)
+
+// pruneGrid returns the dimension counts at which BOND attempts pruning:
+// step, 2·step, …, up to (but excluding) dims.
+func pruneGrid(dims, step int) []int {
+	var grid []int
+	for m := step; m < dims; m += step {
+		grid = append(grid, m)
+	}
+	return grid
+}
+
+// candidateCurve samples the candidate-set size at each grid point from a
+// search's step statistics. Before the first recorded step the whole
+// collection (n) is a candidate; after the last recorded step the size no
+// longer changes.
+func candidateCurve(steps []core.StepStat, grid []int, n int) []float64 {
+	out := make([]float64, len(grid))
+	cur := float64(n)
+	si := 0
+	for gi, g := range grid {
+		for si < len(steps) && steps[si].DimsProcessed <= g {
+			cur = float64(steps[si].Candidates)
+			si++
+		}
+		out[gi] = cur
+	}
+	return out
+}
+
+// curveStats aggregates per-query candidate curves into min/mean/max
+// envelopes (the paper's best/average/worst pruning efficiency).
+func curveStats(curves [][]float64) (lo, mean, hi []float64) {
+	if len(curves) == 0 {
+		return nil, nil, nil
+	}
+	m := len(curves[0])
+	lo = make([]float64, m)
+	mean = make([]float64, m)
+	hi = make([]float64, m)
+	for j := 0; j < m; j++ {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+		for _, c := range curves {
+			lo[j] = math.Min(lo[j], c[j])
+			hi[j] = math.Max(hi[j], c[j])
+			mean[j] += c[j]
+		}
+		mean[j] /= float64(len(curves))
+	}
+	return lo, mean, hi
+}
+
+func gridX(grid []int) []float64 {
+	x := make([]float64, len(grid))
+	for i, g := range grid {
+		x[i] = float64(g)
+	}
+	return x
+}
+
+// corelWorkload builds the Corel-like collection, its decomposed store,
+// and the query sample for the Section 7.1–7.4 experiments.
+func corelWorkload(cfg Config) ([][]float64, *vstore.Store, [][]float64) {
+	vectors := dataset.CorelLike(cfg.N, cfg.Dims, cfg.Seed)
+	store := vstore.FromVectors(vectors)
+	queries, _ := dataset.SampleQueries(vectors, cfg.Queries, cfg.Seed+1)
+	return vectors, store, queries
+}
+
+// Fig2DatasetStats regenerates Figure 2: the mean value per bin (top
+// panel) and the mean descending-sorted value profile (bottom panel) of
+// the histogram collection.
+func Fig2DatasetStats(cfg Config) Figure {
+	vectors := dataset.CorelLike(cfg.N, cfg.Dims, cfg.Seed)
+	means := stats.MeanPerDimension(vectors)
+	profile := stats.MeanSortedProfile(vectors)
+	x := make([]float64, cfg.Dims)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return Figure{
+		ID:     "Figure 2",
+		Title:  "Statistics of the histogram dataset",
+		XLabel: "bin / rank",
+		YLabel: "mean value",
+		Series: []Series{
+			{Label: "mean value per bin", X: x, Y: means},
+			{Label: "mean sorted profile", X: x, Y: profile},
+		},
+	}
+}
+
+// runCurves executes the query workload under the given options and
+// returns the min/mean/max candidate envelopes on the pruning grid.
+func runCurves(store *vstore.Store, queries [][]float64, opts core.Options, grid []int) (lo, mean, hi []float64) {
+	curves := make([][]float64, 0, len(queries))
+	for _, q := range queries {
+		res, err := core.Search(store, q, opts)
+		if err != nil {
+			panic(fmt.Sprintf("bench: search failed: %v", err))
+		}
+		curves = append(curves, candidateCurve(res.Stats.Steps, grid, store.Live()))
+	}
+	return curveStats(curves)
+}
+
+// Fig4PruningHqHh regenerates Figure 4: best/average/worst candidate-set
+// size of criteria Hq and Hh against dimensions processed.
+func Fig4PruningHqHh(cfg Config) Figure {
+	_, store, queries := corelWorkload(cfg)
+	grid := pruneGrid(cfg.Dims, cfg.Step)
+	x := gridX(grid)
+	fig := Figure{
+		ID:     "Figure 4",
+		Title:  "Pruning effects of Hq and Hh",
+		XLabel: "dims",
+		YLabel: "candidates",
+	}
+	for _, crit := range []core.Criterion{core.Hq, core.Hh} {
+		lo, mean, hi := runCurves(store, queries, core.Options{K: cfg.K, Criterion: crit, Step: cfg.Step}, grid)
+		fig.Series = append(fig.Series,
+			Series{Label: crit.String() + " best", X: x, Y: lo},
+			Series{Label: crit.String() + " avg", X: x, Y: mean},
+			Series{Label: crit.String() + " worst", X: x, Y: hi},
+		)
+	}
+	return fig
+}
+
+// Fig5PruningEqEv regenerates Figure 5: average candidate-set size of Eq
+// (with the stricter normalized-data bound, as in the paper) and Ev.
+func Fig5PruningEqEv(cfg Config) Figure {
+	_, store, queries := corelWorkload(cfg)
+	grid := pruneGrid(cfg.Dims, cfg.Step)
+	x := gridX(grid)
+	fig := Figure{
+		ID:     "Figure 5",
+		Title:  "Pruning effects of Eq and Ev (Euclidean distance)",
+		XLabel: "dims",
+		YLabel: "candidates",
+	}
+	for _, crit := range []core.Criterion{core.Eq, core.Ev} {
+		lo, mean, hi := runCurves(store, queries,
+			core.Options{K: cfg.K, Criterion: crit, Step: cfg.Step, NormalizedData: true}, grid)
+		fig.Series = append(fig.Series,
+			Series{Label: crit.String() + " best", X: x, Y: lo},
+			Series{Label: crit.String() + " avg", X: x, Y: mean},
+			Series{Label: crit.String() + " worst", X: x, Y: hi},
+		)
+	}
+	return fig
+}
+
+// Fig6EffectOfK regenerates Figure 6: average Hq pruning for k ∈
+// {1, 10, 100, 1000} (clamped to the collection size).
+func Fig6EffectOfK(cfg Config) Figure {
+	_, store, queries := corelWorkload(cfg)
+	grid := pruneGrid(cfg.Dims, cfg.Step)
+	x := gridX(grid)
+	fig := Figure{
+		ID:     "Figure 6",
+		Title:  "Effect of k on pruning (Hq)",
+		XLabel: "dims",
+		YLabel: "candidates",
+	}
+	for _, k := range []int{1, 10, 100, 1000} {
+		if k > cfg.N {
+			continue
+		}
+		_, mean, _ := runCurves(store, queries, core.Options{K: k, Criterion: core.Hq, Step: cfg.Step}, grid)
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("k=%d", k), X: x, Y: mean})
+	}
+	return fig
+}
+
+// Fig7Orderings regenerates Figure 7: average Hq pruning for the three
+// dimension orderings — decreasing query value, random, increasing.
+func Fig7Orderings(cfg Config) Figure {
+	_, store, queries := corelWorkload(cfg)
+	grid := pruneGrid(cfg.Dims, cfg.Step)
+	x := gridX(grid)
+	fig := Figure{
+		ID:     "Figure 7",
+		Title:  "Effects of dimensional orderings (Hq)",
+		XLabel: "dims",
+		YLabel: "candidates",
+	}
+	for _, ord := range []core.Order{core.OrderQueryDesc, core.OrderRandom, core.OrderQueryAsc} {
+		_, mean, _ := runCurves(store, queries,
+			core.Options{K: cfg.K, Criterion: core.Hq, Step: cfg.Step, Order: ord, Seed: cfg.Seed}, grid)
+		fig.Series = append(fig.Series, Series{Label: ord.String(), X: x, Y: mean})
+	}
+	return fig
+}
+
+// Fig8Dimensionality regenerates Figure 8: average Ev pruning across
+// dimensionalities 26, 52, 166 and 260 (scaled proportionally to
+// cfg.Dims when it differs from the paper's 166), with the x axis as the
+// percentage of dimensions processed and the y axis as the candidate
+// fraction, so the curves are comparable across dimensionalities.
+func Fig8Dimensionality(cfg Config) Figure {
+	ratios := []float64{26.0 / 166, 52.0 / 166, 1, 260.0 / 166}
+	fig := Figure{
+		ID:     "Figure 8",
+		Title:  "Impact of dimensionality (Ev)",
+		XLabel: "% dims",
+		YLabel: "candidate fraction",
+	}
+	const points = 10
+	for _, r := range ratios {
+		dims := int(math.Round(r * float64(cfg.Dims)))
+		if dims < 2*cfg.Step {
+			dims = 2 * cfg.Step
+		}
+		sub := cfg
+		sub.Dims = dims
+		_, store, queries := corelWorkload(sub)
+		grid := pruneGrid(dims, cfg.Step)
+		_, mean, _ := runCurves(store, queries,
+			core.Options{K: cfg.K, Criterion: core.Ev, Step: cfg.Step, NormalizedData: true}, grid)
+		// Resample onto a common percentage grid.
+		x := make([]float64, points)
+		y := make([]float64, points)
+		for i := 0; i < points; i++ {
+			pct := float64(i+1) / points
+			x[i] = pct * 100
+			gi := int(pct*float64(len(grid))) - 1
+			if gi < 0 {
+				gi = 0
+			}
+			if gi >= len(mean) {
+				gi = len(mean) - 1
+			}
+			y[i] = mean[gi] / float64(cfg.N)
+		}
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("%d dims", dims), X: x, Y: y})
+	}
+	return fig
+}
+
+// Fig9Compression regenerates Figure 9: average Hq pruning on the exact
+// fragments versus on the 8-bit compressed fragments.
+func Fig9Compression(cfg Config) Figure {
+	_, store, queries := corelWorkload(cfg)
+	qs := store.Quantize(quant.NewUnit())
+	grid := pruneGrid(cfg.Dims, cfg.Step)
+	x := gridX(grid)
+
+	_, exact, _ := runCurves(store, queries, core.Options{K: cfg.K, Criterion: core.Hq, Step: cfg.Step}, grid)
+
+	curves := make([][]float64, 0, len(queries))
+	for _, q := range queries {
+		ids, st, err := core.FilterCompressed(store, qs, q, core.Options{K: cfg.K, Criterion: core.Hq, Step: cfg.Step})
+		if err != nil {
+			panic(fmt.Sprintf("bench: compressed filter failed: %v", err))
+		}
+		_ = ids
+		curves = append(curves, candidateCurve(st.Steps, grid, store.Live()))
+	}
+	_, comp, _ := curveStats(curves)
+
+	return Figure{
+		ID:     "Figure 9",
+		Title:  "Pruning on exact vs 8-bit compressed fragments (Hq)",
+		XLabel: "dims",
+		YLabel: "candidates",
+		Series: []Series{
+			{Label: "exact", X: x, Y: exact},
+			{Label: "compressed", X: x, Y: comp},
+		},
+	}
+}
+
+// Fig10DataSkew regenerates Figure 10: average Ev pruning on synthetic
+// clustered data for skew parameter θ ∈ {0, 0.5, 1, 2}.
+func Fig10DataSkew(cfg Config) Figure {
+	grid := pruneGrid(cfg.Dims, cfg.Step)
+	x := gridX(grid)
+	fig := Figure{
+		ID:     "Figure 10",
+		Title:  "Effects of skew on the data (Ev)",
+		XLabel: "dims",
+		YLabel: "candidates",
+	}
+	for _, theta := range []float64{0, 0.5, 1, 2} {
+		vectors := dataset.Clustered(dataset.DefaultClustered(cfg.N, cfg.Dims, theta, cfg.Seed))
+		store := vstore.FromVectors(vectors)
+		queries, _ := dataset.SampleQueries(vectors, cfg.Queries, cfg.Seed+1)
+		_, mean, _ := runCurves(store, queries, core.Options{K: cfg.K, Criterion: core.Ev, Step: cfg.Step}, grid)
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("theta=%.1f", theta), X: x, Y: mean})
+	}
+	return fig
+}
+
+// Fig11WeightSkew regenerates Figure 11: average weighted-Ev pruning on
+// the uniform (θ = 0) clustered data under increasingly skewed weights.
+func Fig11WeightSkew(cfg Config) Figure {
+	vectors := dataset.Clustered(dataset.DefaultClustered(cfg.N, cfg.Dims, 0, cfg.Seed))
+	store := vstore.FromVectors(vectors)
+	queries, _ := dataset.SampleQueries(vectors, cfg.Queries, cfg.Seed+1)
+	grid := pruneGrid(cfg.Dims, cfg.Step)
+	x := gridX(grid)
+	fig := Figure{
+		ID:     "Figure 11",
+		Title:  "Effects of skew on the weights (weighted Ev, theta=0 data)",
+		XLabel: "dims",
+		YLabel: "candidates",
+	}
+	for _, wTheta := range []float64{0, 1, 2, 3} {
+		w := dataset.WeightsZipf(cfg.Dims, wTheta, cfg.Seed+2)
+		_, mean, _ := runCurves(store, queries,
+			core.Options{K: cfg.K, Criterion: core.Ev, Step: cfg.Step, Weights: w}, grid)
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("wskew=%.1f", wTheta), X: x, Y: mean})
+	}
+	return fig
+}

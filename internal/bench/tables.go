@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bond/internal/core"
+	"bond/internal/dataset"
+	"bond/internal/multifeature"
+	"bond/internal/quant"
+	"bond/internal/seqscan"
+	"bond/internal/stats"
+	"bond/internal/streammerge"
+	"bond/internal/topk"
+	"bond/internal/vafile"
+	"bond/internal/vstore"
+)
+
+func summaryRow(name string, s stats.Summary) []string {
+	return []string{
+		name,
+		fmt.Sprintf("%.2f", s.Min),
+		fmt.Sprintf("%.2f", s.Max),
+		fmt.Sprintf("%.2f", s.Mean),
+		fmt.Sprintf("%.2f", s.Median),
+	}
+}
+
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Table3ResponseTimes regenerates Table 3: response-time statistics (in
+// milliseconds) of BOND with Hq, Hh and Ev against the sequential scans
+// SSH and SSE, over the query workload.
+func Table3ResponseTimes(cfg Config) Table {
+	vectors, store, queries := corelWorkload(cfg)
+
+	methods := []struct {
+		name string
+		run  func(q []float64)
+	}{
+		{"Hq", func(q []float64) {
+			if _, err := core.Search(store, q, core.Options{K: cfg.K, Criterion: core.Hq, Step: cfg.Step}); err != nil {
+				panic(err)
+			}
+		}},
+		{"Hh", func(q []float64) {
+			if _, err := core.Search(store, q, core.Options{K: cfg.K, Criterion: core.Hh, Step: cfg.Step}); err != nil {
+				panic(err)
+			}
+		}},
+		{"SSH", func(q []float64) { seqscan.SearchHistogram(vectors, q, cfg.K) }},
+		{"Ev", func(q []float64) {
+			if _, err := core.Search(store, q, core.Options{K: cfg.K, Criterion: core.Ev, Step: cfg.Step}); err != nil {
+				panic(err)
+			}
+		}},
+		{"SSE", func(q []float64) { seqscan.SearchEuclidean(vectors, q, cfg.K) }},
+	}
+
+	t := Table{
+		ID:     "Table 3",
+		Title:  "BOND vs. sequential scan; times in msec",
+		Header: []string{"method", "min", "max", "avg", "median"},
+	}
+	for _, m := range methods {
+		times := make([]time.Duration, 0, len(queries))
+		for _, q := range queries {
+			q := q
+			times = append(times, timeIt(func() { m.run(q) }))
+		}
+		t.Rows = append(t.Rows, summaryRow(m.name, stats.SummarizeDurations(times)))
+	}
+	return t
+}
+
+// Table4Approximations regenerates Table 4: the filter step of BOND on
+// compressed fragments (Hq on 8-bit codes) against a sequential scan of
+// the equivalent VA-File, plus the shared refinement step. Both filters
+// read identical 8-bit information, so the candidate sets are essentially
+// the same; the difference is pruned work.
+func Table4Approximations(cfg Config) Table {
+	vectors, store, queries := corelWorkload(cfg)
+	qz := quant.NewUnit()
+	qs := store.Quantize(qz)
+	va := vafile.BuildFromStore(store, qz)
+
+	var bondFilter, vaFilter, refine []time.Duration
+	var bondCands, vaCands []float64
+
+	for _, q := range queries {
+		var ids []int
+		bondFilter = append(bondFilter, timeIt(func() {
+			var err error
+			ids, _, err = core.FilterCompressed(store, qs, q, core.Options{K: cfg.K, Criterion: core.Hq, Step: cfg.Step})
+			if err != nil {
+				panic(err)
+			}
+		}))
+		bondCands = append(bondCands, float64(len(ids)))
+
+		var vaIDs []int
+		vaFilter = append(vaFilter, timeIt(func() {
+			vaIDs, _, _ = va.FilterHistogram(q, cfg.K)
+		}))
+		vaCands = append(vaCands, float64(len(vaIDs)))
+
+		// Refinement: exact scoring of the BOND candidate set.
+		refine = append(refine, timeIt(func() {
+			h := topk.NewLargest(cfg.K)
+			for _, id := range ids {
+				v := vectors[id]
+				s := 0.0
+				for d, x := range v {
+					if x < q[d] {
+						s += x
+					} else {
+						s += q[d]
+					}
+				}
+				h.Push(id, s)
+			}
+			_ = h.Results()
+		}))
+	}
+
+	t := Table{
+		ID:     "Table 4",
+		Title:  "Approximations: compressed BOND filter vs VA-File scan; times in msec",
+		Header: []string{"step", "min", "max", "avg", "median"},
+	}
+	t.Rows = append(t.Rows, summaryRow("filter Hq^c", stats.SummarizeDurations(bondFilter)))
+	t.Rows = append(t.Rows, summaryRow("filter SSVA", stats.SummarizeDurations(vaFilter)))
+	t.Rows = append(t.Rows, summaryRow("refinement", stats.SummarizeDurations(refine)))
+	t.Rows = append(t.Rows, summaryRow("candidates Hq^c", stats.Summarize(bondCands)))
+	t.Rows = append(t.Rows, summaryRow("candidates SSVA", stats.Summarize(vaCands)))
+	return t
+}
+
+// multiFeatureWorkload builds the Section 8.2 setup: two clustered,
+// normalized feature collections (dimensionality d and 2d) over the same
+// objects, with queries taken from the data.
+func multiFeatureWorkload(cfg Config) ([]multifeature.Feature, []int) {
+	d1 := cfg.Dims / 2
+	if d1 < 8 {
+		d1 = 8
+	}
+	d2 := cfg.Dims
+	c1 := dataset.DefaultClustered(cfg.N, d1, 1.0, cfg.Seed)
+	v1 := dataset.Clustered(c1)
+	dataset.NormalizeAll(v1)
+	c2 := dataset.DefaultClustered(cfg.N, d2, 1.0, cfg.Seed+1)
+	v2 := dataset.Clustered(c2)
+	dataset.NormalizeAll(v2)
+	features := []multifeature.Feature{
+		{Store: vstore.FromVectors(v1), Weight: 1},
+		{Store: vstore.FromVectors(v2), Weight: 1},
+	}
+	_, idx := dataset.SampleQueries(v1, cfg.Queries, cfg.Seed+2)
+	return features, idx
+}
+
+// MultiFeatureComparison regenerates the Section 8.2 experiment:
+// synchronized BOND versus stream merging with the optimal per-stream k′,
+// for the average and min aggregates. The paper reports synchronized
+// search 20 % faster for avg and 70 % faster for min.
+func MultiFeatureComparison(cfg Config) Table {
+	features, queryIDs := multiFeatureWorkload(cfg)
+
+	t := Table{
+		ID:     "Sec. 8.2",
+		Title:  "Synchronized multi-feature BOND vs stream merging (optimal k'); times in msec",
+		Header: []string{"aggregate", "sync avg ms", "merge avg ms", "speedup %"},
+	}
+	for _, agg := range []multifeature.Aggregate{multifeature.WeightedAvg, multifeature.MinAgg} {
+		var syncTimes, mergeTimes []time.Duration
+		for _, qid := range queryIDs {
+			for f := range features {
+				features[f].Query = features[f].Store.Row(qid)
+			}
+			syncTimes = append(syncTimes, timeIt(func() {
+				if _, err := multifeature.Search(features, multifeature.Options{K: cfg.K, Agg: agg, Step: cfg.Step}); err != nil {
+					panic(err)
+				}
+			}))
+			mergeTimes = append(mergeTimes, timeIt(func() {
+				if _, err := streammerge.SearchOptimal(features, cfg.K, agg); err != nil {
+					panic(err)
+				}
+			}))
+		}
+		sSync := stats.SummarizeDurations(syncTimes)
+		sMerge := stats.SummarizeDurations(mergeTimes)
+		speedup := 0.0
+		if sSync.Mean > 0 {
+			speedup = (sMerge.Mean - sSync.Mean) / sSync.Mean * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			agg.String(),
+			fmt.Sprintf("%.2f", sSync.Mean),
+			fmt.Sprintf("%.2f", sMerge.Mean),
+			fmt.Sprintf("%.0f", speedup),
+		})
+	}
+	return t
+}

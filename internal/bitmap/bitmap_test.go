@@ -1,0 +1,171 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(200)
+	if b.Count() != 0 {
+		t.Errorf("fresh Count = %d, want 0", b.Count())
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	want := 67 // ceil(200/3)
+	if b.Count() != want {
+		t.Errorf("Count = %d, want %d", b.Count(), want)
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100} {
+		b := NewFull(n)
+		if b.Count() != n {
+			t.Errorf("NewFull(%d).Count() = %d", n, b.Count())
+		}
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromSlice(100, []int{1, 5, 70, 99})
+	b := FromSlice(100, []int{5, 70, 80})
+
+	and := a.Clone()
+	and.And(b)
+	if got := and.Slice(); len(got) != 2 || got[0] != 5 || got[1] != 70 {
+		t.Errorf("And = %v, want [5 70]", got)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if got := or.Slice(); len(got) != 5 {
+		t.Errorf("Or = %v, want 5 elements", got)
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if got := diff.Slice(); len(got) != 2 || got[0] != 1 || got[1] != 99 {
+		t.Errorf("AndNot = %v, want [1 99]", got)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	idxs := []int{99, 0, 64, 63, 7}
+	b := FromSlice(100, idxs)
+	got := b.Slice()
+	want := []int{0, 7, 63, 64, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Slice[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for _, f := range []func(){
+		func() { b.Set(10) },
+		func() { b.Get(-1) },
+		func() { b.Clear(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on size mismatch")
+		}
+	}()
+	a.And(b)
+}
+
+func TestReset(t *testing.T) {
+	b := NewFull(77)
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d", b.Count())
+	}
+}
+
+// Property: Count equals the length of Slice, and De Morgan-ish identity
+// |A| = |A∧B| + |A∧¬B| holds for random bitmaps.
+func TestCountDecomposition(t *testing.T) {
+	f := func(seed int64, nraw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nraw)%300 + 1
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		if a.Count() != len(a.Slice()) {
+			return false
+		}
+		and := a.Clone()
+		and.And(b)
+		diff := a.Clone()
+		diff.AndNot(b)
+		return a.Count() == and.Count()+diff.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	bm := NewFull(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Count()
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	bm := New(100000)
+	for i := 0; i < 100000; i += 7 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		bm.ForEach(func(j int) { sum += j })
+	}
+	_ = sum
+}

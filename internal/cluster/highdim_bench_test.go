@@ -1,0 +1,27 @@
+package cluster
+
+import "testing"
+
+func BenchmarkKMeansPrunedHighDim(b *testing.B) {
+	s := clusteredStore(2000, 128, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := KMeans(s, Options{K: 16, Seed: 1, MaxIters: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ValuesScanned), "values")
+	}
+}
+
+func BenchmarkKMeansNaiveHighDim(b *testing.B) {
+	s := clusteredStore(2000, 128, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := KMeans(s, Options{K: 16, Seed: 1, MaxIters: 5, NoPrune: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ValuesScanned), "values")
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"bond/internal/metric"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// CompressedResult is the outcome of a filter-and-refine search on 8-bit
+// fragments (Section 7.4): the exact top-k, the candidate set the filter
+// step produced, and separate work counters for the two phases — the
+// quantities Table 4 reports.
+type CompressedResult struct {
+	Results []topk.Result
+	// FilterCandidates is the candidate-set size after the filter phase.
+	FilterCandidates int
+	// FilterStats describes the pruning run on the compressed fragments.
+	FilterStats Stats
+	// RefineValuesScanned counts exact coefficients read during refinement.
+	RefineValuesScanned int64
+}
+
+// SearchCompressed runs BOND on the quantized fragments as a filter step
+// and refines the surviving candidates on the exact columns. Supported
+// criteria are Hq (histogram intersection, as in Figure 9) and Eq
+// (Euclidean). Both maintain a per-vector score interval [sLo, sHi] from
+// the quantization cell bounds, so no true neighbor is ever filtered out.
+func SearchCompressed(s *vstore.Store, qs *vstore.QuantStore, q []float64, opts Options) (CompressedResult, error) {
+	if err := opts.validate(s, q); err != nil {
+		return CompressedResult{}, err
+	}
+	if len(opts.Weights) > 0 || len(opts.Dims) > 0 {
+		return CompressedResult{}, fmt.Errorf("core: compressed search supports full-space unweighted queries only")
+	}
+	switch opts.Criterion {
+	case Hq, Eq:
+	default:
+		return CompressedResult{}, fmt.Errorf("core: compressed search supports Hq and Eq, not %v", opts.Criterion)
+	}
+
+	f := &compressedFilter{s: s, qs: qs, q: q, opts: opts}
+	f.init()
+	f.run()
+	return f.refine(), nil
+}
+
+// FilterCompressed runs only the filter phase of a compressed search and
+// returns the surviving candidate ids (a superset of the true top-k) with
+// the filter statistics. Table 4 times this phase against a VA-File scan.
+func FilterCompressed(s *vstore.Store, qs *vstore.QuantStore, q []float64, opts Options) ([]int, Stats, error) {
+	if err := opts.validate(s, q); err != nil {
+		return nil, Stats{}, err
+	}
+	if len(opts.Weights) > 0 || len(opts.Dims) > 0 {
+		return nil, Stats{}, fmt.Errorf("core: compressed search supports full-space unweighted queries only")
+	}
+	switch opts.Criterion {
+	case Hq, Eq:
+	default:
+		return nil, Stats{}, fmt.Errorf("core: compressed search supports Hq and Eq, not %v", opts.Criterion)
+	}
+	f := &compressedFilter{s: s, qs: qs, q: q, opts: opts}
+	f.init()
+	f.run()
+	f.finalPrune()
+	ids := append([]int(nil), f.cands...)
+	return ids, f.stats, nil
+}
+
+type compressedFilter struct {
+	s    *vstore.Store
+	qs   *vstore.QuantStore
+	q    []float64
+	opts Options
+
+	order      []int
+	k          int
+	cands      []int
+	sLo, sHi   []float64
+	processedQ float64
+	stats      Stats
+}
+
+func (f *compressedFilter) init() {
+	f.order = buildOrder(f.q, nil, nil, f.opts.Order, f.opts.Seed, f.opts.Criterion.Distance())
+	deleted := f.s.DeletedBitmap()
+	f.cands = make([]int, 0, f.s.Live())
+	for id := 0; id < f.s.Len(); id++ {
+		if deleted.Get(id) {
+			continue
+		}
+		if f.opts.Exclude != nil && f.opts.Exclude.Get(id) {
+			continue
+		}
+		f.cands = append(f.cands, id)
+	}
+	f.k = f.opts.K
+	if f.k > len(f.cands) {
+		f.k = len(f.cands)
+	}
+	f.sLo = make([]float64, len(f.cands))
+	f.sHi = make([]float64, len(f.cands))
+}
+
+func (f *compressedFilter) run() {
+	total := len(f.order)
+	for processed := 0; processed < total; {
+		next := processed + f.opts.Step
+		if next > total {
+			next = total
+		}
+		f.accumulate(processed, next)
+		processed = next
+		if len(f.cands) <= f.k {
+			continue
+		}
+		f.pruneStep(processed)
+	}
+	f.stats.FinalCandidates = len(f.cands)
+}
+
+func (f *compressedFilter) accumulate(from, to int) {
+	hist := !f.opts.Criterion.Distance()
+	for _, d := range f.order[from:to] {
+		codes := f.qs.Codes[d]
+		qd := f.q[d]
+		for ci, id := range f.cands {
+			var lo, hi float64
+			if hist {
+				lo, hi = f.qs.Q.MinIntersectBounds(codes[id], qd)
+			} else {
+				lo, hi = f.qs.Q.SqDistBounds(codes[id], qd)
+			}
+			f.sLo[ci] += lo
+			f.sHi[ci] += hi
+		}
+		f.processedQ += qd
+		f.stats.ValuesScanned += int64(len(f.cands))
+	}
+}
+
+// pruneStep applies the Hq (or Eq) rule on the score intervals: a vector's
+// best case is its optimistic partial score plus the tail bound; the k-th
+// pessimistic partial score anchors κ.
+func (f *compressedFilter) pruneStep(processed int) {
+	stat := StepStat{DimsProcessed: processed}
+	before := len(f.cands)
+	keep := make([]bool, before)
+
+	if !f.opts.Criterion.Distance() {
+		tail := metric.NewHistTail(f.qTail(processed))
+		tq := tail.HqUpper()
+		if !f.opts.DisableFutileSkip && f.processedQ <= tq {
+			stat.Skipped = true
+			stat.Candidates = before
+			f.stats.Steps = append(f.stats.Steps, stat)
+			return
+		}
+		kappa := topk.KthLargest(f.sLo, f.k)
+		for ci := range keep {
+			keep[ci] = f.sHi[ci]+tq >= kappa
+		}
+	} else {
+		tail := metric.NewEucTail(f.qTail(processed))
+		bound := tail.EqUpper()
+		if f.opts.NormalizedData {
+			bound = tail.EqUpperNormalized()
+		}
+		kappa := topk.KthSmallest(f.sHi, f.k) + bound
+		for ci := range keep {
+			keep[ci] = f.sLo[ci] <= kappa
+		}
+	}
+
+	out := 0
+	for ci, ok := range keep {
+		if !ok {
+			continue
+		}
+		f.cands[out] = f.cands[ci]
+		f.sLo[out] = f.sLo[ci]
+		f.sHi[out] = f.sHi[ci]
+		out++
+	}
+	f.cands = f.cands[:out]
+	f.sLo = f.sLo[:out]
+	f.sHi = f.sHi[:out]
+
+	stat.Candidates = out
+	stat.Pruned = before - out
+	f.stats.Steps = append(f.stats.Steps, stat)
+	if out <= f.k && f.stats.DimsUntilK == 0 {
+		f.stats.DimsUntilK = processed
+	}
+}
+
+func (f *compressedFilter) qTail(processed int) []float64 {
+	rem := f.order[processed:]
+	out := make([]float64, len(rem))
+	for i, d := range rem {
+		out[i] = f.q[d]
+	}
+	return out
+}
+
+// finalPrune drops candidates that cannot reach the k-th best even with
+// exact tails exhausted (all dimensions processed: the interval is final).
+func (f *compressedFilter) finalPrune() {
+	if len(f.cands) <= f.k {
+		return
+	}
+	var kappa float64
+	keep := make([]bool, len(f.cands))
+	if !f.opts.Criterion.Distance() {
+		kappa = topk.KthLargest(f.sLo, f.k)
+		for ci := range keep {
+			keep[ci] = f.sHi[ci] >= kappa
+		}
+	} else {
+		kappa = topk.KthSmallest(f.sHi, f.k)
+		for ci := range keep {
+			keep[ci] = f.sLo[ci] <= kappa
+		}
+	}
+	out := 0
+	for ci, ok := range keep {
+		if ok {
+			f.cands[out] = f.cands[ci]
+			out++
+		}
+	}
+	f.cands = f.cands[:out]
+}
+
+// refine computes exact scores for the filter survivors from the exact
+// columns and returns the true top-k.
+func (f *compressedFilter) refine() CompressedResult {
+	f.finalPrune()
+	res := CompressedResult{
+		FilterCandidates: len(f.cands),
+		FilterStats:      f.stats,
+	}
+	dist := f.opts.Criterion.Distance()
+	exact := make([]float64, len(f.cands))
+	for d := 0; d < f.s.Dims(); d++ {
+		col := f.s.Column(d)
+		qd := f.q[d]
+		for ci, id := range f.cands {
+			v := col[id]
+			if dist {
+				diff := v - qd
+				exact[ci] += diff * diff
+			} else if v < qd {
+				exact[ci] += v
+			} else {
+				exact[ci] += qd
+			}
+		}
+		res.RefineValuesScanned += int64(len(f.cands))
+	}
+	var h *topk.Heap
+	if dist {
+		h = topk.NewSmallest(f.k)
+	} else {
+		h = topk.NewLargest(f.k)
+	}
+	for ci, id := range f.cands {
+		h.Push(id, exact[ci])
+	}
+	res.Results = h.Results()
+	return res
+}

@@ -1,0 +1,262 @@
+// Package core implements BOND — Branch-and-bound ON Decomposed data — the
+// k-NN search algorithm of the paper (Algorithm 2).
+//
+// BOND scans the dimensional columns of a vertically decomposed collection
+// (package vstore) in a query-dependent order, accumulating each vector's
+// partial score over the dimensions seen so far. After every batch of m
+// columns it derives, per vector, an upper and a lower bound on the final
+// score from the partial score and (for the stronger criteria) the vector's
+// remaining mass T(v⁺), then discards every vector whose best case cannot
+// reach the worst case of the current k-th best. The surviving candidate
+// set shrinks rapidly, so later columns are read only for a small fraction
+// of the collection.
+//
+// Four pruning criteria are supported, as derived in Section 4:
+//
+//   - Hq: histogram intersection, bounds from the query only (Eq. 5–6).
+//   - Hh: histogram intersection, per-vector bounds using T(h⁻) (Eq. 7–9).
+//   - Eq: squared Euclidean distance, constant bounds (Eq. 10).
+//   - Ev: squared Euclidean distance, per-vector bounds (Lemmas 1–2).
+//
+// Weighted queries (Definition 3, Appendix A) and dimensional-subspace
+// queries (Section 8.1, weights ∈ {0,1}) run through the same loop with
+// the weighted bounds of package metric.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bond/internal/bitmap"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// Criterion selects the pruning rule, which also fixes the metric:
+// Hq and Hh rank by histogram intersection (larger is better), Eq and Ev by
+// squared Euclidean distance (smaller is better).
+type Criterion int
+
+const (
+	// Hq is the query-only histogram-intersection criterion (Eq. 5–6).
+	Hq Criterion = iota
+	// Hh is the per-vector histogram-intersection criterion (Eq. 7–9).
+	Hh
+	// Eq is the query-only Euclidean criterion (Eq. 10).
+	Eq
+	// Ev is the per-vector Euclidean criterion (Lemmas 1–2).
+	Ev
+)
+
+// String returns the paper's name for the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case Hq:
+		return "Hq"
+	case Hh:
+		return "Hh"
+	case Eq:
+		return "Eq"
+	case Ev:
+		return "Ev"
+	}
+	return fmt.Sprintf("Criterion(%d)", int(c))
+}
+
+// Distance reports whether the criterion ranks by distance (smallest wins).
+func (c Criterion) Distance() bool { return c == Eq || c == Ev }
+
+// Order selects the processing order of the dimensions (Section 5.1).
+type Order int
+
+const (
+	// OrderQueryDesc processes dimensions by decreasing query value — the
+	// paper's default, which works well on Zipfian data. For weighted
+	// queries the sort key is w·q² (Section 8.2).
+	OrderQueryDesc Order = iota
+	// OrderQueryAsc is the worst-case ordering of Figure 7.
+	OrderQueryAsc
+	// OrderRandom shuffles the dimensions using Options.Seed.
+	OrderRandom
+	// OrderNatural keeps the storage order.
+	OrderNatural
+)
+
+// String names the ordering.
+func (o Order) String() string {
+	switch o {
+	case OrderQueryDesc:
+		return "desc"
+	case OrderQueryAsc:
+		return "asc"
+	case OrderRandom:
+		return "random"
+	case OrderNatural:
+		return "natural"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// DefaultStep is the paper's default pruning granularity m = 8
+// (Section 7.1).
+const DefaultStep = 8
+
+// Options configures a BOND search.
+type Options struct {
+	// K is the number of neighbors to return. Required, ≥ 1.
+	K int
+	// Criterion selects metric and pruning rule. Default Hq.
+	Criterion Criterion
+	// Order selects the dimension processing order. Default OrderQueryDesc.
+	Order Order
+	// Seed drives OrderRandom.
+	Seed int64
+	// Step is the number of dimensions processed between pruning attempts
+	// (the paper's m). Default DefaultStep.
+	Step int
+	// AdaptiveStep enables the dynamic-m variant Section 5.2 poses as an
+	// open question: whenever a pruning attempt removes less than
+	// AdaptiveThreshold of the candidates, the step doubles (bounded by
+	// the remaining dimensions), amortizing the per-step kfetch and
+	// compaction overhead once pruning has run dry. A step that prunes
+	// well again resets to the configured Step.
+	AdaptiveStep bool
+	// AdaptiveThreshold is the pruned fraction below which AdaptiveStep
+	// doubles the step. Default 0.05.
+	AdaptiveThreshold float64
+	// Weights enables weighted search. For Euclidean criteria this is the
+	// weighted distance of Definition 3; for criterion Hq it is the
+	// weighted histogram intersection Σ w_i·min(h_i, q_i) used by
+	// multi-feature processing (Section 8.2). Zero weights exclude
+	// dimensions (subspace search). Length must equal the store
+	// dimensionality.
+	Weights []float64
+	// Dims restricts the search to a dimensional subspace (Section 8.1).
+	// For Euclidean criteria this is sugar for 0/1 weights; for histogram
+	// criteria only the listed dimensions contribute to the score.
+	Dims []int
+	// Exclude removes vectors from consideration before the search starts —
+	// delete marks (Section 6.2) or the complement of a prior selection
+	// predicate (Section 6.1). May be nil.
+	Exclude *bitmap.Bitmap
+	// NormalizedData declares that every stored vector is known to sum
+	// to 1, enabling the stricter constant bound for Eq used in
+	// Section 7.1. Ignored by other criteria.
+	NormalizedData bool
+	// DisableFutileSkip forces a pruning attempt after every step even when
+	// the Section 5.2 analysis shows it cannot remove anything (used by the
+	// ablation benchmarks).
+	DisableFutileSkip bool
+	// SkipRangeCheck disables the data-range validation. The Euclidean
+	// bounds (Lemma 1, Eq. 10) are derived for vectors in the unit
+	// hyper-box and the histogram bounds for non-negative data; out-of-
+	// range coefficients would silently make pruning unsafe, so Search
+	// rejects them unless this is set (e.g. when the caller re-scales
+	// queries to a wider box themselves).
+	SkipRangeCheck bool
+}
+
+// StepStat records the candidate set after one pruning iteration.
+type StepStat struct {
+	// DimsProcessed is the number of columns read so far (the paper's m).
+	DimsProcessed int
+	// Candidates is the candidate-set size after pruning at this step.
+	Candidates int
+	// Pruned is the number of vectors removed at this step.
+	Pruned int
+	// Skipped reports that the pruning attempt was skipped as futile
+	// (Section 5.2); Candidates then carries over unchanged.
+	Skipped bool
+}
+
+// Stats describes the work a search performed.
+type Stats struct {
+	// Steps has one entry per pruning iteration.
+	Steps []StepStat
+	// ValuesScanned counts column cells read.
+	ValuesScanned int64
+	// DimsUntilK is the number of dimensions processed when the candidate
+	// set first shrank to exactly K (0 if it never did). The paper reports
+	// this as the point after which the remaining tables "need not be
+	// accessed at all" for pruning.
+	DimsUntilK int
+	// FinalCandidates is the candidate-set size when pruning stopped.
+	FinalCandidates int
+}
+
+// Result is a completed search: the k best matches (exact scores, best
+// first) and the work statistics.
+type Result struct {
+	Results []topk.Result
+	Stats   Stats
+}
+
+// Errors returned by option validation.
+var (
+	ErrBadK           = errors.New("core: K must be >= 1")
+	ErrWeightMismatch = errors.New("core: weights length must equal store dimensionality")
+	ErrWeightMetric   = errors.New("core: weights require criterion Eq, Ev, or Hq")
+	ErrQueryMismatch  = errors.New("core: query length must equal store dimensionality")
+	ErrBadDims        = errors.New("core: Dims entries must be unique and within range")
+	ErrNoCandidates   = errors.New("core: no live vectors to search")
+	ErrDataRange      = errors.New("core: stored data outside the range the pruning bounds assume")
+)
+
+func (o *Options) validate(s *vstore.Store, q []float64) error {
+	if o.K < 1 {
+		return ErrBadK
+	}
+	if len(q) != s.Dims() {
+		return fmt.Errorf("%w: query %d, store %d", ErrQueryMismatch, len(q), s.Dims())
+	}
+	if len(o.Weights) > 0 {
+		if o.Criterion == Hh {
+			return ErrWeightMetric
+		}
+		if len(o.Weights) != s.Dims() {
+			return fmt.Errorf("%w: weights %d, store %d", ErrWeightMismatch, len(o.Weights), s.Dims())
+		}
+		for _, w := range o.Weights {
+			if w < 0 {
+				return fmt.Errorf("%w: negative weight", ErrWeightMismatch)
+			}
+		}
+	}
+	if len(o.Dims) > 0 {
+		seen := make(map[int]bool, len(o.Dims))
+		for _, d := range o.Dims {
+			if d < 0 || d >= s.Dims() || seen[d] {
+				return fmt.Errorf("%w: dim %d", ErrBadDims, d)
+			}
+			seen[d] = true
+		}
+	}
+	if o.Step == 0 {
+		o.Step = DefaultStep
+	}
+	if o.Step < 1 {
+		return fmt.Errorf("core: Step must be >= 1, got %d", o.Step)
+	}
+	if o.AdaptiveThreshold == 0 {
+		o.AdaptiveThreshold = 0.05
+	}
+	if o.AdaptiveThreshold < 0 || o.AdaptiveThreshold > 1 {
+		return fmt.Errorf("core: AdaptiveThreshold must be in [0,1], got %v", o.AdaptiveThreshold)
+	}
+	if !o.SkipRangeCheck && s.Len() > 0 {
+		lo, hi := s.ValueRange()
+		if o.Criterion.Distance() {
+			// Lemma 1 / Eq. 10 place adversarial mass at coordinate 1 and
+			// floor candidates at 0: data must lie in the unit hyper-box.
+			if lo < 0 || hi > 1 {
+				return fmt.Errorf("%w: Euclidean criteria need values in [0,1], store holds [%v, %v]",
+					ErrDataRange, lo, hi)
+			}
+		} else if lo < 0 {
+			// Histogram intersection's zero lower bound needs h ≥ 0.
+			return fmt.Errorf("%w: histogram criteria need non-negative values, store holds minimum %v",
+				ErrDataRange, lo)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"bond/internal/bat"
+	"bond/internal/bitmap"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// MILOptions configures the MIL reference engine.
+type MILOptions struct {
+	// K is the number of neighbors. Required, ≥ 1.
+	K int
+	// Step is the pruning granularity m. Default DefaultStep.
+	Step int
+	// BitmapSwitch is the candidate fraction below which the engine stops
+	// using the bitmap representation and materializes the candidate set
+	// for positional joins (Section 6.1: "after several iterations, when
+	// the candidate set has reduced significantly, the query processor
+	// switches to the standard positional joins approach"). 0 materializes
+	// immediately; 1 keeps the bitmap until the end. Default 0.05.
+	BitmapSwitch float64
+	// Exclude initializes the bitmap with the complement of a prior
+	// selection predicate (Section 6.1). May be nil.
+	Exclude *bitmap.Bitmap
+}
+
+// ErrMILOptions reports invalid MIL engine options.
+var ErrMILOptions = errors.New("core: invalid MIL options")
+
+// SearchMIL executes BOND with criterion Hq through the MIL operator layer
+// of package bat, mirroring the paper's Section 6.1 listing:
+//
+//  1. for i in 1..m do Di := [min](Hi, const Qi); Smin := [+](D1, …, Dm);
+//  2. sk := Smin.kfetch(k); maxbound := sk − T(q⁺); C := Smin.uselect(maxbound, …);
+//  3. for i in m+1..N do Hi := C.reverse.join(Hi);
+//
+// applied iteratively, with the early iterations using the bitmap-index
+// implementation of uselect and the later ones the positional-join
+// reduction. Results are identical to Search with criterion Hq.
+func SearchMIL(s *vstore.Store, q []float64, opts MILOptions) (Result, error) {
+	if opts.K < 1 {
+		return Result{}, ErrMILOptions
+	}
+	if len(q) != s.Dims() {
+		return Result{}, ErrQueryMismatch
+	}
+	if opts.Step == 0 {
+		opts.Step = DefaultStep
+	}
+	if opts.Step < 1 {
+		return Result{}, ErrMILOptions
+	}
+	if opts.BitmapSwitch == 0 {
+		opts.BitmapSwitch = 0.05
+	}
+	if opts.BitmapSwitch < 0 || opts.BitmapSwitch > 1 {
+		return Result{}, ErrMILOptions
+	}
+
+	n := s.Len()
+	order := buildOrder(q, nil, nil, OrderQueryDesc, 0, false)
+
+	// The bitmap doubles as delete-mark carrier and predicate filter
+	// (Sections 6.1–6.2): start from live ∧ ¬excluded.
+	bm := bitmap.NewFull(n)
+	bm.AndNot(s.DeletedBitmap())
+	if opts.Exclude != nil {
+		bm.AndNot(opts.Exclude)
+	}
+	if bm.Count() == 0 {
+		return Result{}, ErrNoCandidates
+	}
+	k := opts.K
+	if k > bm.Count() {
+		k = bm.Count()
+	}
+
+	var stats Stats
+	var processedQ float64
+	tailQ := func(processed int) float64 {
+		t := 0.0
+		for _, d := range order[processed:] {
+			t += q[d]
+		}
+		return t
+	}
+
+	// --- Bitmap phase: scores kept full-length, candidates as set bits. ---
+	smin := bat.NewFloatVoid(0, make([]float64, n))
+	var (
+		c     *bat.OID   // materialized candidates (nil while in bitmap phase)
+		sminC *bat.Float // scores aligned with c
+	)
+	total := len(order)
+	processed := 0
+	for processed < total {
+		next := processed + opts.Step
+		if next > total {
+			next = total
+		}
+		for _, d := range order[processed:next] {
+			hi := bat.NewFloatVoid(0, s.Column(d))
+			qd := q[d]
+			if c == nil {
+				// [min](Hi, const Qi) evaluated for candidate positions only.
+				bm.ForEach(func(id int) {
+					smin.Tail[id] += math.Min(hi.Tail[id], qd)
+				})
+				stats.ValuesScanned += int64(bm.Count())
+			} else {
+				// Hi reduced to the candidate set by a positional join.
+				hiC := bat.JoinFloat(c, hi)
+				di := bat.MapMinConst(hiC, qd)
+				bat.AddInto(sminC, di)
+				stats.ValuesScanned += int64(c.Len())
+			}
+			processedQ += qd
+		}
+		processed = next
+		if processed >= total {
+			break
+		}
+
+		count := bm.Count()
+		if c != nil {
+			count = c.Len()
+		}
+		if count <= k {
+			continue
+		}
+
+		stat := StepStat{DimsProcessed: processed}
+		tq := tailQ(processed)
+		if processedQ <= tq {
+			stat.Skipped = true
+			stat.Candidates = count
+			stats.Steps = append(stats.Steps, stat)
+			continue
+		}
+
+		if c == nil {
+			// kfetch over the candidate scores, then bitmap uselect.
+			scores := bat.SelectFloat(smin, bm)
+			sk := bat.KFetch(scores, k, true)
+			maxbound := sk - tq
+			sel := bat.USelectBitmap(smin, maxbound, math.Inf(1), n)
+			bm.And(sel)
+			stat.Candidates = bm.Count()
+			stat.Pruned = count - stat.Candidates
+			// Switch to positional joins once selectivity is high enough.
+			if float64(bm.Count()) < opts.BitmapSwitch*float64(n) {
+				c = bat.NewOIDVoid(0, bm.Slice())
+				sminC = bat.JoinFloat(c, smin)
+			}
+		} else {
+			sk := bat.KFetch(sminC, k, true)
+			maxbound := sk - tq
+			sel := bat.USelect(sminC, maxbound, math.Inf(1))
+			// sel holds positions into the candidate array (void heads).
+			newIDs := make([]int, len(sel.Tail))
+			newScores := make([]float64, len(sel.Tail))
+			for i, pos := range sel.Tail {
+				newIDs[i] = c.Tail[pos]
+				newScores[i] = sminC.Tail[pos]
+			}
+			c = bat.NewOIDVoid(0, newIDs)
+			sminC = bat.NewFloatVoid(0, newScores)
+			stat.Candidates = c.Len()
+			stat.Pruned = count - stat.Candidates
+		}
+		stats.Steps = append(stats.Steps, stat)
+		cur := bm.Count()
+		if c != nil {
+			cur = c.Len()
+		}
+		if cur <= k && stats.DimsUntilK == 0 {
+			stats.DimsUntilK = processed
+		}
+	}
+
+	// Final ranking.
+	h := topk.NewLargest(k)
+	if c == nil {
+		bm.ForEach(func(id int) { h.Push(id, smin.Tail[id]) })
+		stats.FinalCandidates = bm.Count()
+	} else {
+		for i, id := range c.Tail {
+			h.Push(id, sminC.Tail[i])
+		}
+		stats.FinalCandidates = c.Len()
+	}
+	return Result{Results: h.Results(), Stats: stats}, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bond/internal/bitmap"
+	"bond/internal/dataset"
+	"bond/internal/seqscan"
+	"bond/internal/vstore"
+)
+
+func TestMILMatchesSequentialScan(t *testing.T) {
+	vs, store := corel(t)
+	queries, _ := dataset.SampleQueries(vs, 5, 55)
+	for _, q := range queries {
+		res, err := SearchMIL(store, q, MILOptions{K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := seqscan.SearchHistogram(vs, q, 10)
+		sameResults(t, "MIL", res.Results, want)
+	}
+}
+
+func TestMILMatchesArrayEngine(t *testing.T) {
+	vs, store := corel(t)
+	q := vs[3]
+	mil, err := SearchMIL(store, q, MILOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Search(store, q, Options{K: 10, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "MIL vs array", mil.Results, arr.Results)
+}
+
+func TestMILBitmapSwitchSettings(t *testing.T) {
+	vs, store := corel(t)
+	q := vs[9]
+	want, _ := seqscan.SearchHistogram(vs, q, 10)
+	// Immediate materialization, default, and bitmap-until-end must all be
+	// correct (the switch point is a physical-plan choice only).
+	for _, sw := range []float64{1e-9, 0.05, 0.5, 1} {
+		res, err := SearchMIL(store, q, MILOptions{K: 10, BitmapSwitch: sw})
+		if err != nil {
+			t.Fatalf("switch %v: %v", sw, err)
+		}
+		sameResults(t, "MIL switch", res.Results, want)
+	}
+}
+
+func TestMILRespectsDeletesAndExclude(t *testing.T) {
+	vs := dataset.CorelLike(150, 32, 21)
+	store := vstore.FromVectors(vs)
+	q := vs[0]
+	store.Delete(0)
+	excl := bitmap.New(150)
+	excl.Set(1)
+	res, err := SearchMIL(store, q, MILOptions{K: 5, Exclude: excl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Results {
+		if r.ID == 0 || r.ID == 1 {
+			t.Errorf("deleted/excluded id %d returned", r.ID)
+		}
+	}
+}
+
+func TestMILErrors(t *testing.T) {
+	vs := dataset.CorelLike(10, 8, 2)
+	store := vstore.FromVectors(vs)
+	if _, err := SearchMIL(store, vs[0], MILOptions{K: 0}); !errors.Is(err, ErrMILOptions) {
+		t.Errorf("K=0: %v", err)
+	}
+	if _, err := SearchMIL(store, vs[0][:2], MILOptions{K: 1}); !errors.Is(err, ErrQueryMismatch) {
+		t.Errorf("short query: %v", err)
+	}
+	if _, err := SearchMIL(store, vs[0], MILOptions{K: 1, BitmapSwitch: 2}); !errors.Is(err, ErrMILOptions) {
+		t.Errorf("bad switch: %v", err)
+	}
+	excl := bitmap.NewFull(10)
+	if _, err := SearchMIL(store, vs[0], MILOptions{K: 1, Exclude: excl}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("all excluded: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"bond/internal/bitmap"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// SearchParallel runs BOND across shards of the collection concurrently
+// and merges the shard results into the global top-k. Each shard prunes
+// against its own local κ, which is never tighter than the global one, so
+// no true neighbor can be lost; the merge of per-shard top-k lists is
+// therefore exact. Total work is slightly higher than single-threaded
+// Search (local κ prunes later), traded for parallel column scanning.
+//
+// shards < 2 falls back to Search. The Stats of the shard searches are
+// summed; Steps are omitted (they are per-shard quantities).
+func SearchParallel(s *vstore.Store, q []float64, opts Options, shards int) (Result, error) {
+	if shards < 2 {
+		return Search(s, q, opts)
+	}
+	if err := opts.validate(s, q); err != nil {
+		return Result{}, err
+	}
+	n := s.Len()
+	if shards > n {
+		shards = n
+	}
+
+	type shardOut struct {
+		res Result
+		err error
+	}
+	outs := make([]shardOut, shards)
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			lo := sh * n / shards
+			hi := (sh + 1) * n / shards
+			// A shard excludes everything outside [lo, hi) plus the
+			// caller's own exclusions.
+			excl := bitmap.NewFull(n)
+			for id := lo; id < hi; id++ {
+				excl.Clear(id)
+			}
+			if opts.Exclude != nil {
+				excl.Or(opts.Exclude)
+			}
+			shardOpts := opts
+			shardOpts.Exclude = excl
+			res, err := Search(s, q, shardOpts)
+			if err == ErrNoCandidates {
+				// A fully-excluded shard contributes nothing.
+				outs[sh] = shardOut{res: Result{}}
+				return
+			}
+			outs[sh] = shardOut{res: res, err: err}
+		}(sh)
+	}
+	wg.Wait()
+
+	var merged Result
+	lists := make([][]topk.Result, 0, shards)
+	for sh, o := range outs {
+		if o.err != nil {
+			return Result{}, fmt.Errorf("core: shard %d: %w", sh, o.err)
+		}
+		lists = append(lists, o.res.Results)
+		merged.Stats.ValuesScanned += o.res.Stats.ValuesScanned
+		merged.Stats.FinalCandidates += o.res.Stats.FinalCandidates
+	}
+	empty := true
+	for _, l := range lists {
+		if len(l) > 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return Result{}, ErrNoCandidates
+	}
+	merged.Results = topk.Merge(opts.K, !opts.Criterion.Distance(), lists...)
+	return merged, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// Progressive is an incremental BOND search driven by the caller: each
+// Step processes one batch of columns and prunes, and the intermediate
+// candidate set is inspectable between steps. This supports the
+// interactive retrieval pattern the paper's introduction motivates — a UI
+// can show a shrinking candidate set, stop early with the current
+// approximate candidates, or run to completion for the exact answer.
+type Progressive struct {
+	e         *engine
+	processed int
+	step      int
+	finished  bool
+}
+
+// NewProgressive prepares an incremental search with the same options as
+// Search.
+func NewProgressive(s *vstore.Store, q []float64, opts Options) (*Progressive, error) {
+	if err := opts.validate(s, q); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(s, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Progressive{e: e, step: e.opts.Step}, nil
+}
+
+// Step processes the next batch of dimensions and prunes. It returns false
+// once every effective dimension has been processed (further calls are
+// no-ops).
+func (p *Progressive) Step() bool {
+	total := len(p.e.order)
+	if p.processed >= total {
+		p.finished = true
+		return false
+	}
+	p.processed, p.step = p.e.stepOnce(p.processed, p.step)
+	if p.processed >= total {
+		p.finished = true
+	}
+	return !p.finished
+}
+
+// DimsProcessed returns the number of columns read so far.
+func (p *Progressive) DimsProcessed() int { return p.processed }
+
+// DimsTotal returns the number of effective dimensions of the query.
+func (p *Progressive) DimsTotal() int { return len(p.e.order) }
+
+// NumCandidates returns the current candidate-set size.
+func (p *Progressive) NumCandidates() int { return len(p.e.cands) }
+
+// Candidates returns a copy of the current candidate ids.
+func (p *Progressive) Candidates() []int {
+	return append([]int(nil), p.e.cands...)
+}
+
+// CurrentBest ranks the current candidates by their partial scores — an
+// approximate preview that becomes the exact answer once Step has
+// exhausted the dimensions.
+func (p *Progressive) CurrentBest() []topk.Result {
+	return p.e.finish().Results
+}
+
+// Finish runs the remaining steps and returns the exact result, identical
+// to what Search would have produced.
+func (p *Progressive) Finish() Result {
+	for p.Step() {
+	}
+	p.e.stats.FinalCandidates = len(p.e.cands)
+	return p.e.finish()
+}
+
+// Stats returns the statistics accumulated so far.
+func (p *Progressive) Stats() Stats {
+	st := p.e.stats
+	st.FinalCandidates = len(p.e.cands)
+	return st
+}

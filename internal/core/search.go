@@ -1,0 +1,387 @@
+package core
+
+import (
+	"bond/internal/metric"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// Search runs BOND (Algorithm 2) over a vertically decomposed store and
+// returns the K best matches with exact scores, best first, together with
+// work statistics. Results are deterministic: ties in score break toward
+// the smaller vector id, exactly as in the sequential-scan baselines, so
+// BOND and a full scan always return identical answer sets.
+func Search(s *vstore.Store, q []float64, opts Options) (Result, error) {
+	if err := opts.validate(s, q); err != nil {
+		return Result{}, err
+	}
+	e, err := newEngine(s, q, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	e.run()
+	return e.finish(), nil
+}
+
+// engine holds the state of one search: the candidate ids, their partial
+// scores S⁻, and (for per-vector criteria) their remaining masses T(v⁺).
+// The three slices stay index-aligned through every compaction.
+type engine struct {
+	s       *vstore.Store
+	q       []float64
+	opts    Options
+	weights []float64 // effective weights (may be synthesized from Dims)
+	order   []int     // processing order over effective dimensions
+	k       int
+
+	cands []int
+	score []float64
+	tails []float64 // T(v⁺); only maintained when needTails
+
+	needTails bool
+	zeroDims  []int // zero-weight dimensions, permanent tail residents
+
+	processedQ float64 // T(q⁻) over processed dimensions (futility test)
+	stats      Stats
+}
+
+func newEngine(s *vstore.Store, q []float64, opts Options) (*engine, error) {
+	e := &engine{s: s, q: q, opts: opts}
+
+	e.weights = opts.Weights
+	if len(e.weights) == 0 && len(opts.Dims) > 0 && opts.Criterion.Distance() {
+		// A subspace query is weighted search with 0/1 weights (Section 8.1).
+		e.weights = make([]float64, s.Dims())
+		for _, d := range opts.Dims {
+			e.weights[d] = 1
+		}
+	}
+	e.order = buildOrder(q, e.weights, opts.Dims, opts.Order, opts.Seed, opts.Criterion.Distance())
+	if len(e.weights) > 0 {
+		for d, w := range e.weights {
+			if w == 0 {
+				e.zeroDims = append(e.zeroDims, d)
+			}
+		}
+	}
+
+	deleted := s.DeletedBitmap()
+	e.cands = make([]int, 0, s.Live())
+	for id := 0; id < s.Len(); id++ {
+		if deleted.Get(id) {
+			continue
+		}
+		if opts.Exclude != nil && opts.Exclude.Get(id) {
+			continue
+		}
+		e.cands = append(e.cands, id)
+	}
+	if len(e.cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	e.k = opts.K
+	if e.k > len(e.cands) {
+		e.k = len(e.cands)
+	}
+
+	e.score = make([]float64, len(e.cands))
+	e.needTails = opts.Criterion == Hh || opts.Criterion == Ev
+	if e.needTails {
+		totals := s.Totals()
+		e.tails = make([]float64, len(e.cands))
+		for i, id := range e.cands {
+			e.tails[i] = totals[id]
+		}
+	}
+	return e, nil
+}
+
+// run is the Algorithm 2 loop: accumulate a batch of m columns, derive
+// bounds, prune, repeat. Once the candidate set is down to k, the loop
+// keeps accumulating (each remaining column is read for only k vectors,
+// via positional lookup) so the returned scores are exact.
+func (e *engine) run() {
+	total := len(e.order)
+	step := e.opts.Step
+	for processed := 0; processed < total; {
+		processed, step = e.stepOnce(processed, step)
+	}
+	e.stats.FinalCandidates = len(e.cands)
+}
+
+// stepOnce executes one iteration of the loop: accumulate a batch, then
+// prune (unless the candidate set is already at k or the columns are
+// exhausted). It returns the new position and the next stride, which
+// AdaptiveStep may have widened (Section 5.2's dynamic-m variant: once a
+// pruning attempt removes almost nothing, the per-step overhead no longer
+// pays, so the stride doubles; a productive step resets it).
+func (e *engine) stepOnce(processed, step int) (int, int) {
+	total := len(e.order)
+	next := processed + step
+	if next > total {
+		next = total
+	}
+	e.accumulate(processed, next)
+	if next >= total || len(e.cands) <= e.k {
+		return next, step
+	}
+	before := len(e.cands)
+	e.pruneStep(next)
+	if e.opts.AdaptiveStep {
+		prunedFrac := float64(before-len(e.cands)) / float64(before)
+		if prunedFrac < e.opts.AdaptiveThreshold {
+			step *= 2
+		} else {
+			step = e.opts.Step
+		}
+	}
+	return next, step
+}
+
+// accumulate folds columns order[from:to] into the partial scores, and
+// maintains the remaining masses for per-vector criteria. The inner loops
+// are specialized per metric to keep the hot path branch-free.
+func (e *engine) accumulate(from, to int) {
+	for _, d := range e.order[from:to] {
+		col := e.s.Column(d)
+		qd := e.q[d]
+		switch {
+		case !e.opts.Criterion.Distance() && len(e.weights) > 0:
+			// Weighted histogram intersection (Section 8.2): w·min(h, q).
+			// processedQ tracks the weighted query mass so the futility
+			// test compares like with like.
+			w := e.weights[d]
+			for ci, id := range e.cands {
+				v := col[id]
+				if v < qd {
+					e.score[ci] += w * v
+				} else {
+					e.score[ci] += w * qd
+				}
+			}
+			e.processedQ += w*qd - qd // the shared line below adds plain qd
+		case !e.opts.Criterion.Distance():
+			if e.needTails {
+				for ci, id := range e.cands {
+					v := col[id]
+					if v < qd {
+						e.score[ci] += v
+					} else {
+						e.score[ci] += qd
+					}
+					e.tails[ci] -= v
+				}
+			} else {
+				for ci, id := range e.cands {
+					v := col[id]
+					if v < qd {
+						e.score[ci] += v
+					} else {
+						e.score[ci] += qd
+					}
+				}
+			}
+		case len(e.weights) > 0:
+			w := e.weights[d]
+			if e.needTails {
+				for ci, id := range e.cands {
+					v := col[id]
+					diff := v - qd
+					e.score[ci] += w * diff * diff
+					e.tails[ci] -= v
+				}
+			} else {
+				for ci, id := range e.cands {
+					diff := col[id] - qd
+					e.score[ci] += w * diff * diff
+				}
+			}
+		default:
+			if e.needTails {
+				for ci, id := range e.cands {
+					v := col[id]
+					diff := v - qd
+					e.score[ci] += diff * diff
+					e.tails[ci] -= v
+				}
+			} else {
+				for ci, id := range e.cands {
+					diff := col[id] - qd
+					e.score[ci] += diff * diff
+				}
+			}
+		}
+		e.processedQ += qd
+		e.stats.ValuesScanned += int64(len(e.cands))
+	}
+}
+
+// qTail gathers the query values of the unprocessed dimensions, appending
+// the permanent zero-weight residents for weighted bounds.
+func (e *engine) qTail(processed int, withZeros bool) []float64 {
+	rem := e.order[processed:]
+	n := len(rem)
+	if withZeros {
+		n += len(e.zeroDims)
+	}
+	out := make([]float64, 0, n)
+	for _, d := range rem {
+		out = append(out, e.q[d])
+	}
+	if withZeros {
+		for _, d := range e.zeroDims {
+			out = append(out, e.q[d])
+		}
+	}
+	return out
+}
+
+// wTail gathers the weights matching qTail(processed, true).
+func (e *engine) wTail(processed int) []float64 {
+	rem := e.order[processed:]
+	out := make([]float64, 0, len(rem)+len(e.zeroDims))
+	for _, d := range rem {
+		out = append(out, e.weights[d])
+	}
+	for range e.zeroDims {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// pruneStep is step 2–4 of Algorithm 2: derive Smin and Smax from the
+// partial scores and tail bounds, determine κ with a kfetch, and remove
+// every candidate whose best case cannot reach it.
+func (e *engine) pruneStep(processed int) {
+	stat := StepStat{DimsProcessed: processed}
+	before := len(e.cands)
+
+	keep := make([]bool, before)
+	switch e.opts.Criterion {
+	case Hq:
+		var tq float64
+		if len(e.weights) > 0 {
+			// Weighted tail bound: Σ w_i·min(h_i,q_i) ≤ Σ w_i·q_i over the
+			// remaining dimensions (zero-weight dimensions never appear in
+			// the order, so they contribute nothing).
+			for _, d := range e.order[processed:] {
+				tq += e.weights[d] * e.q[d]
+			}
+		} else {
+			tq = metric.NewHistTail(e.qTail(processed, false)).HqUpper()
+		}
+		// Section 5.2: Hq cannot prune until T(q⁻) > T(q⁺) (κ ≤ T(q⁻), and
+		// a candidate is pruned only when its zero-floor best case
+		// S⁻ + T(q⁺) < κ, which needs κ > T(q⁺)).
+		if !e.opts.DisableFutileSkip && e.processedQ <= tq {
+			stat.Skipped = true
+			stat.Candidates = before
+			e.stats.Steps = append(e.stats.Steps, stat)
+			return
+		}
+		kappa := topk.KthLargest(e.score, e.k) // κmin over Smin = S⁻
+		for ci := range keep {
+			keep[ci] = e.score[ci]+tq >= kappa
+		}
+	case Hh:
+		tail := metric.NewHistTail(e.qTail(processed, false))
+		// In subspace mode the tracked tail mass covers all dimensions, an
+		// overestimate of the subspace tail: the upper bound stays valid
+		// but the Eq. 8 lower bound would not, so it falls back to zero.
+		subspace := len(e.opts.Dims) > 0
+		smin := make([]float64, before)
+		for ci := range smin {
+			lo := 0.0
+			if !subspace {
+				lo = tail.HhLower(e.tails[ci])
+			}
+			smin[ci] = e.score[ci] + lo
+		}
+		kappa := topk.KthLargest(smin, e.k)
+		for ci := range keep {
+			keep[ci] = e.score[ci]+tail.HhUpper(e.tails[ci]) >= kappa
+		}
+	case Eq:
+		var bound float64
+		if len(e.weights) > 0 {
+			bound = metric.NewWeightedTail(e.qTail(processed, true), e.wTail(processed)).UpperConst()
+		} else {
+			tail := metric.NewEucTail(e.qTail(processed, false))
+			if e.opts.NormalizedData {
+				bound = tail.EqUpperNormalized()
+			} else {
+				bound = tail.EqUpper()
+			}
+		}
+		// Smin = S⁻; Smax = S⁻ + bound: κmax = (k-th smallest S⁻) + bound.
+		kappa := topk.KthSmallest(e.score, e.k) + bound
+		for ci := range keep {
+			keep[ci] = e.score[ci] <= kappa
+		}
+	case Ev:
+		if len(e.weights) > 0 {
+			tail := metric.NewWeightedTail(e.qTail(processed, true), e.wTail(processed))
+			smax := make([]float64, before)
+			for ci := range smax {
+				smax[ci] = e.score[ci] + tail.Upper(e.tails[ci])
+			}
+			kappa := topk.KthSmallest(smax, e.k)
+			for ci := range keep {
+				keep[ci] = e.score[ci]+tail.Lower(e.tails[ci]) <= kappa
+			}
+		} else {
+			tail := metric.NewEucTail(e.qTail(processed, false))
+			smax := make([]float64, before)
+			for ci := range smax {
+				smax[ci] = e.score[ci] + tail.EvUpper(e.tails[ci])
+			}
+			kappa := topk.KthSmallest(smax, e.k)
+			for ci := range keep {
+				keep[ci] = e.score[ci]+tail.EvLower(e.tails[ci]) <= kappa
+			}
+		}
+	}
+
+	e.compact(keep)
+	stat.Candidates = len(e.cands)
+	stat.Pruned = before - len(e.cands)
+	e.stats.Steps = append(e.stats.Steps, stat)
+	if len(e.cands) <= e.k && e.stats.DimsUntilK == 0 {
+		e.stats.DimsUntilK = processed
+	}
+}
+
+// compact removes pruned candidates from the aligned slices in place.
+func (e *engine) compact(keep []bool) {
+	out := 0
+	for ci, ok := range keep {
+		if !ok {
+			continue
+		}
+		e.cands[out] = e.cands[ci]
+		e.score[out] = e.score[ci]
+		if e.needTails {
+			e.tails[out] = e.tails[ci]
+		}
+		out++
+	}
+	e.cands = e.cands[:out]
+	e.score = e.score[:out]
+	if e.needTails {
+		e.tails = e.tails[:out]
+	}
+}
+
+// finish ranks the surviving candidates by their now-exact scores.
+func (e *engine) finish() Result {
+	var h *topk.Heap
+	if e.opts.Criterion.Distance() {
+		h = topk.NewSmallest(e.k)
+	} else {
+		h = topk.NewLargest(e.k)
+	}
+	for ci, id := range e.cands {
+		h.Push(id, e.score[ci])
+	}
+	return Result{Results: h.Results(), Stats: e.stats}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "sort"
+
+// Usefulness quantifies how promising a query is for branch-and-bound
+// pruning, realizing the paper's Section 9 proposal that "the search
+// quality may not be simply a parameter of a dimensional subset, but
+// depend on a distribution of weights on all dimensions": it is the Gini
+// coefficient of the query's per-dimension maximal score contributions —
+// 0 for a perfectly uniform query (hostile: the best partial solutions
+// after half the dimensions may still turn out worst overall, Section 7.5)
+// and approaching 1 when few dimensions dominate (the regime where BOND
+// prunes almost everything early).
+//
+// The contribution of dimension d is w_d·q_d for histogram intersection
+// (the most a vector can score there) and w_d·max(q_d, 1−q_d)² for
+// Euclidean criteria (the most distance a vector can accumulate there).
+// weights may be nil for unweighted queries. A subspace query contributes
+// zeros outside its subspace, so narrow subspaces score as highly skewed —
+// consistent with the paper's observation that subspace search is the
+// degenerate case of weighted search.
+func Usefulness(q, weights []float64, criterion Criterion) float64 {
+	contrib := make([]float64, len(q))
+	for d, qd := range q {
+		w := 1.0
+		if len(weights) > 0 {
+			w = weights[d]
+		}
+		if criterion.Distance() {
+			m := qd
+			if 1-qd > m {
+				m = 1 - qd
+			}
+			contrib[d] = w * m * m
+		} else {
+			contrib[d] = w * qd
+		}
+	}
+	return gini(contrib)
+}
+
+// gini computes the Gini coefficient of a non-negative vector.
+func gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for _, x := range sorted {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	var lorenz float64
+	for _, x := range sorted {
+		cum += x
+		lorenz += cum / total
+	}
+	n := float64(len(sorted))
+	return 1 - (2*lorenz-1)/n
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"bond/internal/dataset"
+	"bond/internal/vstore"
+)
+
+func TestUsefulnessExtremes(t *testing.T) {
+	uniform := make([]float64, 64)
+	for i := range uniform {
+		uniform[i] = 1.0 / 64
+	}
+	if u := Usefulness(uniform, nil, Hq); u > 0.01 {
+		t.Errorf("uniform query usefulness = %v, want ~0", u)
+	}
+	point := make([]float64, 64)
+	point[7] = 1
+	if u := Usefulness(point, nil, Hq); u < 0.9 {
+		t.Errorf("point-mass query usefulness = %v, want ~1", u)
+	}
+	if u := Usefulness(nil, nil, Hq); u != 0 {
+		t.Errorf("empty query usefulness = %v", u)
+	}
+	zero := make([]float64, 8)
+	if u := Usefulness(zero, nil, Hq); u != 0 {
+		t.Errorf("zero query usefulness = %v", u)
+	}
+}
+
+func TestUsefulnessWeightsIncreaseSkew(t *testing.T) {
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = 0.5 // uniform mid-range query: hostile unweighted
+	}
+	flat := Usefulness(q, nil, Ev)
+	skewed := Usefulness(q, dataset.WeightsZipf(64, 3, 1), Ev)
+	if skewed <= flat+0.3 {
+		t.Errorf("weighted usefulness %v not well above unweighted %v", skewed, flat)
+	}
+}
+
+func TestUsefulnessSubspaceViaZeroWeights(t *testing.T) {
+	q := make([]float64, 100)
+	for i := range q {
+		q[i] = 0.5
+	}
+	w := make([]float64, 100)
+	for i := 0; i < 5; i++ {
+		w[i] = 1 // 5-dim subspace
+	}
+	if u := Usefulness(q, w, Ev); u < 0.9 {
+		t.Errorf("narrow subspace usefulness = %v, want ~1", u)
+	}
+}
+
+// TestUsefulnessPredictsWork correlates the measure with actual pruning:
+// on the same collection, a skewed (useful) query must scan fewer values
+// than a uniform (hostile) one.
+func TestUsefulnessPredictsWork(t *testing.T) {
+	vs := dataset.CorelLike(1500, 48, 31)
+	store := vstore.FromVectors(vs)
+
+	skewedQ := vs[3] // Corel-like queries are Zipfian, hence skewed
+	uniformQ := make([]float64, 48)
+	for i := range uniformQ {
+		uniformQ[i] = 1.0 / 48
+	}
+	us, uu := Usefulness(skewedQ, nil, Hq), Usefulness(uniformQ, nil, Hq)
+	if us <= uu {
+		t.Fatalf("usefulness(skewed)=%v not above usefulness(uniform)=%v", us, uu)
+	}
+	rs, err := Search(store, skewedQ, Options{K: 10, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := Search(store, uniformQ, Options{K: 10, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Stats.ValuesScanned >= ru.Stats.ValuesScanned {
+		t.Errorf("useful query scanned %d ≥ hostile query %d",
+			rs.Stats.ValuesScanned, ru.Stats.ValuesScanned)
+	}
+}

@@ -1,0 +1,280 @@
+// Package dataset generates the synthetic data collections used by the
+// experiment harness.
+//
+// The paper evaluates BOND on two families of data:
+//
+//   - A real collection of 59,619 166-dimensional HSV color histograms from
+//     the Corel image database (Sections 7.1–7.4). That collection is
+//     proprietary, so CorelLike generates a statistical stand-in that
+//     reproduces the two shape properties the paper reports in Figure 2 and
+//     that BOND's pruning behaviour depends on: a strongly non-uniform mean
+//     value per bin, and a Zipfian per-histogram sorted-value profile with
+//     most bins (near-)empty, under exact normalization T(h) = 1.
+//
+//   - Synthetic clustered data (Section 7.5): 100,000 128-dimensional
+//     vectors in the unit hypercube; 1000 cluster centres whose coordinates
+//     follow a Zipfian distribution with skew parameter θ (θ = 0 means
+//     uniform); 95 % of the vectors Gaussian around a random centre and 5 %
+//     uniform noise. Clustered implements that construction directly from
+//     the paper's description.
+//
+// All generators are deterministic for a given seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks in {0, …, n−1} with probability proportional to
+// 1/(rank+1)^theta. theta = 0 degenerates to the uniform distribution.
+type Zipf struct {
+	cum []float64 // cumulative probabilities
+	rng *rand.Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with skew theta ≥ 0.
+// It panics if n < 1 or theta < 0.
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		panic(fmt.Sprintf("dataset: Zipf needs n >= 1, got %d", n))
+	}
+	if theta < 0 {
+		panic(fmt.Sprintf("dataset: Zipf skew must be >= 0, got %v", theta))
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// Draw samples a rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// Binary search for the first cumulative value >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] >= u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Normalize scales v in place so its elements sum to 1. Zero vectors get a
+// uniform distribution.
+func Normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		u := 1 / float64(len(v))
+		for i := range v {
+			v[i] = u
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// CorelLike generates n normalized dims-dimensional histograms whose shape
+// statistics mimic the paper's Corel HSV collection (Figure 2).
+//
+// Construction: a global Zipfian bin-popularity profile fixes which bins
+// tend to carry mass across the collection (Figure 2, top panel); each
+// histogram activates a small popularity-biased subset of bins and assigns
+// them Zipfian masses (Figure 2, bottom panel), then normalizes.
+func CorelLike(n, dims int, seed int64) [][]float64 {
+	if n < 1 || dims < 2 {
+		panic(fmt.Sprintf("dataset: CorelLike needs n >= 1, dims >= 2; got %d, %d", n, dims))
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Global bin popularity: Zipfian over a random permutation of the bins,
+	// so popular bins are scattered across the index range as in Fig. 2.
+	perm := rng.Perm(dims)
+	popularity := NewZipf(rng, dims, 1.0)
+
+	out := make([][]float64, n)
+	for im := 0; im < n; im++ {
+		h := make([]float64, dims)
+		// Number of active bins: small relative to dims, varying per image.
+		active := 4 + rng.Intn(max(2, dims/6))
+		if active > dims {
+			active = dims
+		}
+		// Per-image Zipf exponent in [0.9, 1.5): how peaked this image is.
+		z := 0.9 + 0.6*rng.Float64()
+		seen := make(map[int]bool, active)
+		rank := 0
+		for rank < active {
+			bin := perm[popularity.Draw()]
+			if seen[bin] {
+				continue
+			}
+			seen[bin] = true
+			// Mass of the (rank+1)-th strongest bin, with ±20 % jitter.
+			mass := 1 / math.Pow(float64(rank+1), z)
+			mass *= 0.8 + 0.4*rng.Float64()
+			h[bin] = mass
+			rank++
+		}
+		Normalize(h)
+		out[im] = h
+	}
+	return out
+}
+
+// ClusteredConfig parameterizes the Section 7.5 generator.
+type ClusteredConfig struct {
+	N         int     // number of vectors (paper: 100,000)
+	Dims      int     // dimensionality (paper: 128)
+	Clusters  int     // number of cluster centres (paper: 1000)
+	Theta     float64 // Zipf skew of centre coordinates (paper: 0 … 2)
+	NoiseFrac float64 // fraction of uniform-noise vectors (paper: 0.05)
+	Sigma     float64 // Gaussian spread around the centre (paper-style: small)
+	Seed      int64
+}
+
+// DefaultClustered returns the paper's Section 7.5 parameters at the given
+// size, skew, and seed.
+func DefaultClustered(n, dims int, theta float64, seed int64) ClusteredConfig {
+	return ClusteredConfig{
+		N: n, Dims: dims, Clusters: 1000, Theta: theta,
+		NoiseFrac: 0.05, Sigma: 0.025, Seed: seed,
+	}
+}
+
+// Clustered generates the Section 7.5 synthetic data: cluster centres with
+// Zipf(θ)-distributed coordinates in the unit hypercube, 1−NoiseFrac of the
+// vectors Gaussian around a random centre (clamped to [0,1]), and NoiseFrac
+// uniform noise.
+func Clustered(cfg ClusteredConfig) [][]float64 {
+	if cfg.N < 1 || cfg.Dims < 1 || cfg.Clusters < 1 {
+		panic(fmt.Sprintf("dataset: invalid clustered config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Centre coordinates: Zipf(θ) over a discrete grid of levels mapped to
+	// [0,1] (θ = 0 gives the uniform grid, as in the paper).
+	const levels = 100
+	zipf := NewZipf(rng, levels, cfg.Theta)
+	centers := make([][]float64, cfg.Clusters)
+	for c := range centers {
+		ctr := make([]float64, cfg.Dims)
+		for d := range ctr {
+			ctr[d] = (float64(zipf.Draw()) + rng.Float64()) / levels
+		}
+		centers[c] = ctr
+	}
+
+	out := make([][]float64, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		v := make([]float64, cfg.Dims)
+		if rng.Float64() < cfg.NoiseFrac {
+			for d := range v {
+				v[d] = rng.Float64()
+			}
+		} else {
+			ctr := centers[rng.Intn(cfg.Clusters)]
+			for d := range v {
+				v[d] = clamp01(ctr[d] + rng.NormFloat64()*cfg.Sigma)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Uniform generates n dims-dimensional vectors uniform in the unit
+// hypercube.
+func Uniform(n, dims int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dims)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// NormalizeAll normalizes every vector in place so each sums to 1, turning
+// an arbitrary non-negative collection into histograms.
+func NormalizeAll(vectors [][]float64) {
+	for _, v := range vectors {
+		Normalize(v)
+	}
+}
+
+// WeightsZipf generates a weight vector for weighted k-NN search
+// (Section 8.1): weights proportional to a Zipf(θ) profile over a random
+// permutation of the dimensions, normalized so that Σw = dims (the
+// convention under which Definition 3 reduces to Definition 2 at θ = 0).
+func WeightsZipf(dims int, theta float64, seed int64) []float64 {
+	if dims < 1 {
+		panic(fmt.Sprintf("dataset: WeightsZipf needs dims >= 1, got %d", dims))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(dims)
+	w := make([]float64, dims)
+	total := 0.0
+	for rank := 0; rank < dims; rank++ {
+		x := 1 / math.Pow(float64(rank+1), theta)
+		w[perm[rank]] = x
+		total += x
+	}
+	scale := float64(dims) / total
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}
+
+// SampleQueries picks nq query vectors from the collection without
+// replacement (the paper draws its query workload from the data set).
+// It returns copies, along with the source indexes.
+func SampleQueries(vectors [][]float64, nq int, seed int64) ([][]float64, []int) {
+	if nq > len(vectors) {
+		nq = len(vectors)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(vectors))[:nq]
+	out := make([][]float64, nq)
+	for i, j := range idx {
+		out[i] = append([]float64(nil), vectors[j]...)
+	}
+	return out, idx
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,300 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bond/internal/stats"
+)
+
+func TestZipfUniformAtThetaZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 10, 0)
+	counts := make([]int, 10)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	for r, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Errorf("rank %d frequency %v, want ~0.1", r, frac)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesOnLowRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 100, 1.5)
+	const draws = 20000
+	low := 0
+	for i := 0; i < draws; i++ {
+		if z.Draw() < 10 {
+			low++
+		}
+	}
+	if frac := float64(low) / draws; frac < 0.7 {
+		t.Errorf("top-10 ranks got %v of mass, want > 0.7 at theta=1.5", frac)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { NewZipf(rng, 0, 1) },
+		func() { NewZipf(rng, 5, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{2, 6}
+	Normalize(v)
+	if v[0] != 0.25 || v[1] != 0.75 {
+		t.Errorf("Normalize = %v", v)
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0.5 || z[1] != 0.5 {
+		t.Errorf("Normalize(zero) = %v, want uniform", z)
+	}
+}
+
+func TestCorelLikeNormalizedAndDeterministic(t *testing.T) {
+	a := CorelLike(50, 166, 42)
+	b := CorelLike(50, 166, 42)
+	for i, h := range a {
+		sum := 0.0
+		for _, x := range h {
+			if x < 0 {
+				t.Fatalf("negative bin value %v", x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("histogram %d sums to %v", i, sum)
+		}
+		for d := range h {
+			if h[d] != b[i][d] {
+				t.Fatal("generator not deterministic for equal seeds")
+			}
+		}
+	}
+	c := CorelLike(50, 166, 43)
+	same := true
+	for d := range a[0] {
+		if a[0][d] != c[0][d] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// TestCorelLikeShape verifies the two Figure 2 shape properties the
+// generator must reproduce: (1) a skewed mean-per-bin profile, (2) a
+// Zipfian (fast-decaying) per-histogram sorted profile where the top few
+// bins dominate and most bins are empty.
+func TestCorelLikeShape(t *testing.T) {
+	hs := CorelLike(500, 166, 7)
+
+	means := stats.MeanPerDimension(hs)
+	if g := stats.GiniCoefficient(means); g < 0.3 {
+		t.Errorf("mean-per-bin Gini = %v, want skewed (> 0.3)", g)
+	}
+
+	profile := stats.MeanSortedProfile(hs)
+	// Top bin carries a large share; by rank ~20 the mass is near zero.
+	if profile[0] < 0.2 {
+		t.Errorf("mean top-bin mass = %v, want > 0.2", profile[0])
+	}
+	if profile[40] > 0.01 {
+		t.Errorf("rank-40 mean mass = %v, want ~0 (most bins empty)", profile[40])
+	}
+	// Decay must be monotone (it is a mean of sorted rows).
+	for i := 1; i < len(profile); i++ {
+		if profile[i] > profile[i-1]+1e-12 {
+			t.Fatalf("sorted profile not monotone at %d", i)
+		}
+	}
+	// Zipf check: profile[0]/profile[3] should be roughly 4^z with z near 1.
+	ratio := profile[0] / math.Max(profile[3], 1e-12)
+	if ratio < 2 {
+		t.Errorf("decay ratio rank1/rank4 = %v, want >= 2 (Zipfian)", ratio)
+	}
+}
+
+func TestClusteredInUnitBoxAndSized(t *testing.T) {
+	cfg := DefaultClustered(300, 16, 1.0, 11)
+	vs := Clustered(cfg)
+	if len(vs) != 300 {
+		t.Fatalf("got %d vectors", len(vs))
+	}
+	for _, v := range vs {
+		if len(v) != 16 {
+			t.Fatalf("vector has %d dims", len(v))
+		}
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				t.Fatalf("coordinate %v outside unit box", x)
+			}
+		}
+	}
+}
+
+// TestClusteredHasClusterStructure verifies that most vectors have a very
+// close neighbor (their cluster siblings) compared to random pairs — the
+// property that makes k-NN "meaningful" per the paper's discussion of [3].
+func TestClusteredHasClusterStructure(t *testing.T) {
+	cfg := DefaultClustered(400, 8, 0, 5)
+	cfg.Clusters = 20 // few clusters so siblings are plentiful
+	vs := Clustered(cfg)
+
+	nnDist := func(i int) float64 {
+		best := math.Inf(1)
+		for j := range vs {
+			if j == i {
+				continue
+			}
+			d := sq(vs[i], vs[j])
+			if d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	var sumNN float64
+	for i := 0; i < 50; i++ {
+		sumNN += nnDist(i)
+	}
+	meanNN := sumNN / 50
+
+	rng := rand.New(rand.NewSource(1))
+	var sumRand float64
+	for i := 0; i < 50; i++ {
+		a, b := rng.Intn(len(vs)), rng.Intn(len(vs))
+		sumRand += sq(vs[a], vs[b])
+	}
+	meanRand := sumRand / 50
+	if meanNN > meanRand/4 {
+		t.Errorf("mean NN distance %v not ≪ mean random distance %v", meanNN, meanRand)
+	}
+}
+
+// TestClusteredSkewMovesCenters verifies that θ concentrates centre
+// coordinates near 0 (higher skew → lower coordinate mean).
+func TestClusteredSkewMovesCenters(t *testing.T) {
+	mean := func(theta float64) float64 {
+		vs := Clustered(DefaultClustered(500, 8, theta, 3))
+		s := 0.0
+		for _, v := range vs {
+			for _, x := range v {
+				s += x
+			}
+		}
+		return s / float64(len(vs)*8)
+	}
+	m0, m2 := mean(0), mean(2)
+	if m2 >= m0-0.05 {
+		t.Errorf("theta=2 coordinate mean %v not well below theta=0 mean %v", m2, m0)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	vs := Uniform(100, 4, 9)
+	m := stats.MeanPerDimension(vs)
+	for d, x := range m {
+		if math.Abs(x-0.5) > 0.12 {
+			t.Errorf("dim %d mean %v, want ~0.5", d, x)
+		}
+	}
+}
+
+func TestWeightsZipfNormalization(t *testing.T) {
+	for _, theta := range []float64{0, 1, 3} {
+		w := WeightsZipf(64, theta, 2)
+		sum := 0.0
+		for _, x := range w {
+			if x < 0 {
+				t.Fatalf("negative weight %v", x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-64) > 1e-9 {
+			t.Errorf("theta=%v: Σw = %v, want 64", theta, sum)
+		}
+	}
+	// θ = 0 must give uniform weights (Definition 3 ≡ Definition 2).
+	w := WeightsZipf(10, 0, 2)
+	for _, x := range w {
+		if math.Abs(x-1) > 1e-12 {
+			t.Errorf("theta=0 weight %v, want 1", x)
+		}
+	}
+	// High skew: top 10 % of dims must carry > 90 % of the weight
+	// (the regime Figure 11 identifies as profitable).
+	w = WeightsZipf(100, 3, 2)
+	sorted := append([]float64(nil), w...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	top := 0.0
+	for _, x := range sorted[:10] {
+		top += x
+	}
+	if top/100 < 0.9 {
+		t.Errorf("theta=3: top-10%% weight share = %v, want > 0.9", top/100)
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	vs := Uniform(20, 3, 1)
+	qs, idx := SampleQueries(vs, 5, 2)
+	if len(qs) != 5 || len(idx) != 5 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	seen := map[int]bool{}
+	for i, j := range idx {
+		if seen[j] {
+			t.Error("duplicate query index (sampling must be without replacement)")
+		}
+		seen[j] = true
+		for d := range qs[i] {
+			if qs[i][d] != vs[j][d] {
+				t.Error("query does not match source vector")
+			}
+		}
+	}
+	// Copies, not aliases.
+	qs[0][0] = -1
+	if vs[idx[0]][0] == -1 {
+		t.Error("SampleQueries must copy vectors")
+	}
+	// Oversampling clamps.
+	qs, _ = SampleQueries(vs, 100, 2)
+	if len(qs) != 20 {
+		t.Errorf("oversample returned %d", len(qs))
+	}
+}
+
+func sq(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+package metric
+
+import (
+	"math"
+	"sort"
+)
+
+// EucTail provides the tail bounds for squared Euclidean distance over a
+// given set of remaining (unprocessed) query dimensions. It covers the two
+// criteria of Section 4.3:
+//
+//   - Eq (Eq. 10): a constant upper bound on S(v⁺,q⁺) — the distance from
+//     q⁺ to the furthest corner of the remaining hyperspace — plus the
+//     stricter constant available when every vector is known to be
+//     normalized (T(v) = 1, as for the paper's histogram data set).
+//   - Ev (Lemmas 1 and 2): per-vector bounds that use the vector's
+//     remaining mass t = T(v⁺). The upper bound distributes t adversarially
+//     (all mass into the smallest remaining query values); the lower bound
+//     spreads the mass imbalance evenly. The lower bound is sharpened to
+//     the exact constrained minimum (the "stricter lower bound" of
+//     footnote 3) by water-filling against the box constraints, with
+//     breakpoints precomputed so each per-vector evaluation costs O(log r).
+//
+// Only the multiset of remaining query values matters for the bounds, so
+// NewEucTail accepts them in any order and sorts internally.
+type EucTail struct {
+	qs []float64 // remaining query values, sorted descending
+	r  int       // number of remaining dimensions
+	tq float64   // T(q⁺)
+
+	p1 []float64 // p1[c] = Σ_{i<c} qs[i]
+	p2 []float64 // p2[c] = Σ_{i<c} qs[i]²
+	s1 []float64 // s1[c] = Σ_{i<c} (1−qs[i])²
+
+	sumMaxSq float64 // Σ max(q_i, 1−q_i)²   (Eq. 10)
+	normCap  float64 // Eq-upper for normalized collections (T(v⁺) ≤ 1)
+
+	// Water-filling breakpoints for the exact lower bound.
+	// deficitBP[c] is the largest tail mass t for which exactly c
+	// dimensions stay positive when mass is removed evenly-with-clamping;
+	// surplusBP[c] is the largest t for which exactly c dimensions are
+	// clamped at 1 when mass is added.
+	deficitBP []float64
+	surplusBP []float64
+}
+
+// NewEucTail prepares Euclidean tail bounds for the remaining query values
+// qTail (the query coefficients of the not-yet-processed dimensions).
+func NewEucTail(qTail []float64) *EucTail {
+	r := len(qTail)
+	t := &EucTail{
+		qs: append([]float64(nil), qTail...),
+		r:  r,
+		p1: make([]float64, r+1),
+		p2: make([]float64, r+1),
+		s1: make([]float64, r+1),
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(t.qs)))
+	for i, q := range t.qs {
+		t.p1[i+1] = t.p1[i] + q
+		t.p2[i+1] = t.p2[i] + q*q
+		d := 1 - q
+		t.s1[i+1] = t.s1[i] + d*d
+		t.sumMaxSq += math.Max(q, 1-q) * math.Max(q, 1-q)
+	}
+	t.tq = t.p1[r]
+
+	// Stricter Eq bound for normalized vectors (T(v⁺) ≤ 1): the maximum of
+	// Σ(v_i−q_i)² over Σv_i = s ≤ 1, 0 ≤ v_i ≤ 1 is attained by placing all
+	// mass on one dimension (the objective is convex, so the maximum sits at
+	// a vertex), and s(s−2q_j) is maximized at s = 1 for the smallest q_j
+	// (or s = 0 when every remaining q_j > 1/2). Hence:
+	// Σ q_i² + max(0, (1−qmin)² − qmin²).
+	t.normCap = t.p2[r]
+	if r > 0 {
+		qmin := t.qs[r-1]
+		gain := (1-qmin)*(1-qmin) - qmin*qmin
+		if gain > 0 {
+			t.normCap += gain
+		}
+	}
+
+	// Deficit breakpoints: removing mass from q⁺ down to total t keeps the
+	// c largest coordinates positive while λ = (p1[c]−t)/c ∈ [qs[c], qs[c−1});
+	// the boundary λ = qs[c] corresponds to t = p1[c] − c·qs[c].
+	t.deficitBP = make([]float64, r+1)
+	for c := 1; c <= r; c++ {
+		qc := 0.0
+		if c < r {
+			qc = t.qs[c]
+		}
+		t.deficitBP[c] = t.p1[c] - float64(c)*qc
+	}
+	if r > 0 {
+		t.deficitBP[r] = t.tq // full support up to t = T(q⁺)
+	}
+
+	// Surplus breakpoints: adding mass clamps the c largest coordinates at 1
+	// while λ = (t−c−(T−p1[c]))/(r−c) ∈ [1−qs[c−1], 1−qs[c]); the boundary
+	// λ = 1−qs[c] corresponds to t = c + (T−p1[c]) + (r−c)(1−qs[c]).
+	t.surplusBP = make([]float64, r+1)
+	for c := 0; c < r; c++ {
+		t.surplusBP[c] = float64(c) + (t.tq - t.p1[c]) + float64(r-c)*(1-t.qs[c])
+	}
+	if r > 0 {
+		t.surplusBP[r] = float64(r)
+	}
+	return t
+}
+
+// R returns the number of remaining dimensions.
+func (t *EucTail) R() int { return t.r }
+
+// TQ returns T(q⁺), the total remaining query mass.
+func (t *EucTail) TQ() float64 { return t.tq }
+
+// EqUpper returns the constant worst-corner upper bound of Eq. 10:
+// Σ max(q_i, 1−q_i)².
+func (t *EucTail) EqUpper() float64 { return t.sumMaxSq }
+
+// EqUpperNormalized returns the stricter constant upper bound valid when
+// every data vector is normalized (T(v) = 1, hence T(v⁺) ≤ 1), used by the
+// paper for its histogram data set (Section 7.1).
+func (t *EucTail) EqUpperNormalized() float64 { return t.normCap }
+
+// clampT restricts a tail mass to its feasible range [0, r], absorbing
+// small floating-point drift from the incremental tail maintenance.
+func (t *EucTail) clampT(tv float64) float64 {
+	if tv < 0 {
+		return 0
+	}
+	if tv > float64(t.r) {
+		return float64(t.r)
+	}
+	return tv
+}
+
+// EvUpper returns the Lemma 1 upper bound on S(v⁺,q⁺) for a vector whose
+// remaining mass is tv = T(v⁺): the distance is maximized by filling the
+// dimensions with the smallest remaining query values to 1 (⌊tv⌋ of them),
+// placing the fractional remainder on the next smallest, and zero elsewhere.
+func (t *EucTail) EvUpper(tv float64) float64 {
+	if t.r == 0 {
+		return 0
+	}
+	tv = t.clampT(tv)
+	ones := int(math.Floor(tv))
+	if ones >= t.r {
+		return t.s1[t.r] // every remaining dimension is 1
+	}
+	u := tv - float64(ones)
+	l := t.r - ones - 1 // 0-based index of the fractional dimension
+	d := u - t.qs[l]
+	return t.p2[l] + d*d + (t.s1[t.r] - t.s1[l+1])
+}
+
+// EvLowerSimple returns the Lemma 2 lower bound (T(v⁺)−T(q⁺))²/r, which
+// spreads the mass imbalance evenly without regard to feasibility.
+func (t *EucTail) EvLowerSimple(tv float64) float64 {
+	if t.r == 0 {
+		return 0
+	}
+	tv = t.clampT(tv)
+	d := tv - t.tq
+	return d * d / float64(t.r)
+}
+
+// EvLower returns the exact minimum of Σ(v_i−q_i)² over all feasible tails
+// (Σ v_i = tv, 0 ≤ v_i ≤ 1). It equals the Lemma 2 bound whenever the even
+// spread is feasible and is strictly tighter otherwise — the "stricter
+// lower bound" cases of footnote 3 — computed by water-filling against the
+// violated box constraint in O(log r).
+func (t *EucTail) EvLower(tv float64) float64 {
+	if t.r == 0 {
+		return 0
+	}
+	tv = t.clampT(tv)
+	diff := (tv - t.tq) / float64(t.r)
+	qmin := t.qs[t.r-1]
+	qmax := t.qs[0]
+	if qmin+diff >= 0 && qmax+diff <= 1 {
+		// Even spread feasible: Lemma 2 is exact.
+		d := tv - t.tq
+		return d * d / float64(t.r)
+	}
+	if diff < 0 {
+		return t.deficitLower(tv)
+	}
+	return t.surplusLower(tv)
+}
+
+// deficitLower solves min Σ(v_i−q_i)² s.t. Σv = tv, v ≥ 0 (tv < T(q⁺)):
+// v_i = max(0, q_i − λ). The c largest coordinates stay positive where c is
+// the smallest count with deficitBP[c] ≥ tv.
+func (t *EucTail) deficitLower(tv float64) float64 {
+	// Find smallest c in [1, r] with deficitBP[c] >= tv.
+	c := sort.Search(t.r, func(i int) bool { return t.deficitBP[i+1] >= tv }) + 1
+	if c > t.r {
+		c = t.r
+	}
+	lambda := (t.p1[c] - tv) / float64(c)
+	if lambda < 0 {
+		lambda = 0
+	}
+	// c active coordinates each at distance λ; the rest zeroed at cost q_i².
+	return float64(c)*lambda*lambda + (t.p2[t.r] - t.p2[c])
+}
+
+// surplusLower solves min Σ(v_i−q_i)² s.t. Σv = tv, v ≤ 1 (tv > T(q⁺)):
+// v_i = min(1, q_i + λ). The c largest coordinates clamp at 1 where c is
+// the smallest count with surplusBP[c] ≥ tv.
+func (t *EucTail) surplusLower(tv float64) float64 {
+	c := sort.Search(t.r+1, func(i int) bool { return t.surplusBP[i] >= tv })
+	if c > t.r {
+		c = t.r
+	}
+	if c == t.r {
+		return t.s1[t.r]
+	}
+	lambda := (tv - float64(c) - (t.tq - t.p1[c])) / float64(t.r-c)
+	if lambda < 0 {
+		lambda = 0
+	}
+	return t.s1[c] + float64(t.r-c)*lambda*lambda
+}

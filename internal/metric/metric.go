@@ -1,0 +1,93 @@
+// Package metric implements the similarity metrics of the BOND paper and
+// the branch-and-bound pruning bounds derived for them.
+//
+// Two metrics are covered, following Section 3.2 of the paper:
+//
+//   - Histogram intersection (Definition 1): Sim(h,q) = Σ min(h_i, q_i)
+//     over normalized histograms (T(h) = 1). Larger is more similar.
+//   - (Squared) Euclidean distance (Definition 2): δ(v,q) = Σ (v_i − q_i)²
+//     over vectors in the unit hyper-box. Smaller is more similar.
+//
+// plus the weighted Euclidean distance of Definition 3 (Appendix A).
+//
+// For each metric the package derives the upper and lower bounds on the
+// still-unseen tail S(x⁺, q⁺) that Algorithm 2 needs:
+//
+//   - Hq (Eq. 5):  0 ≤ S(h⁺,q⁺) ≤ T(q⁺), constants per iteration.
+//   - Hh (Eq. 7–8): per-vector bounds using the vector's tail mass T(h⁺).
+//   - Eq (Eq. 10): constant worst-corner upper bound, plus the stricter
+//     variant available when every vector is known to be normalized.
+//   - Ev (Lemmas 1–2, Eq. 11–12): per-vector bounds using T(v⁺), with the
+//     stricter feasibility-clamped lower bound from footnote 3.
+//   - Weighted Ev (Eq. 14–15): the Appendix A extension.
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// HistIntersect returns the histogram intersection Σ min(h_i, q_i)
+// (Definition 1). It panics if the vectors differ in length.
+func HistIntersect(h, q []float64) float64 {
+	if len(h) != len(q) {
+		panic(fmt.Sprintf("metric: length mismatch %d vs %d", len(h), len(q)))
+	}
+	s := 0.0
+	for i, hi := range h {
+		s += math.Min(hi, q[i])
+	}
+	return s
+}
+
+// SqEuclidean returns the squared Euclidean distance Σ (v_i − q_i)²
+// (Definition 2). It panics if the vectors differ in length.
+func SqEuclidean(v, q []float64) float64 {
+	if len(v) != len(q) {
+		panic(fmt.Sprintf("metric: length mismatch %d vs %d", len(v), len(q)))
+	}
+	s := 0.0
+	for i, vi := range v {
+		d := vi - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// WeightedSqEuclidean returns Σ w_i (v_i − q_i)² (Definition 3). It panics
+// if the slice lengths disagree.
+func WeightedSqEuclidean(v, q, w []float64) float64 {
+	if len(v) != len(q) || len(v) != len(w) {
+		panic(fmt.Sprintf("metric: length mismatch v=%d q=%d w=%d", len(v), len(q), len(w)))
+	}
+	s := 0.0
+	for i, vi := range v {
+		d := vi - q[i]
+		s += w[i] * d * d
+	}
+	return s
+}
+
+// EuclideanSim converts a squared Euclidean distance into the similarity of
+// Equation 3: Sim = 1 − sqrt(δ/N). N is the dimensionality.
+func EuclideanSim(sqDist float64, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("metric: non-positive dimensionality %d", n))
+	}
+	return 1 - math.Sqrt(sqDist/float64(n))
+}
+
+// Sum returns T(x) = Σ x_i.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// IsNormalized reports whether T(x) is within eps of 1, the precondition on
+// histogram collections (∀h ∈ H: T(h) = 1).
+func IsNormalized(x []float64, eps float64) bool {
+	return math.Abs(Sum(x)-1) <= eps
+}

@@ -1,0 +1,111 @@
+package metric
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestHistIntersectBasics(t *testing.T) {
+	h := []float64{0.5, 0.3, 0.2}
+	q := []float64{0.2, 0.5, 0.3}
+	// min: 0.2 + 0.3 + 0.2 = 0.7
+	if got := HistIntersect(h, q); !almostEqual(got, 0.7, 1e-12) {
+		t.Errorf("HistIntersect = %v, want 0.7", got)
+	}
+}
+
+func TestHistIntersectIdenticalIsOne(t *testing.T) {
+	h := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := HistIntersect(h, h); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("self intersection = %v, want 1", got)
+	}
+}
+
+func TestHistIntersectDisjointIsZero(t *testing.T) {
+	h := []float64{1, 0}
+	q := []float64{0, 1}
+	if got := HistIntersect(h, q); got != 0 {
+		t.Errorf("disjoint intersection = %v, want 0", got)
+	}
+}
+
+func TestHistIntersectSymmetric(t *testing.T) {
+	h := []float64{0.6, 0.1, 0.3}
+	q := []float64{0.2, 0.7, 0.1}
+	if HistIntersect(h, q) != HistIntersect(q, h) {
+		t.Error("histogram intersection must be symmetric")
+	}
+}
+
+func TestHistIntersectPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	HistIntersect([]float64{1}, []float64{1, 2})
+}
+
+func TestSqEuclideanBasics(t *testing.T) {
+	v := []float64{0, 0}
+	q := []float64{0.3, 0.4}
+	if got := SqEuclidean(v, q); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("SqEuclidean = %v, want 0.25", got)
+	}
+	if got := SqEuclidean(q, q); got != 0 {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+func TestSqEuclideanSymmetric(t *testing.T) {
+	v := []float64{0.1, 0.9, 0.5}
+	q := []float64{0.7, 0.2, 0.4}
+	if SqEuclidean(v, q) != SqEuclidean(q, v) {
+		t.Error("squared Euclidean must be symmetric")
+	}
+}
+
+func TestWeightedSqEuclidean(t *testing.T) {
+	v := []float64{0, 1}
+	q := []float64{1, 0}
+	w := []float64{2, 3}
+	if got := WeightedSqEuclidean(v, q, w); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("WeightedSqEuclidean = %v, want 5", got)
+	}
+}
+
+func TestWeightedReducesToUnweighted(t *testing.T) {
+	v := []float64{0.1, 0.4, 0.8}
+	q := []float64{0.5, 0.5, 0.2}
+	w := []float64{1, 1, 1}
+	if got, want := WeightedSqEuclidean(v, q, w), SqEuclidean(v, q); !almostEqual(got, want, 1e-12) {
+		t.Errorf("unit weights: %v != %v", got, want)
+	}
+}
+
+func TestEuclideanSim(t *testing.T) {
+	// Equation 3: Sim = 1 − sqrt(δ/N). Maximum distance N gives Sim 0.
+	if got := EuclideanSim(4, 4); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Sim(max dist) = %v, want 0", got)
+	}
+	if got := EuclideanSim(0, 4); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Sim(0) = %v, want 1", got)
+	}
+	if got := EuclideanSim(1, 4); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Sim(1,N=4) = %v, want 0.5", got)
+	}
+}
+
+func TestSumAndIsNormalized(t *testing.T) {
+	if got := Sum([]float64{0.2, 0.3, 0.5}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Sum = %v", got)
+	}
+	if !IsNormalized([]float64{0.5, 0.5}, 1e-9) {
+		t.Error("normalized vector not recognized")
+	}
+	if IsNormalized([]float64{0.5, 0.6}, 1e-9) {
+		t.Error("unnormalized vector accepted")
+	}
+}

@@ -1,0 +1,453 @@
+// Package multifeature implements complex (multi-feature) k-NN queries
+// over several vertically decomposed feature collections (Section 8.2).
+//
+// A multi-feature query asks, e.g., for images similar to image A in color
+// and to image B in texture: each feature collection stores one vector per
+// object, and the global similarity is a monotone aggregate of the
+// per-feature similarities (a weighted average, or a fuzzy-logic min/max).
+//
+// Because every feature collection is vertically fragmented, BOND can
+// integrate the per-feature ranking and the merging step: it processes the
+// union of all features' dimensions in one branch-and-bound loop
+// ("synchronized search"), bounding the global score of every object by
+// aggregating the per-feature partial scores and tail bounds. The paper
+// found this 20 % faster than stream merging for the average aggregate and
+// 70 % faster for min (Section 8.2); package streammerge provides that
+// comparator.
+package multifeature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"bond/internal/metric"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// FeatureMetric selects the similarity metric of one query component —
+// Section 8.2 explicitly supports "queries having different similarity
+// metrics for each component, provided that the global similarity is well
+// defined from the merging of the individual ones".
+type FeatureMetric int
+
+const (
+	// MetricHistogram scores a component by histogram intersection
+	// (Definition 1). The default.
+	MetricHistogram FeatureMetric = iota
+	// MetricEuclidean scores a component by the Euclidean similarity of
+	// Equation 3: Sim = 1 − sqrt(δ/N), so all components share the [0, 1]
+	// similarity scale and any monotone aggregate applies.
+	MetricEuclidean
+)
+
+// String names the metric.
+func (m FeatureMetric) String() string {
+	switch m {
+	case MetricHistogram:
+		return "histogram"
+	case MetricEuclidean:
+		return "euclidean"
+	}
+	return fmt.Sprintf("FeatureMetric(%d)", int(m))
+}
+
+// Feature is one component of a multi-feature query: a decomposed
+// collection, the query vector for it, its weight in the aggregate, and
+// its similarity metric.
+type Feature struct {
+	Store  *vstore.Store
+	Query  []float64
+	Weight float64
+	Metric FeatureMetric
+}
+
+// Aggregate combines per-feature similarities into a global score.
+// All supported aggregates are monotone, the property BOND's bound
+// aggregation relies on.
+type Aggregate int
+
+const (
+	// WeightedAvg is Σ w_f · s_f / Σ w_f (arithmetic aggregate [9]).
+	WeightedAvg Aggregate = iota
+	// MinAgg is the fuzzy-logic conjunction min_f s_f [7, 15].
+	MinAgg
+	// MaxAgg is the fuzzy-logic disjunction max_f s_f.
+	MaxAgg
+)
+
+// String names the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case WeightedAvg:
+		return "avg"
+	case MinAgg:
+		return "min"
+	case MaxAgg:
+		return "max"
+	}
+	return fmt.Sprintf("Aggregate(%d)", int(a))
+}
+
+// Combine applies the aggregate to per-feature scores.
+func (a Aggregate) Combine(scores, weights []float64) float64 {
+	switch a {
+	case WeightedAvg:
+		var s, w float64
+		for f, x := range scores {
+			s += weights[f] * x
+			w += weights[f]
+		}
+		if w == 0 {
+			return 0
+		}
+		return s / w
+	case MinAgg:
+		m := math.Inf(1)
+		for _, x := range scores {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	case MaxAgg:
+		m := math.Inf(-1)
+		for _, x := range scores {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	panic(fmt.Sprintf("multifeature: unknown aggregate %d", int(a)))
+}
+
+// Options configures a synchronized multi-feature search.
+type Options struct {
+	// K is the number of results. Required, ≥ 1.
+	K int
+	// Agg selects the aggregate. Default WeightedAvg.
+	Agg Aggregate
+	// Step is the pruning granularity over the union of all features'
+	// dimensions. Default 8.
+	Step int
+}
+
+// Stats describes the work performed.
+type Stats struct {
+	ValuesScanned   int64
+	Steps           []StepStat
+	FinalCandidates int
+}
+
+// StepStat records one pruning iteration.
+type StepStat struct {
+	DimsProcessed int
+	Candidates    int
+}
+
+// Result is a completed multi-feature search.
+type Result struct {
+	Results []topk.Result
+	Stats   Stats
+}
+
+// Validation errors.
+var (
+	ErrNoFeatures   = errors.New("multifeature: at least one feature required")
+	ErrSizeMismatch = errors.New("multifeature: all feature stores must hold the same objects")
+	ErrBadOptions   = errors.New("multifeature: invalid options")
+)
+
+func validate(features []Feature, opts *Options) error {
+	if len(features) == 0 {
+		return ErrNoFeatures
+	}
+	n := features[0].Store.Len()
+	for i, f := range features {
+		if f.Store.Len() != n {
+			return fmt.Errorf("%w: feature %d has %d objects, want %d", ErrSizeMismatch, i, f.Store.Len(), n)
+		}
+		if len(f.Query) != f.Store.Dims() {
+			return fmt.Errorf("%w: feature %d query dims %d != store dims %d", ErrBadOptions, i, len(f.Query), f.Store.Dims())
+		}
+		if f.Weight < 0 {
+			return fmt.Errorf("%w: feature %d has negative weight", ErrBadOptions, i)
+		}
+	}
+	if opts.K < 1 {
+		return fmt.Errorf("%w: K must be >= 1", ErrBadOptions)
+	}
+	if opts.Step == 0 {
+		opts.Step = 8
+	}
+	if opts.Step < 1 {
+		return fmt.Errorf("%w: Step must be >= 1", ErrBadOptions)
+	}
+	return nil
+}
+
+// dimRef addresses one dimension of one feature in the merged order.
+type dimRef struct {
+	feature int
+	dim     int
+}
+
+// Search runs synchronized BOND over all features with the Hq
+// (histogram-intersection, query-only) bounds per feature, aggregating the
+// per-feature bounds into global score bounds. It returns the exact global
+// top-k (ties break toward smaller id).
+func Search(features []Feature, opts Options) (Result, error) {
+	if err := validate(features, &opts); err != nil {
+		return Result{}, err
+	}
+	nf := len(features)
+	n := features[0].Store.Len()
+	k := opts.K
+	if k > n {
+		k = n
+	}
+	weights := make([]float64, nf)
+	for f := range features {
+		weights[f] = features[f].Weight
+	}
+
+	// Merged processing order: all (feature, dim) pairs by decreasing
+	// weight-normalized maximal contribution (Section 8.2). Histogram
+	// dimensions can contribute at most q to the similarity; Euclidean
+	// dimensions at most max(q, 1−q)²/N of squared-distance mass.
+	dimKey := func(f, d int) float64 {
+		q := features[f].Query[d]
+		if features[f].Metric == MetricEuclidean {
+			m := q
+			if 1-q > m {
+				m = 1 - q
+			}
+			return weights[f] * m * m / float64(features[f].Store.Dims())
+		}
+		return weights[f] * q
+	}
+	var order []dimRef
+	for f := range features {
+		for d := range features[f].Query {
+			order = append(order, dimRef{f, d})
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		return dimKey(a.feature, a.dim) > dimKey(b.feature, b.dim)
+	})
+
+	// Remaining tail bound per feature: Σ q over unprocessed dimensions
+	// for histogram components (the Hq bound), Σ max(q, 1−q)² for
+	// Euclidean components (the Eq. 10 worst-corner bound).
+	tailQ := make([]float64, nf)
+	for f := range features {
+		for _, qv := range features[f].Query {
+			if features[f].Metric == MetricEuclidean {
+				m := qv
+				if 1-qv > m {
+					m = 1 - qv
+				}
+				tailQ[f] += m * m
+			} else {
+				tailQ[f] += qv
+			}
+		}
+	}
+
+	cands := make([]int, 0, n)
+	deleted := make([]bool, n)
+	for f := range features {
+		bm := features[f].Store.DeletedBitmap()
+		bm.ForEach(func(id int) { deleted[id] = true })
+	}
+	for id := 0; id < n; id++ {
+		if !deleted[id] {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return Result{}, fmt.Errorf("%w: no live objects", ErrBadOptions)
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+
+	// scores[f][ci]: partial per-feature similarity of candidate ci.
+	scores := make([][]float64, nf)
+	for f := range scores {
+		scores[f] = make([]float64, len(cands))
+	}
+
+	var stats Stats
+	perFeature := make([]float64, nf) // scratch for Combine
+	scratch2 := make([]float64, nf)
+
+	// simBounds converts a component's partial score and remaining tail
+	// bound into similarity-scale lower/upper bounds.
+	simBounds := func(f int, s float64) (lo, hi float64) {
+		if features[f].Metric == MetricEuclidean {
+			n := features[f].Store.Dims()
+			return metric.EuclideanSim(s+tailQ[f], n), metric.EuclideanSim(s, n)
+		}
+		return s, s + tailQ[f]
+	}
+	simFinal := func(f int, s float64) float64 {
+		if features[f].Metric == MetricEuclidean {
+			return metric.EuclideanSim(s, features[f].Store.Dims())
+		}
+		return s
+	}
+	total := len(order)
+	for processed := 0; processed < total; {
+		next := processed + opts.Step
+		if next > total {
+			next = total
+		}
+		for _, ref := range order[processed:next] {
+			col := features[ref.feature].Store.Column(ref.dim)
+			qd := features[ref.feature].Query[ref.dim]
+			sf := scores[ref.feature]
+			if features[ref.feature].Metric == MetricEuclidean {
+				for ci, id := range cands {
+					diff := col[id] - qd
+					sf[ci] += diff * diff
+				}
+				m := qd
+				if 1-qd > m {
+					m = 1 - qd
+				}
+				tailQ[ref.feature] -= m * m
+			} else {
+				for ci, id := range cands {
+					v := col[id]
+					if v < qd {
+						sf[ci] += v
+					} else {
+						sf[ci] += qd
+					}
+				}
+				tailQ[ref.feature] -= qd
+			}
+			stats.ValuesScanned += int64(len(cands))
+		}
+		processed = next
+		if processed >= total || len(cands) <= k {
+			continue
+		}
+
+		// Global bounds: lower = agg of per-feature partials (tails ≥ 0),
+		// upper = agg of partials + per-feature query tail mass.
+		lower := make([]float64, len(cands))
+		upper := make([]float64, len(cands))
+		for ci := range cands {
+			for f := 0; f < nf; f++ {
+				perFeature[f], scratch2[f] = simBounds(f, scores[f][ci])
+			}
+			lower[ci] = opts.Agg.Combine(perFeature, weights)
+			upper[ci] = opts.Agg.Combine(scratch2, weights)
+		}
+		kappa := topk.KthLargest(lower, k)
+		out := 0
+		for ci := range cands {
+			if upper[ci] >= kappa {
+				cands[out] = cands[ci]
+				for f := 0; f < nf; f++ {
+					scores[f][out] = scores[f][ci]
+				}
+				out++
+			}
+		}
+		cands = cands[:out]
+		for f := range scores {
+			scores[f] = scores[f][:out]
+		}
+		stats.Steps = append(stats.Steps, StepStat{DimsProcessed: processed, Candidates: out})
+	}
+	stats.FinalCandidates = len(cands)
+
+	h := topk.NewLargest(k)
+	for ci, id := range cands {
+		for f := 0; f < nf; f++ {
+			perFeature[f] = simFinal(f, scores[f][ci])
+		}
+		h.Push(id, opts.Agg.Combine(perFeature, weights))
+	}
+	return Result{Results: h.Results(), Stats: stats}, nil
+}
+
+// ExactGlobal computes the exact global similarity of object id — the
+// random-access primitive stream merging needs and the reference for tests.
+func ExactGlobal(features []Feature, agg Aggregate, id int) float64 {
+	scores := make([]float64, len(features))
+	weights := make([]float64, len(features))
+	for f, feat := range features {
+		weights[f] = feat.Weight
+		row := feat.Store.Row(id)
+		s := 0.0
+		if feat.Metric == MetricEuclidean {
+			for d, v := range row {
+				diff := v - feat.Query[d]
+				s += diff * diff
+			}
+			s = metric.EuclideanSim(s, feat.Store.Dims())
+		} else {
+			for d, v := range row {
+				if v < feat.Query[d] {
+					s += v
+				} else {
+					s += feat.Query[d]
+				}
+			}
+		}
+		scores[f] = s
+	}
+	return agg.Combine(scores, weights)
+}
+
+// ExactGlobalBatch computes exact global similarities for many objects at
+// once, iterating column-wise per feature so the accesses stay sequential
+// within each dimension table.
+func ExactGlobalBatch(features []Feature, agg Aggregate, ids []int) []float64 {
+	nf := len(features)
+	weights := make([]float64, nf)
+	perFeature := make([][]float64, nf)
+	for f, feat := range features {
+		weights[f] = feat.Weight
+		acc := make([]float64, len(ids))
+		euc := feat.Metric == MetricEuclidean
+		for d := 0; d < feat.Store.Dims(); d++ {
+			col := feat.Store.Column(d)
+			qd := feat.Query[d]
+			for i, id := range ids {
+				v := col[id]
+				if euc {
+					diff := v - qd
+					acc[i] += diff * diff
+				} else if v < qd {
+					acc[i] += v
+				} else {
+					acc[i] += qd
+				}
+			}
+		}
+		if euc {
+			for i := range acc {
+				acc[i] = metric.EuclideanSim(acc[i], feat.Store.Dims())
+			}
+		}
+		perFeature[f] = acc
+	}
+	out := make([]float64, len(ids))
+	scratch := make([]float64, nf)
+	for i := range ids {
+		for f := 0; f < nf; f++ {
+			scratch[f] = perFeature[f][i]
+		}
+		out[i] = agg.Combine(scratch, weights)
+	}
+	return out
+}

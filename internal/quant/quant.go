@@ -1,0 +1,110 @@
+// Package quant implements uniform scalar quantization of vector
+// coefficients to small fixed-width codes.
+//
+// The paper uses "an 8-bit approximation of each double coefficient per
+// dimension" both for compressed BOND fragments (Section 7.4, Figure 9) and
+// for the VA-File comparator [22] (Table 4). A code c represents the cell
+// [c·Δ, (c+1)·Δ): every exact value quantized to c lies inside the cell, so
+// the cell edges give per-value lower and upper bounds that keep pruning
+// and filtering conservative (no false dismissals).
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer maps values from [Lo, Hi] onto {0, …, Levels−1} codes.
+type Quantizer struct {
+	Lo, Hi float64
+	Levels int
+	delta  float64
+}
+
+// New returns a quantizer over [lo, hi] with the given number of levels.
+// It panics if hi ≤ lo or levels < 2 or levels > 256 (codes must fit a byte).
+func New(lo, hi float64, levels int) *Quantizer {
+	if hi <= lo {
+		panic(fmt.Sprintf("quant: invalid range [%v, %v]", lo, hi))
+	}
+	if levels < 2 || levels > 256 {
+		panic(fmt.Sprintf("quant: levels %d outside [2, 256]", levels))
+	}
+	return &Quantizer{Lo: lo, Hi: hi, Levels: levels, delta: (hi - lo) / float64(levels)}
+}
+
+// NewUnit returns the paper's default: 256 levels over [0, 1].
+func NewUnit() *Quantizer { return New(0, 1, 256) }
+
+// Delta returns the cell width.
+func (q *Quantizer) Delta() float64 { return q.delta }
+
+// Encode returns the code of value x. Values outside [Lo, Hi] clamp to the
+// boundary cells.
+func (q *Quantizer) Encode(x float64) uint8 {
+	c := int(math.Floor((x - q.Lo) / q.delta))
+	if c < 0 {
+		c = 0
+	}
+	if c >= q.Levels {
+		c = q.Levels - 1
+	}
+	return uint8(c)
+}
+
+// CellLower returns the smallest value in code c's cell.
+func (q *Quantizer) CellLower(c uint8) float64 {
+	return q.Lo + float64(c)*q.delta
+}
+
+// CellUpper returns the largest value in code c's cell.
+func (q *Quantizer) CellUpper(c uint8) float64 {
+	return q.Lo + (float64(c)+1)*q.delta
+}
+
+// CellMid returns the cell's midpoint, the best single-value reconstruction.
+func (q *Quantizer) CellMid(c uint8) float64 {
+	return q.Lo + (float64(c)+0.5)*q.delta
+}
+
+// EncodeColumn quantizes a whole column.
+func (q *Quantizer) EncodeColumn(xs []float64) []uint8 {
+	out := make([]uint8, len(xs))
+	for i, x := range xs {
+		out[i] = q.Encode(x)
+	}
+	return out
+}
+
+// MinIntersectBounds returns conservative bounds on min(h, qv) when only
+// h's cell code is known: the true contribution lies in
+// [min(cellLower, qv), min(cellUpper, qv)].
+func (q *Quantizer) MinIntersectBounds(c uint8, qv float64) (lo, hi float64) {
+	return math.Min(q.CellLower(c), qv), math.Min(q.CellUpper(c), qv)
+}
+
+// SqDistBounds returns conservative bounds on (v−qv)² when only v's cell
+// code is known. If qv falls inside the cell the lower bound is zero;
+// otherwise it is the squared distance to the nearer edge. The upper bound
+// is the squared distance to the farther edge.
+func (q *Quantizer) SqDistBounds(c uint8, qv float64) (lo, hi float64) {
+	l, u := q.CellLower(c), q.CellUpper(c)
+	switch {
+	case qv < l:
+		lo = (l - qv) * (l - qv)
+	case qv > u:
+		lo = (qv - u) * (qv - u)
+	default:
+		lo = 0
+	}
+	dl := qv - l
+	du := u - qv
+	if dl < 0 {
+		dl = -dl
+	}
+	if du < 0 {
+		du = -du
+	}
+	m := math.Max(dl, du)
+	return lo, m * m
+}

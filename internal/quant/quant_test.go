@@ -1,0 +1,150 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeRoundTripCell(t *testing.T) {
+	q := NewUnit()
+	for _, x := range []float64{0, 0.1, 0.5, 0.999, 1} {
+		c := q.Encode(x)
+		if x < q.CellLower(c)-1e-12 || x > q.CellUpper(c)+1e-12 {
+			t.Errorf("x=%v not inside its cell [%v, %v]", x, q.CellLower(c), q.CellUpper(c))
+		}
+	}
+}
+
+func TestEncodeClampsOutOfRange(t *testing.T) {
+	q := NewUnit()
+	if q.Encode(-0.5) != 0 {
+		t.Error("below-range value must clamp to code 0")
+	}
+	if q.Encode(2.0) != 255 {
+		t.Error("above-range value must clamp to code 255")
+	}
+}
+
+func TestCellGeometry(t *testing.T) {
+	q := New(0, 1, 4) // cells of width 0.25
+	if q.Delta() != 0.25 {
+		t.Fatalf("Delta = %v", q.Delta())
+	}
+	if q.CellLower(2) != 0.5 || q.CellUpper(2) != 0.75 || q.CellMid(2) != 0.625 {
+		t.Errorf("cell 2 geometry: [%v, %v] mid %v", q.CellLower(2), q.CellUpper(2), q.CellMid(2))
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(1, 1, 8) },
+		func() { New(0, 1, 1) },
+		func() { New(0, 1, 257) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEncodeColumn(t *testing.T) {
+	q := New(0, 1, 4)
+	got := q.EncodeColumn([]float64{0.1, 0.3, 0.6, 0.9})
+	want := []uint8{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("code[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMinIntersectBoundsHandCase(t *testing.T) {
+	q := New(0, 1, 4)
+	// Cell 1 = [0.25, 0.5). qv = 0.4: true min(h, 0.4) ∈ [0.25, 0.4].
+	lo, hi := q.MinIntersectBounds(1, 0.4)
+	if lo != 0.25 || hi != 0.4 {
+		t.Errorf("bounds = [%v, %v], want [0.25, 0.4]", lo, hi)
+	}
+	// qv = 0.2 below the cell: min is always 0.2.
+	lo, hi = q.MinIntersectBounds(1, 0.2)
+	if lo != 0.2 || hi != 0.2 {
+		t.Errorf("bounds = [%v, %v], want [0.2, 0.2]", lo, hi)
+	}
+}
+
+func TestSqDistBoundsHandCases(t *testing.T) {
+	q := New(0, 1, 4)
+	// Cell 1 = [0.25, 0.5). qv inside: lower bound 0, upper to far edge.
+	lo, hi := q.SqDistBounds(1, 0.3)
+	if lo != 0 {
+		t.Errorf("lo = %v, want 0 (qv inside cell)", lo)
+	}
+	if want := 0.2 * 0.2; math.Abs(hi-want) > 1e-12 {
+		t.Errorf("hi = %v, want %v", hi, want)
+	}
+	// qv left of the cell.
+	lo, hi = q.SqDistBounds(1, 0.1)
+	if want := 0.15 * 0.15; math.Abs(lo-want) > 1e-12 {
+		t.Errorf("lo = %v, want %v", lo, want)
+	}
+	if want := 0.4 * 0.4; math.Abs(hi-want) > 1e-12 {
+		t.Errorf("hi = %v, want %v", hi, want)
+	}
+	// qv right of the cell.
+	lo, _ = q.SqDistBounds(1, 0.9)
+	if want := 0.4 * 0.4; math.Abs(lo-want) > 1e-12 {
+		t.Errorf("lo = %v, want %v", lo, want)
+	}
+}
+
+// Property: for random values, the true per-dimension contributions always
+// lie within the quantized bounds — the no-false-dismissal invariant that
+// both compressed BOND and the VA-File rely on.
+func TestBoundsBracketTruth(t *testing.T) {
+	q := NewUnit()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := rng.Float64()
+			qv := rng.Float64()
+			c := q.Encode(x)
+
+			lo, hi := q.MinIntersectBounds(c, qv)
+			truth := math.Min(x, qv)
+			if truth < lo-1e-12 || truth > hi+1e-12 {
+				return false
+			}
+
+			dlo, dhi := q.SqDistBounds(c, qv)
+			dist := (x - qv) * (x - qv)
+			if dist < dlo-1e-12 || dist > dhi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reconstruction error of the midpoint is at most Δ/2.
+func TestMidpointErrorBounded(t *testing.T) {
+	q := NewUnit()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := rng.Float64()
+		c := q.Encode(x)
+		return math.Abs(q.CellMid(c)-x) <= q.Delta()/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

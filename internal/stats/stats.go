@@ -1,0 +1,145 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: response-time summaries (min/max/average/median, as in the
+// paper's Tables 3 and 4) and dataset shape statistics (per-bin means and
+// mean sorted-value profiles, as in Figure 2).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds the order statistics the paper reports for response times.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs. It panics if xs is empty.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize on empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:   len(xs),
+		Min: sorted[0],
+		Max: sorted[len(sorted)-1],
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// String renders the summary in the paper's table style (min max avg median).
+func (s Summary) String() string {
+	return fmt.Sprintf("min=%.2f max=%.2f avg=%.2f median=%.2f (n=%d)",
+		s.Min, s.Max, s.Mean, s.Median, s.N)
+}
+
+// SummarizeDurations converts durations to milliseconds and summarizes them,
+// matching the paper's "times in msec" presentation.
+func SummarizeDurations(ds []time.Duration) Summary {
+	ms := make([]float64, len(ds))
+	for i, d := range ds {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	return Summarize(ms)
+}
+
+// MeanPerDimension returns, for a collection of equal-length vectors, the
+// mean value of each dimension — the upper panel of the paper's Figure 2
+// ("average value per bin"). It panics on an empty collection or ragged rows.
+func MeanPerDimension(vectors [][]float64) []float64 {
+	if len(vectors) == 0 {
+		panic("stats: MeanPerDimension on empty collection")
+	}
+	dims := len(vectors[0])
+	out := make([]float64, dims)
+	for _, v := range vectors {
+		if len(v) != dims {
+			panic(fmt.Sprintf("stats: ragged vector: len %d, want %d", len(v), dims))
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vectors))
+	}
+	return out
+}
+
+// MeanSortedProfile returns the mean of the per-vector descending-sorted
+// value profile — the lower panel of the paper's Figure 2 ("average
+// distribution of values per histogram"). Entry j is the average of the
+// (j+1)-th largest value across all vectors.
+func MeanSortedProfile(vectors [][]float64) []float64 {
+	if len(vectors) == 0 {
+		panic("stats: MeanSortedProfile on empty collection")
+	}
+	dims := len(vectors[0])
+	out := make([]float64, dims)
+	buf := make([]float64, dims)
+	for _, v := range vectors {
+		if len(v) != dims {
+			panic(fmt.Sprintf("stats: ragged vector: len %d, want %d", len(v), dims))
+		}
+		copy(buf, v)
+		sort.Sort(sort.Reverse(sort.Float64Slice(buf)))
+		for i, x := range buf {
+			out[i] += x
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vectors))
+	}
+	return out
+}
+
+// GiniCoefficient measures the skew of a non-negative vector in [0, 1]:
+// 0 for a uniform vector, approaching 1 as mass concentrates in few entries.
+// The experiment harness uses it to characterize generated data sets.
+func GiniCoefficient(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GiniCoefficient on empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for _, x := range sorted {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	var lorenz float64 // sum of cumulative shares
+	for _, x := range sorted {
+		cum += x
+		lorenz += cum / total
+	}
+	n := float64(len(sorted))
+	// Gini = 1 - 2*B where B is the area under the Lorenz curve.
+	return 1 - (2*lorenz-1)/n
+}

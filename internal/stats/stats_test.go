@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeOdd(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Median != 2 || !almostEqual(s.Mean, 2, 1e-12) {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3", s.N)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if !almostEqual(s.Median, 2.5, 1e-12) {
+		t.Errorf("Median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+}
+
+func TestSummarizeStdDev(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s.StdDev, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", s.StdDev)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	if !almostEqual(s.Mean, 2, 1e-9) {
+		t.Errorf("Mean = %v ms, want 2", s.Mean)
+	}
+}
+
+func TestMeanPerDimension(t *testing.T) {
+	vs := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	got := MeanPerDimension(vs)
+	if !almostEqual(got[0], 2.0/3, 1e-12) || !almostEqual(got[1], 2.0/3, 1e-12) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMeanPerDimensionRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ragged input")
+		}
+	}()
+	MeanPerDimension([][]float64{{1, 2}, {1}})
+}
+
+func TestMeanSortedProfile(t *testing.T) {
+	vs := [][]float64{{0.1, 0.9}, {0.8, 0.2}}
+	got := MeanSortedProfile(vs)
+	// Sorted rows: [0.9 0.1], [0.8 0.2] -> means [0.85 0.15].
+	if !almostEqual(got[0], 0.85, 1e-12) || !almostEqual(got[1], 0.15, 1e-12) {
+		t.Errorf("got %v", got)
+	}
+	// The profile must be non-increasing by construction.
+	if got[0] < got[1] {
+		t.Error("profile not sorted descending")
+	}
+}
+
+func TestGiniUniformIsZero(t *testing.T) {
+	if g := GiniCoefficient([]float64{1, 1, 1, 1}); !almostEqual(g, 0, 1e-12) {
+		t.Errorf("Gini(uniform) = %v, want 0", g)
+	}
+}
+
+func TestGiniConcentratedIsHigh(t *testing.T) {
+	xs := make([]float64, 100)
+	xs[0] = 1
+	if g := GiniCoefficient(xs); g < 0.9 {
+		t.Errorf("Gini(point mass) = %v, want > 0.9", g)
+	}
+}
+
+func TestGiniZeroVector(t *testing.T) {
+	if g := GiniCoefficient([]float64{0, 0}); g != 0 {
+		t.Errorf("Gini(zeros) = %v, want 0", g)
+	}
+}
+
+func TestGiniMonotoneInSkew(t *testing.T) {
+	mild := GiniCoefficient([]float64{3, 2, 2, 1})
+	strong := GiniCoefficient([]float64{7, 0.5, 0.3, 0.2})
+	if strong <= mild {
+		t.Errorf("Gini not monotone: mild=%v strong=%v", mild, strong)
+	}
+}

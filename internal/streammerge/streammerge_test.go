@@ -1,0 +1,122 @@
+package streammerge
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bond/internal/dataset"
+	"bond/internal/multifeature"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+func twoFeatures(n int, seed int64) []multifeature.Feature {
+	c1 := dataset.DefaultClustered(n, 16, 1.0, seed)
+	c1.Clusters = 20
+	v1 := dataset.Clustered(c1)
+	dataset.NormalizeAll(v1)
+	c2 := dataset.DefaultClustered(n, 32, 1.0, seed+1)
+	c2.Clusters = 20
+	v2 := dataset.Clustered(c2)
+	dataset.NormalizeAll(v2)
+	return []multifeature.Feature{
+		{Store: vstore.FromVectors(v1), Query: append([]float64(nil), v1[0]...), Weight: 1},
+		{Store: vstore.FromVectors(v2), Query: append([]float64(nil), v2[0]...), Weight: 1},
+	}
+}
+
+func bruteGlobal(features []multifeature.Feature, agg multifeature.Aggregate, k int) []topk.Result {
+	h := topk.NewLargest(k)
+	for id := 0; id < features[0].Store.Len(); id++ {
+		h.Push(id, multifeature.ExactGlobal(features, agg, id))
+	}
+	return h.Results()
+}
+
+func assertMatches(t *testing.T, label string, got, want []topk.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID && math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Errorf("%s rank %d: id %d (%.6f), want %d (%.6f)",
+				label, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	features := twoFeatures(300, 11)
+	for _, agg := range []multifeature.Aggregate{multifeature.WeightedAvg, multifeature.MinAgg} {
+		res, err := Search(features, 10, agg)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		assertMatches(t, agg.String(), res.Results, bruteGlobal(features, agg, 10))
+		if res.Stats.Rounds < 1 || res.Stats.FinalKPrime < 10 {
+			t.Errorf("%v: implausible stats %+v", agg, res.Stats)
+		}
+	}
+}
+
+func TestSearchOptimalMatchesSearch(t *testing.T) {
+	features := twoFeatures(250, 13)
+	for _, agg := range []multifeature.Aggregate{multifeature.WeightedAvg, multifeature.MinAgg} {
+		a, err := Search(features, 5, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SearchOptimal(features, 5, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatches(t, "optimal vs doubling", b.Results, a.Results)
+		// The optimal k′ never exceeds the doubling run's final k′.
+		if b.Stats.FinalKPrime > a.Stats.FinalKPrime {
+			t.Errorf("optimal k′ %d > doubling k′ %d", b.Stats.FinalKPrime, a.Stats.FinalKPrime)
+		}
+		// A single optimal round costs at most the doubling run's total.
+		if b.Stats.ValuesScanned > a.Stats.ValuesScanned {
+			t.Errorf("optimal cost %d > doubling cost %d", b.Stats.ValuesScanned, a.Stats.ValuesScanned)
+		}
+	}
+}
+
+func TestSearchMatchesSynchronized(t *testing.T) {
+	features := twoFeatures(300, 17)
+	for _, agg := range []multifeature.Aggregate{multifeature.WeightedAvg, multifeature.MinAgg} {
+		sm, err := Search(features, 10, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sync, err := multifeature.Search(features, multifeature.Options{K: 10, Agg: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatches(t, "merge vs synchronized "+agg.String(), sm.Results, sync.Results)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Search(nil, 1, multifeature.WeightedAvg); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("no features: %v", err)
+	}
+	features := twoFeatures(50, 3)
+	if _, err := Search(features, 0, multifeature.WeightedAvg); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("k=0: %v", err)
+	}
+}
+
+func TestKPrimeGrowsWhenNeeded(t *testing.T) {
+	// With the min aggregate and queries from different objects, the global
+	// winner may rank low in each individual stream, forcing k′ growth.
+	features := twoFeatures(300, 23)
+	features[1].Query = append([]float64(nil), features[1].Store.Row(17)...)
+	res, err := Search(features, 10, multifeature.MinAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatches(t, "cross-query", res.Results, bruteGlobal(features, multifeature.MinAgg, 10))
+}

@@ -1,0 +1,249 @@
+// Package topk provides bounded-size heap utilities for k-best selection.
+//
+// These are the kernels behind the paper's kfetch operator (Section 6.1),
+// which selects the k-th largest element of a score column using a priority
+// queue implemented as a heap, with worst-case cost O(n log k), and behind
+// the k-best result heaps of the sequential-scan baselines.
+package topk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is a scored item: an object identifier paired with its score.
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// ByScoreDesc sorts results by decreasing score, breaking ties by
+// increasing ID so orderings are deterministic.
+type ByScoreDesc []Result
+
+func (r ByScoreDesc) Len() int      { return len(r) }
+func (r ByScoreDesc) Swap(i, j int) { r[i], r[j] = r[j], r[i] }
+func (r ByScoreDesc) Less(i, j int) bool {
+	if r[i].Score != r[j].Score {
+		return r[i].Score > r[j].Score
+	}
+	return r[i].ID < r[j].ID
+}
+
+// ByScoreAsc sorts results by increasing score, breaking ties by
+// increasing ID.
+type ByScoreAsc []Result
+
+func (r ByScoreAsc) Len() int      { return len(r) }
+func (r ByScoreAsc) Swap(i, j int) { r[i], r[j] = r[j], r[i] }
+func (r ByScoreAsc) Less(i, j int) bool {
+	if r[i].Score != r[j].Score {
+		return r[i].Score < r[j].Score
+	}
+	return r[i].ID < r[j].ID
+}
+
+// Heap is a bounded-size heap that retains the k best results seen so far.
+// Depending on the mode it keeps the k largest scores (a min-heap on score,
+// used for similarity search) or the k smallest scores (a max-heap on score,
+// used for distance search).
+type Heap struct {
+	k        int
+	largest  bool // true: keep k largest; false: keep k smallest
+	items    []Result
+	overflow bool // true once more than k items have been offered
+}
+
+// NewLargest returns a heap retaining the k results with the largest scores.
+// It panics if k < 1.
+func NewLargest(k int) *Heap {
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
+	}
+	return &Heap{k: k, largest: true, items: make([]Result, 0, k)}
+}
+
+// NewSmallest returns a heap retaining the k results with the smallest
+// scores. It panics if k < 1.
+func NewSmallest(k int) *Heap {
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
+	}
+	return &Heap{k: k, largest: false, items: make([]Result, 0, k)}
+}
+
+// K returns the heap's configured capacity.
+func (h *Heap) K() int { return h.k }
+
+// Len returns the number of results currently retained (at most k).
+func (h *Heap) Len() int { return len(h.items) }
+
+// Full reports whether the heap holds k results.
+func (h *Heap) Full() bool { return len(h.items) == h.k }
+
+// worse reports whether score a is worse than score b under the heap's mode:
+// for a "largest" heap smaller scores are worse, for a "smallest" heap
+// larger scores are worse.
+func (h *Heap) worse(a, b float64) bool {
+	if h.largest {
+		return a < b
+	}
+	return a > b
+}
+
+// Push offers a result to the heap. It returns true if the result was
+// retained (it is currently among the k best).
+func (h *Heap) Push(id int, score float64) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Result{ID: id, Score: score})
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	h.overflow = true
+	// Root is the current worst of the k best.
+	if h.worse(score, h.items[0].Score) || score == h.items[0].Score {
+		return false
+	}
+	h.items[0] = Result{ID: id, Score: score}
+	h.siftDown(0)
+	return true
+}
+
+// Threshold returns the score of the current k-th best result (the worst
+// retained score). The boolean is false until the heap is full, in which
+// case no pruning threshold is available yet.
+func (h *Heap) Threshold() (float64, bool) {
+	if len(h.items) < h.k {
+		return 0, false
+	}
+	return h.items[0].Score, true
+}
+
+// WouldAccept reports whether a result with the given score would displace
+// the current k-th best (or whether the heap still has room).
+func (h *Heap) WouldAccept(score float64) bool {
+	if len(h.items) < h.k {
+		return true
+	}
+	return !h.worse(score, h.items[0].Score) && score != h.items[0].Score
+}
+
+// Results returns the retained results sorted best-first: decreasing score
+// for a "largest" heap, increasing score for a "smallest" heap. The heap is
+// not modified.
+func (h *Heap) Results() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	if h.largest {
+		sort.Sort(ByScoreDesc(out))
+	} else {
+		sort.Sort(ByScoreAsc(out))
+	}
+	return out
+}
+
+// siftUp restores the heap property after appending at index i.
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.worse(h.items[i].Score, h.items[parent].Score) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing the root.
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		worst := i
+		if left < n && h.worse(h.items[left].Score, h.items[worst].Score) {
+			worst = left
+		}
+		if right < n && h.worse(h.items[right].Score, h.items[worst].Score) {
+			worst = right
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// KthLargest returns the k-th largest value in xs using a size-k min-heap,
+// the paper's kfetch kernel (O(n log k)). If k exceeds len(xs) it returns
+// the minimum of xs. It panics if xs is empty or k < 1.
+func KthLargest(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		panic("topk: KthLargest on empty slice")
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	h := NewLargest(k)
+	for i, x := range xs {
+		h.Push(i, x)
+	}
+	v, _ := h.Threshold()
+	return v
+}
+
+// KthSmallest returns the k-th smallest value in xs using a size-k max-heap.
+// If k exceeds len(xs) it returns the maximum of xs. It panics if xs is
+// empty or k < 1.
+func KthSmallest(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		panic("topk: KthSmallest on empty slice")
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	h := NewSmallest(k)
+	for i, x := range xs {
+		h.Push(i, x)
+	}
+	v, _ := h.Threshold()
+	return v
+}
+
+// Merge combines several best-first result lists into the overall k best.
+// If largest is true the highest scores win, otherwise the lowest. Ties are
+// broken by ID. Duplicate IDs across lists are collapsed, keeping the best
+// score for each ID.
+func Merge(k int, largest bool, lists ...[]Result) []Result {
+	best := make(map[int]float64)
+	for _, list := range lists {
+		for _, r := range list {
+			cur, ok := best[r.ID]
+			if !ok || (largest && r.Score > cur) || (!largest && r.Score < cur) {
+				best[r.ID] = r.Score
+			}
+		}
+	}
+	var h *Heap
+	if largest {
+		h = NewLargest(k)
+	} else {
+		h = NewSmallest(k)
+	}
+	// Iterate in ID order for deterministic tie-breaks.
+	ids := make([]int, 0, len(best))
+	for id := range best {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		h.Push(id, best[id])
+	}
+	return h.Results()
+}

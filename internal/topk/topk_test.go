@@ -1,0 +1,265 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapKeepsKLargest(t *testing.T) {
+	h := NewLargest(3)
+	scores := []float64{0.1, 0.9, 0.4, 0.7, 0.2, 0.8}
+	for i, s := range scores {
+		h.Push(i, s)
+	}
+	got := h.Results()
+	want := []Result{{1, 0.9}, {5, 0.8}, {3, 0.7}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeapKeepsKSmallest(t *testing.T) {
+	h := NewSmallest(2)
+	scores := []float64{5, 1, 4, 2, 3}
+	for i, s := range scores {
+		h.Push(i, s)
+	}
+	got := h.Results()
+	want := []Result{{1, 1}, {3, 2}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeapThresholdUnavailableUntilFull(t *testing.T) {
+	h := NewLargest(3)
+	h.Push(0, 1.0)
+	if _, ok := h.Threshold(); ok {
+		t.Error("Threshold should be unavailable before heap is full")
+	}
+	h.Push(1, 2.0)
+	h.Push(2, 3.0)
+	v, ok := h.Threshold()
+	if !ok || v != 1.0 {
+		t.Errorf("Threshold = %v, %v; want 1.0, true", v, ok)
+	}
+}
+
+func TestHeapWouldAccept(t *testing.T) {
+	h := NewLargest(2)
+	if !h.WouldAccept(0.0) {
+		t.Error("non-full heap must accept anything")
+	}
+	h.Push(0, 0.5)
+	h.Push(1, 0.7)
+	if h.WouldAccept(0.4) {
+		t.Error("0.4 must not displace threshold 0.5")
+	}
+	if h.WouldAccept(0.5) {
+		t.Error("equal score must not displace (ties keep incumbent)")
+	}
+	if !h.WouldAccept(0.6) {
+		t.Error("0.6 must displace threshold 0.5")
+	}
+}
+
+func TestHeapSmallestWouldAccept(t *testing.T) {
+	h := NewSmallest(2)
+	h.Push(0, 0.5)
+	h.Push(1, 0.7)
+	if h.WouldAccept(0.8) {
+		t.Error("0.8 must not displace threshold 0.7 in smallest mode")
+	}
+	if !h.WouldAccept(0.6) {
+		t.Error("0.6 must displace threshold 0.7 in smallest mode")
+	}
+}
+
+func TestHeapFewerThanK(t *testing.T) {
+	h := NewLargest(10)
+	h.Push(3, 0.3)
+	h.Push(1, 0.9)
+	got := h.Results()
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+	if got[0].ID != 1 || got[1].ID != 3 {
+		t.Errorf("unexpected order: %+v", got)
+	}
+}
+
+func TestHeapDeterministicTieBreak(t *testing.T) {
+	h := NewLargest(2)
+	h.Push(5, 1.0)
+	h.Push(2, 1.0)
+	h.Push(9, 1.0)
+	got := h.Results()
+	// All scores equal: first two pushed are retained (ties never displace),
+	// sorted by ID.
+	if got[0].ID != 2 || got[1].ID != 5 {
+		t.Errorf("got %+v, want IDs [2 5]", got)
+	}
+}
+
+func TestKthLargestSmallCases(t *testing.T) {
+	xs := []float64{0.3, 0.1, 0.5, 0.2, 0.4}
+	cases := []struct {
+		k    int
+		want float64
+	}{{1, 0.5}, {2, 0.4}, {3, 0.3}, {5, 0.1}, {10, 0.1}}
+	for _, c := range cases {
+		if got := KthLargest(xs, c.k); got != c.want {
+			t.Errorf("KthLargest(k=%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKthSmallestSmallCases(t *testing.T) {
+	xs := []float64{0.3, 0.1, 0.5, 0.2, 0.4}
+	cases := []struct {
+		k    int
+		want float64
+	}{{1, 0.1}, {2, 0.2}, {4, 0.4}, {5, 0.5}, {99, 0.5}}
+	for _, c := range cases {
+		if got := KthSmallest(xs, c.k); got != c.want {
+			t.Errorf("KthSmallest(k=%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKthLargestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty slice")
+		}
+	}()
+	KthLargest(nil, 1)
+}
+
+func TestNewLargestPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on k=0")
+		}
+	}()
+	NewLargest(0)
+}
+
+// Property: KthLargest matches sorting for random inputs.
+func TestKthLargestMatchesSort(t *testing.T) {
+	f := func(seed int64, n uint8, kraw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%50 + 1
+		k := int(kraw)%size + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		got := KthLargest(xs, k)
+		sorted := append([]float64(nil), xs...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		return got == sorted[k-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: heap of k largest equals the first k of the descending sort.
+func TestHeapMatchesSort(t *testing.T) {
+	f := func(seed int64, n uint8, kraw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%60 + 1
+		k := int(kraw)%10 + 1
+		h := NewLargest(k)
+		all := make([]Result, size)
+		for i := 0; i < size; i++ {
+			// Use a discrete grid so ties occur with high probability.
+			s := float64(rng.Intn(10)) / 10
+			all[i] = Result{ID: i, Score: s}
+			h.Push(i, s)
+		}
+		sort.Sort(ByScoreDesc(all))
+		want := all
+		if k < len(want) {
+			want = want[:k]
+		}
+		got := h.Results()
+		if len(got) != len(want) {
+			return false
+		}
+		// Scores must match exactly; IDs may differ under ties.
+		for i := range want {
+			if got[i].Score != want[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeLargest(t *testing.T) {
+	a := []Result{{1, 0.9}, {2, 0.5}}
+	b := []Result{{3, 0.8}, {1, 0.7}} // duplicate ID 1 with worse score
+	got := Merge(3, true, a, b)
+	want := []Result{{1, 0.9}, {3, 0.8}, {2, 0.5}}
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("merge[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeSmallest(t *testing.T) {
+	a := []Result{{1, 0.9}, {2, 0.5}}
+	b := []Result{{2, 0.3}, {4, 0.4}}
+	got := Merge(2, false, a, b)
+	want := []Result{{2, 0.3}, {4, 0.4}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("merge[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkHeapPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 10000)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewLargest(10)
+		for id, s := range scores {
+			h.Push(id, s)
+		}
+	}
+}
+
+func BenchmarkKthLargest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KthLargest(xs, 10)
+	}
+}

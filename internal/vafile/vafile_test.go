@@ -1,0 +1,135 @@
+package vafile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bond/internal/dataset"
+	"bond/internal/quant"
+	"bond/internal/seqscan"
+	"bond/internal/vstore"
+)
+
+func fixture() ([][]float64, *File) {
+	vs := dataset.CorelLike(800, 48, 77)
+	return vs, Build(vs, quant.NewUnit())
+}
+
+func TestSearchEuclideanMatchesScan(t *testing.T) {
+	vs, f := fixture()
+	queries, _ := dataset.SampleQueries(vs, 6, 5)
+	for _, q := range queries {
+		got, st := f.SearchEuclidean(vs, q, 10)
+		want, _ := seqscan.SearchEuclidean(vs, q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("got %d results", len(got))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID && math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Errorf("rank %d: id %d (%v), want %d (%v)",
+					i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+		if st.Candidates == 0 || st.Candidates > len(vs) {
+			t.Errorf("implausible candidate count %d", st.Candidates)
+		}
+	}
+}
+
+func TestSearchHistogramMatchesScan(t *testing.T) {
+	vs, f := fixture()
+	queries, _ := dataset.SampleQueries(vs, 6, 6)
+	for _, q := range queries {
+		got, _ := f.SearchHistogram(vs, q, 10)
+		want, _ := seqscan.SearchHistogram(vs, q, 10)
+		for i := range want {
+			if got[i].ID != want[i].ID && math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Errorf("rank %d: id %d, want %d", i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestFilterReducesCandidates(t *testing.T) {
+	vs, f := fixture()
+	q := vs[3]
+	ids, _, st := f.FilterEuclidean(q, 10)
+	if len(ids) >= len(vs)/2 {
+		t.Errorf("filter kept %d of %d", len(ids), len(vs))
+	}
+	if st.CodesScanned != int64(len(vs)*48) {
+		t.Errorf("filter must scan every code once, got %d", st.CodesScanned)
+	}
+}
+
+// Property: the filter never dismisses a true k-NN (the no-false-dismissal
+// guarantee of the VA-File).
+func TestFilterNoFalseDismissal(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		vs := dataset.CorelLike(120, 16, seed)
+		file := Build(vs, quant.New(0, 1, 16)) // coarse on purpose
+		k := int(kRaw)%10 + 1
+		q := vs[int(uint64(seed)%uint64(len(vs)))]
+		ids, _, _ := file.FilterEuclidean(q, k)
+		inSet := map[int]bool{}
+		for _, id := range ids {
+			inSet[id] = true
+		}
+		want, _ := seqscan.SearchEuclidean(vs, q, k)
+		for _, r := range want {
+			if !inSet[r.ID] {
+				return false
+			}
+		}
+		idsH, _, _ := file.FilterHistogram(q, k)
+		inSetH := map[int]bool{}
+		for _, id := range idsH {
+			inSetH[id] = true
+		}
+		wantH, _ := seqscan.SearchHistogram(vs, q, k)
+		for _, r := range wantH {
+			if !inSetH[r.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildFromStoreMatchesBuild(t *testing.T) {
+	vs := dataset.CorelLike(50, 12, 4)
+	s := vstore.FromVectors(vs)
+	a := Build(vs, quant.NewUnit())
+	b := BuildFromStore(s, quant.NewUnit())
+	if a.Len() != b.Len() || a.Dims() != b.Dims() {
+		t.Fatal("shape mismatch")
+	}
+	for i := range a.codes {
+		if a.codes[i] != b.codes[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	vs, f := fixture()
+	for _, fn := range []func(){
+		func() { Build(nil, quant.NewUnit()) },
+		func() { Build([][]float64{{1, 2}, {1}}, quant.NewUnit()) },
+		func() { f.FilterEuclidean(vs[0][:3], 1) },
+		func() { f.FilterEuclidean(vs[0], 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,70 @@
+package vstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestFormatGolden pins the on-disk layout: header bytes, section order,
+// and trailer. A change to any of these must be deliberate (bump
+// fileVersion) — existing store files in the field depend on it.
+func TestFormatGolden(t *testing.T) {
+	s := FromVectors([][]float64{{0.5, 1.0}, {0.25, 0.0}})
+	s.Delete(1)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Magic.
+	if string(data[:8]) != "BONDSTR1" {
+		t.Fatalf("magic = %q", data[:8])
+	}
+	// Header: version, n, dims as little-endian uint64.
+	if v := binary.LittleEndian.Uint64(data[8:16]); v != 1 {
+		t.Errorf("version = %d", v)
+	}
+	if n := binary.LittleEndian.Uint64(data[16:24]); n != 2 {
+		t.Errorf("n = %d", n)
+	}
+	if d := binary.LittleEndian.Uint64(data[24:32]); d != 2 {
+		t.Errorf("dims = %d", d)
+	}
+	// Column 0 starts at offset 32: float64 bits of 0.5 then 0.25.
+	if bits := binary.LittleEndian.Uint64(data[32:40]); bits != 0x3FE0000000000000 {
+		t.Errorf("col0[0] bits = %#x, want 0.5", bits)
+	}
+	if bits := binary.LittleEndian.Uint64(data[40:48]); bits != 0x3FD0000000000000 {
+		t.Errorf("col0[1] bits = %#x, want 0.25", bits)
+	}
+	// Layout: 8 magic + 24 header + 2 cols × 2 rows × 8 + totals 2×8 +
+	// ndel 8 + 1 deleted id 8 + crc 4.
+	wantLen := 8 + 24 + 2*2*8 + 2*8 + 8 + 8 + 4
+	if len(data) != wantLen {
+		t.Errorf("file length = %d, want %d", len(data), wantLen)
+	}
+	// Deleted-id section: count 1, id 1.
+	ndelOff := 8 + 24 + 2*2*8 + 2*8
+	if n := binary.LittleEndian.Uint64(data[ndelOff : ndelOff+8]); n != 1 {
+		t.Errorf("ndel = %d", n)
+	}
+	if id := binary.LittleEndian.Uint64(data[ndelOff+8 : ndelOff+16]); id != 1 {
+		t.Errorf("deleted id = %d", id)
+	}
+}
+
+// TestLoadRejectsImplausibleHeader guards the allocation limits.
+func TestLoadRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("BONDSTR1")
+	for _, v := range []uint64{1, 1 << 40, 5} { // absurd n
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("implausible header accepted")
+	}
+}
