@@ -7,6 +7,7 @@ package bond
 // `go test -bench` output doubles as a compact reproduction record.
 
 import (
+	"math/rand"
 	"strconv"
 	"testing"
 
@@ -406,6 +407,94 @@ func BenchmarkSearchCompressedFilter(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := core.FilterCompressed(f.store, qs, f.query, core.Options{K: 10, Criterion: core.Hq}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Segmented-store benchmarks -----------------------------------------
+
+// clusterBlocks generates cluster-contiguous data: block b of perBlock
+// vectors sits around its own random centre (the ingest-by-locality
+// pattern segment synopses exploit).
+func clusterBlocks(blocks, perBlock, dims int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, 0, blocks*perBlock)
+	for bl := 0; bl < blocks; bl++ {
+		ctr := make([]float64, dims)
+		for d := range ctr {
+			ctr[d] = rng.Float64()
+		}
+		for i := 0; i < perBlock; i++ {
+			v := make([]float64, dims)
+			for d := range v {
+				x := ctr[d] + rng.NormFloat64()*0.02
+				if x < 0 {
+					x = 0
+				}
+				if x > 1 {
+					x = 1
+				}
+				v[d] = x
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BenchmarkSegmentSkipping compares BOND over a segmented collection whose
+// boundaries align with data locality (segment synopses skip cold
+// segments) against the same data in one flat segment (every search scans
+// the full candidate set). Reported metrics: coefficients read per query
+// and segments skipped.
+func BenchmarkSegmentSkipping(b *testing.B) {
+	const blocks, perBlock, dims, k = 20, 500, 64, 10
+	vs := clusterBlocks(blocks, perBlock, dims, 99)
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = vs[(i*blocks/len(queries))*perBlock+3]
+	}
+	opts := core.Options{K: k, Criterion: core.Ev, SkipRangeCheck: true}
+
+	for _, cfg := range []struct {
+		name    string
+		segSize int
+	}{
+		{"segmented-skip", perBlock},
+		{"flat-fullscan", len(vs) + 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			col := NewCollectionSegmented(vs, cfg.segSize)
+			var scanned, skipped, searched int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				res, err := col.Search(q, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanned += res.Stats.ValuesScanned
+				skipped += int64(res.Stats.SegmentsSkipped)
+				searched += int64(res.Stats.SegmentsSearched)
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(scanned)/n, "values/query")
+			b.ReportMetric(float64(skipped)/n, "segs-skipped/query")
+			b.ReportMetric(float64(searched)/n, "segs-searched/query")
+		})
+	}
+}
+
+// BenchmarkCollectionSearchParallelSegments measures the per-segment
+// parallel path on the facade.
+func BenchmarkCollectionSearchParallelSegments(b *testing.B) {
+	vs := dataset.CorelLike(20000, 64, 7)
+	col := NewCollectionSegmented(vs, 2500)
+	q := vs[17]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := col.SearchParallel(q, Options{K: 10, Criterion: Hq}, 8); err != nil {
 			b.Fatal(err)
 		}
 	}

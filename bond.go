@@ -3,14 +3,40 @@
 // Mamoulis, Nes and Kersten, "Efficient k-NN Search on Vertically
 // Decomposed Data", ACM SIGMOD 2002.
 //
-// A Collection stores N-dimensional feature vectors vertically decomposed:
-// one column per dimension plus a per-vector total. k-NN queries are
-// answered by scanning columns in a query-dependent order and pruning
-// vectors branch-and-bound style as partial scores accumulate, which on
-// skewed real-world data (color histograms, clustered embeddings) touches
-// a small fraction of the data a sequential scan would read.
+// # Storage model
 //
-// Basic use:
+// A Collection stores N-dimensional feature vectors in a segmented,
+// vertically decomposed layout: the collection is split into immutable
+// sealed segments plus one mutable active segment, and inside every
+// segment each dimension is a contiguous column with a per-vector total
+// side table. Appends go to the active segment, which seals at a size
+// threshold; deletes are bitmap marks inside their segment; Compact
+// rewrites only segments whose tombstone ratio warrants it. Every sealed
+// segment carries a per-dimension min/max synopsis and lazily built 8-bit
+// compressed fragments.
+//
+// k-NN queries run BOND per segment — scanning columns in a
+// query-dependent order and pruning vectors branch-and-bound style as
+// partial scores accumulate — and merge the per-segment top-k lists into
+// the exact global answer. Before a segment is searched, its synopsis
+// bounds the best score any of its members could reach; once k results
+// are in hand, segments that cannot beat the current k-th best are
+// skipped without reading a single column. On data with locality (ingest
+// by time or by class), whole segments fall away.
+//
+// # Concurrency
+//
+// A Collection is safe for concurrent use: any number of readers
+// (Search, SearchParallel, SearchCompressed, SearchMIL, Len, Save, …)
+// run concurrently with each other, and writers (Add, AddBatch, Delete,
+// Compact) are serialized against them by an internal RWMutex. Every
+// search observes a consistent snapshot and returns exact results.
+// SearchProgressive and AsFeature take a snapshot under the lock (sealed
+// segments are shared structurally; the small active segment is copied),
+// so the returned Progressive and Feature values may be driven after the
+// call without further locking, while writers proceed.
+//
+// # Basic use
 //
 //	col := bond.NewCollection(vectors)          // vectors: [][]float64
 //	res, err := col.Search(query, bond.Options{K: 10, Criterion: bond.Hq})
@@ -23,11 +49,14 @@
 //   - filter-and-refine search on 8-bit compressed fragments,
 //   - multi-feature queries across several collections (see MultiSearch).
 //
-// Collections persist to a checksummed binary format (Save/Open), support
-// appends and bitmap-marked deletes, and can be compacted in place.
+// Collections persist to a checksummed binary format (Save/Open) that
+// stores the segmented layout; files written by earlier flat-layout
+// versions still load.
 package bond
 
 import (
+	"sync"
+
 	"bond/internal/bitmap"
 	"bond/internal/cluster"
 	"bond/internal/core"
@@ -53,7 +82,8 @@ type (
 	CompressedResult = core.CompressedResult
 	// Neighbor is one scored match.
 	Neighbor = topk.Result
-	// Stats describes the work a search performed.
+	// Stats describes the work a search performed, including how many
+	// segments were searched and how many the synopses skipped.
 	Stats = core.Stats
 	// MILOptions configures the MIL reference engine.
 	MILOptions = core.MILOptions
@@ -100,112 +130,261 @@ const (
 	MaxAgg      = multifeature.MaxAgg
 )
 
-// Collection is a vertically decomposed vector collection with optional
-// 8-bit compressed fragments.
+// DefaultSegmentSize is the seal threshold of a collection's active
+// segment.
+const DefaultSegmentSize = vstore.DefaultSegmentSize
+
+// Collection is a segmented, vertically decomposed vector collection,
+// safe for concurrent readers and writers (see the package comment for
+// the contract).
 type Collection struct {
-	store *vstore.Store
-	codes *vstore.QuantStore
+	mu    sync.RWMutex
+	store *vstore.SegStore
 }
 
-// NewCollection decomposes a row-major collection. It panics on empty or
-// ragged input (programmer error); use New plus Add for incremental builds.
+// NewCollection decomposes a row-major collection using the default
+// segment size. It panics on empty or ragged input (programmer error);
+// use New plus Add for incremental builds.
 func NewCollection(vectors [][]float64) *Collection {
-	return &Collection{store: vstore.FromVectors(vectors)}
+	return &Collection{store: vstore.SegmentedFromVectors(vectors, DefaultSegmentSize)}
+}
+
+// NewCollectionSegmented decomposes a row-major collection with an
+// explicit segment size (segmentSize <= 0 selects the default) — useful
+// to align segment boundaries with known data locality.
+func NewCollectionSegmented(vectors [][]float64, segmentSize int) *Collection {
+	return &Collection{store: vstore.SegmentedFromVectors(vectors, segmentSize)}
 }
 
 // New returns an empty collection of the given dimensionality.
 func New(dims int) *Collection {
-	return &Collection{store: vstore.New(dims)}
+	return &Collection{store: vstore.NewSegmented(dims, DefaultSegmentSize)}
 }
 
-// Open loads a collection previously written by Save.
+// NewSegmented returns an empty collection with an explicit segment size
+// (segmentSize <= 0 selects the default).
+func NewSegmented(dims, segmentSize int) *Collection {
+	return &Collection{store: vstore.NewSegmented(dims, segmentSize)}
+}
+
+// Open loads a collection previously written by Save. Both the segmented
+// layout and the flat layout of earlier versions are understood.
 func Open(path string) (*Collection, error) {
-	s, err := vstore.LoadFile(path)
+	s, err := vstore.LoadAnyFile(path)
 	if err != nil {
 		return nil, err
 	}
 	return &Collection{store: s}, nil
 }
 
-// Save writes the collection to path in the checksummed binary format.
-// Compressed fragments are rebuilt on demand and are not persisted.
-func (c *Collection) Save(path string) error { return c.store.SaveFile(path) }
+// Save writes the collection to path in the checksummed segmented binary
+// format. Compressed fragments are rebuilt on demand and not persisted.
+func (c *Collection) Save(path string) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.store.SaveFile(path)
+}
 
 // Dims returns the dimensionality.
-func (c *Collection) Dims() int { return c.store.Dims() }
+func (c *Collection) Dims() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.store.Dims()
+}
 
 // Len returns the number of vector slots, including delete-marked ones.
-func (c *Collection) Len() int { return c.store.Len() }
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.store.Len()
+}
 
 // Live returns the number of searchable vectors.
-func (c *Collection) Live() int { return c.store.Live() }
+func (c *Collection) Live() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.store.Live()
+}
+
+// NumSegments returns the number of physical segments (sealed plus the
+// active one).
+func (c *Collection) NumSegments() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.store.NumSegments()
+}
+
+// SealActive force-seals the active segment, freezing the current layout
+// (subsequent appends open a fresh segment). Mostly useful to align
+// segment boundaries with data locality before a read-heavy phase.
+func (c *Collection) SealActive() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store.SealActive()
+}
 
 // Vector returns a copy of vector id.
-func (c *Collection) Vector(id int) []float64 { return c.store.Row(id) }
+func (c *Collection) Vector(id int) []float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.store.Row(id)
+}
 
-// Add appends a vector and returns its id. Compressed fragments are
-// invalidated and rebuilt on the next compressed search.
+// Add appends a vector and returns its id. Sealed segments and their
+// compressed fragments are untouched; only the active segment changes.
 func (c *Collection) Add(v []float64) int {
-	c.codes = nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.store.Append(v)
 }
 
 // AddBatch appends many vectors, returning the first new id.
 func (c *Collection) AddBatch(vectors [][]float64) int {
-	c.codes = nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.store.AppendBatch(vectors)
 }
 
 // Delete marks vector id as deleted; it is skipped by every search until
-// Compact removes it physically.
-func (c *Collection) Delete(id int) { c.store.Delete(id) }
+// a compaction removes it physically.
+func (c *Collection) Delete(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store.Delete(id)
+}
 
-// Compact removes delete-marked vectors, returning the old-id → new-id
-// mapping (−1 for removed ids).
+// Compact physically removes every delete-marked vector, returning the
+// old-id → new-id mapping (−1 for removed ids). Segments without
+// tombstones are left untouched, so the cost scales with the churned part
+// of the collection; see CompactRatio to also leave barely-churned
+// segments alone.
 func (c *Collection) Compact() []int {
-	c.codes = nil
-	return c.store.Reorganize()
+	return c.CompactRatio(0)
 }
 
-// Search runs BOND and returns the exact K best matches for q.
+// CompactRatio rewrites only the segments whose tombstone ratio is at
+// least minRatio, returning the old-id → new-id mapping. Ids in segments
+// below the ratio keep their tombstones (and the mapping reflects any
+// shift caused by earlier rewritten segments).
+func (c *Collection) CompactRatio(minRatio float64) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.Compact(minRatio)
+}
+
+// views exposes the current segments to the search layer. Callers must
+// hold at least the read lock for the duration of the search.
+func (c *Collection) views() []core.SegmentView {
+	segs, bases := c.store.Segments(), c.store.Bases()
+	views := make([]core.SegmentView, len(segs))
+	for i, g := range segs {
+		views[i] = core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange}
+	}
+	return views
+}
+
+// snapshotSource fixes a segment's delete marks at snapshot time, so the
+// snapshot stays consistent when a writer deletes concurrently.
+type snapshotSource struct {
+	core.Source
+	deleted *bitmap.Bitmap
+}
+
+func (s snapshotSource) DeletedBitmap() *bitmap.Bitmap { return s.deleted.Clone() }
+
+// snapshotViews returns segment views that remain valid after the lock is
+// released: sealed segments share columns (immutable) with delete marks
+// pinned, and the active segment is deep-copied. Callers must hold at
+// least the read lock while calling.
+func (c *Collection) snapshotViews() []core.SegmentView {
+	segs, bases := c.store.Segments(), c.store.Bases()
+	views := make([]core.SegmentView, len(segs))
+	for i, g := range segs {
+		if g.Sealed() {
+			snap := snapshotSource{Source: g, deleted: g.DeletedBitmap()}
+			views[i] = core.SegmentView{Src: snap, Base: bases[i], DimRange: g.DimRange}
+		} else {
+			cp := g.Store.Clone()
+			views[i] = core.SegmentView{Src: cp, Base: bases[i], DimRange: cp.DimRange}
+		}
+	}
+	return views
+}
+
+// Search runs BOND and returns the exact K best matches for q, skipping
+// whole segments whose synopses prove them hopeless (reported in
+// Stats.SegmentsSkipped).
 func (c *Collection) Search(q []float64, opts Options) (Result, error) {
-	return core.Search(c.store, q, opts)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return core.SearchSegments(c.views(), q, opts)
 }
 
-// SearchParallel runs BOND over shards of the collection concurrently and
-// merges the results; the answer is identical to Search.
+// SearchParallel runs BOND concurrently — one goroutine per segment — and
+// merges the per-segment results; the answer is identical to Search. The
+// shards argument is kept for compatibility and only selects the
+// sequential path when < 2; the parallelism degree is the segment count.
 func (c *Collection) SearchParallel(q []float64, opts Options, shards int) (Result, error) {
-	return core.SearchParallel(c.store, q, opts, shards)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if shards < 2 {
+		return core.SearchSegments(c.views(), q, opts)
+	}
+	return core.SearchSegmentsParallel(c.views(), q, opts)
 }
 
 // Progressive is an incremental search whose steps the caller drives,
 // with the shrinking candidate set inspectable in between.
 type Progressive = core.Progressive
 
-// SearchProgressive prepares an incremental search; call Step until it
-// returns false (or stop early) and Finish for the exact results.
+// SearchProgressive prepares an incremental search over a snapshot of the
+// collection; call Step until it returns false (or stop early) and Finish
+// for the exact results. The snapshot means concurrent writers do not
+// disturb (and are not seen by) the running search.
 func (c *Collection) SearchProgressive(q []float64, opts Options) (*Progressive, error) {
-	return core.NewProgressive(c.store, q, opts)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return core.NewProgressiveSegments(c.snapshotViews(), q, opts)
 }
 
-// SearchCompressed runs the filter step on 8-bit fragments (built lazily on
-// first use) and refines on the exact columns. Criteria Hq and Eq.
+// SearchCompressed runs the filter step on 8-bit fragments and refines on
+// the exact columns. Sealed segments filter on their codes — built lazily
+// once per segment when that segment is first actually searched (skipped
+// segments are never quantized), and never invalidated by appends; the
+// active segment runs an exact scan. Criteria Hq and Eq.
 func (c *Collection) SearchCompressed(q []float64, opts Options) (CompressedResult, error) {
-	if c.codes == nil {
-		c.codes = c.store.Quantize(quant.NewUnit())
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	segs, bases := c.store.Segments(), c.store.Bases()
+	views := make([]core.CompressedSegmentView, len(segs))
+	for i, g := range segs {
+		views[i] = core.CompressedSegmentView{
+			SegmentView: core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange},
+		}
+		if g.Sealed() {
+			g := g
+			views[i].Codes = func() *vstore.QuantStore { return g.Codes(quant.NewUnit()) }
+		}
 	}
-	return core.SearchCompressed(c.store, c.codes, q, opts)
+	return core.SearchCompressedSegments(views, q, opts)
 }
 
 // SearchMIL runs BOND (criterion Hq) through the MIL relational-operator
-// engine — the Section 6.1 reference implementation.
+// engine — the Section 6.1 reference implementation — per segment, with
+// the per-segment answers merged exactly.
 func (c *Collection) SearchMIL(q []float64, opts MILOptions) (Result, error) {
-	return core.SearchMIL(c.store, q, opts)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return core.SearchMILSegments(c.views(), q, opts)
 }
 
-// AsFeature wraps the collection as one component of a multi-feature query.
+// AsFeature wraps a snapshot of the collection as one component of a
+// multi-feature query. The snapshot stays consistent if writers mutate
+// the collection before the MultiSearch runs.
 func (c *Collection) AsFeature(query []float64, weight float64) Feature {
-	return Feature{Store: c.store, Query: query, Weight: weight}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Feature{Segments: c.snapshotViews(), Query: query, Weight: weight}
 }
 
 // MultiSearch answers a multi-feature query over several collections
@@ -217,13 +396,21 @@ func MultiSearch(features []Feature, opts MultiOptions) (MultiResult, error) {
 // NewExclusion returns an empty exclusion bitmap sized to the collection,
 // for combining k-NN search with prior selection predicates: set the bits
 // of the objects a predicate ruled out and pass it as Options.Exclude.
-func (c *Collection) NewExclusion() *bitmap.Bitmap { return bitmap.New(c.store.Len()) }
+func (c *Collection) NewExclusion() *bitmap.Bitmap {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return bitmap.New(c.store.Len())
+}
 
 // Cluster runs exact k-means over the live vectors with BOND-style
 // branch-and-bound assignment on the decomposed columns — the clustering
-// direction the paper's Section 9 proposes as future work.
+// direction the paper's Section 9 proposes as future work. The segments
+// are flattened into one store for the duration of the clustering (a
+// single-segment collection clusters in place, copy-free).
 func (c *Collection) Cluster(opts ClusterOptions) (ClusterResult, error) {
-	return cluster.KMeans(c.store, opts)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return cluster.KMeans(c.store.Flatten(), opts)
 }
 
 // QueryUsefulness scores a query's expected pruning power in [0, 1]

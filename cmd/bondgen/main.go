@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"os"
 
+	"bond"
 	"bond/internal/dataset"
-	"bond/internal/vstore"
 )
 
 func main() {
@@ -28,6 +28,7 @@ func main() {
 	sigma := flag.Float64("sigma", 0.025, "cluster spread (clustered only)")
 	normalize := flag.Bool("normalize", false, "normalize every vector to sum 1")
 	seed := flag.Int64("seed", 42, "generator seed")
+	segsize := flag.Int("segsize", 0, "segment seal threshold (0 = default)")
 	out := flag.String("out", "", "output path (required)")
 	flag.Parse()
 
@@ -57,10 +58,11 @@ func main() {
 		dataset.NormalizeAll(vectors)
 	}
 
-	store := vstore.FromVectors(vectors)
-	if err := store.SaveFile(*out); err != nil {
+	col := bond.NewCollectionSegmented(vectors, *segsize)
+	if err := col.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "bondgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d × %d %s collection to %s\n", *n, *dims, *kind, *out)
+	fmt.Printf("wrote %d × %d %s collection (%d segments) to %s\n",
+		*n, *dims, *kind, col.NumSegments(), *out)
 }

@@ -6,7 +6,8 @@
 //	bondquery -store skew1.bond -id 0 -k 5 -criterion Ev -stats
 //
 // The query vector is taken from the collection by id (the common
-// query-by-example pattern of image retrieval).
+// query-by-example pattern of image retrieval). Stores written in either
+// the segmented layout or the legacy flat layout are accepted.
 package main
 
 import (
@@ -15,8 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"bond/internal/core"
-	"bond/internal/vstore"
+	"bond"
 )
 
 func main() {
@@ -24,8 +24,9 @@ func main() {
 	id := flag.Int("id", 0, "query-by-example: id of the query vector inside the collection")
 	k := flag.Int("k", 10, "number of neighbors")
 	criterion := flag.String("criterion", "Hq", "pruning criterion: Hq, Hh, Eq, Ev")
-	step := flag.Int("step", core.DefaultStep, "pruning step m")
+	step := flag.Int("step", 0, "pruning step m (0 = default)")
 	order := flag.String("order", "desc", "dimension order: desc, asc, random, natural")
+	parallel := flag.Bool("parallel", false, "search sealed segments concurrently")
 	showStats := flag.Bool("stats", false, "print per-step pruning statistics")
 	flag.Parse()
 
@@ -34,55 +35,62 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	store, err := vstore.LoadFile(*storePath)
+	col, err := bond.Open(*storePath)
 	if err != nil {
 		fatal(err)
 	}
-	if *id < 0 || *id >= store.Len() {
-		fatal(fmt.Errorf("id %d outside collection [0,%d)", *id, store.Len()))
+	if *id < 0 || *id >= col.Len() {
+		fatal(fmt.Errorf("id %d outside collection [0,%d)", *id, col.Len()))
 	}
 
-	var crit core.Criterion
+	var crit bond.Criterion
 	switch strings.ToLower(*criterion) {
 	case "hq":
-		crit = core.Hq
+		crit = bond.Hq
 	case "hh":
-		crit = core.Hh
+		crit = bond.Hh
 	case "eq":
-		crit = core.Eq
+		crit = bond.Eq
 	case "ev":
-		crit = core.Ev
+		crit = bond.Ev
 	default:
 		fatal(fmt.Errorf("unknown criterion %q", *criterion))
 	}
-	var ord core.Order
+	var ord bond.Order
 	switch strings.ToLower(*order) {
 	case "desc":
-		ord = core.OrderQueryDesc
+		ord = bond.OrderQueryDesc
 	case "asc":
-		ord = core.OrderQueryAsc
+		ord = bond.OrderQueryAsc
 	case "random":
-		ord = core.OrderRandom
+		ord = bond.OrderRandom
 	case "natural":
-		ord = core.OrderNatural
+		ord = bond.OrderNatural
 	default:
 		fatal(fmt.Errorf("unknown order %q", *order))
 	}
 
-	q := store.Row(*id)
-	res, err := core.Search(store, q, core.Options{K: *k, Criterion: crit, Step: *step, Order: ord})
+	q := col.Vector(*id)
+	opts := bond.Options{K: *k, Criterion: crit, Step: *step, Order: ord}
+	var res bond.Result
+	if *parallel {
+		res, err = col.SearchParallel(q, opts, col.NumSegments())
+	} else {
+		res, err = col.Search(q, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("collection %s: %d × %d, query id %d, criterion %s\n",
-		*storePath, store.Len(), store.Dims(), *id, crit)
+	fmt.Printf("collection %s: %d × %d in %d segments, query id %d, criterion %s\n",
+		*storePath, col.Len(), col.Dims(), col.NumSegments(), *id, crit)
 	for rank, r := range res.Results {
 		fmt.Printf("%3d. id=%-8d score=%.6f\n", rank+1, r.ID, r.Score)
 	}
-	full := int64(store.Live() * store.Dims())
-	fmt.Printf("values scanned: %d of %d (%.1f%% of a full scan)\n",
-		res.Stats.ValuesScanned, full, 100*float64(res.Stats.ValuesScanned)/float64(full))
+	full := int64(col.Live() * col.Dims())
+	fmt.Printf("values scanned: %d of %d (%.1f%% of a full scan); segments searched %d, skipped %d\n",
+		res.Stats.ValuesScanned, full, 100*float64(res.Stats.ValuesScanned)/float64(full),
+		res.Stats.SegmentsSearched, res.Stats.SegmentsSkipped)
 	if *showStats {
 		fmt.Println("pruning steps:")
 		for _, st := range res.Stats.Steps {
@@ -90,7 +98,8 @@ func main() {
 			if st.Skipped {
 				suffix = " (skipped: futile)"
 			}
-			fmt.Printf("  after %3d dims: %d candidates%s\n", st.DimsProcessed, st.Candidates, suffix)
+			fmt.Printf("  seg %2d, after %3d dims: %d candidates%s\n",
+				st.Segment, st.DimsProcessed, st.Candidates, suffix)
 		}
 	}
 }

@@ -30,13 +30,17 @@ func main() {
 		fmt.Printf("%3d. id=%-6d similarity=%.4f\n", rank+1, r.ID, r.Score)
 	}
 
-	// BOND read a fraction of what a sequential scan would.
+	// BOND read a fraction of what a sequential scan would. The collection
+	// is stored as sealed segments plus one active segment; segments whose
+	// min/max synopsis proves them hopeless are skipped without a read.
 	full := int64(col.Live() * col.Dims())
 	fmt.Printf("\nwork: %d of %d values (%.1f%% of a full scan)\n",
 		res.Stats.ValuesScanned, full, 100*float64(res.Stats.ValuesScanned)/float64(full))
-	fmt.Println("candidate set after each pruning step:")
+	fmt.Printf("segments: %d total, %d searched, %d skipped by synopsis\n",
+		col.NumSegments(), res.Stats.SegmentsSearched, res.Stats.SegmentsSkipped)
+	fmt.Println("candidate set after each pruning step (per segment):")
 	for _, st := range res.Stats.Steps {
-		fmt.Printf("  %3d dims -> %d candidates\n", st.DimsProcessed, st.Candidates)
+		fmt.Printf("  seg %d, %3d dims -> %d candidates\n", st.Segment, st.DimsProcessed, st.Candidates)
 	}
 
 	// The same collection answers Euclidean queries too.

@@ -1,0 +1,3 @@
+module bond
+
+go 1.24

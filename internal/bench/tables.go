@@ -179,7 +179,7 @@ func MultiFeatureComparison(cfg Config) Table {
 		var syncTimes, mergeTimes []time.Duration
 		for _, qid := range queryIDs {
 			for f := range features {
-				features[f].Query = features[f].Store.Row(qid)
+				features[f].Query = features[f].Store.(*vstore.Store).Row(qid)
 			}
 			syncTimes = append(syncTimes, timeIt(func() {
 				if _, err := multifeature.Search(features, multifeature.Options{K: cfg.K, Agg: agg, Step: cfg.Step}); err != nil {

@@ -20,6 +20,24 @@ type CompressedResult struct {
 	FilterStats Stats
 	// RefineValuesScanned counts exact coefficients read during refinement.
 	RefineValuesScanned int64
+	// ExactValuesScanned counts coefficients read by exact BOND on
+	// segments without compressed fragments (the mutable active segment of
+	// a segmented collection); 0 for a flat single-store search.
+	ExactValuesScanned int64
+}
+
+// validateCompressed rejects option combinations the compressed path does
+// not support (shared by the flat and the segmented entry points).
+func validateCompressed(opts Options) error {
+	if len(opts.Weights) > 0 || len(opts.Dims) > 0 {
+		return fmt.Errorf("core: compressed search supports full-space unweighted queries only")
+	}
+	switch opts.Criterion {
+	case Hq, Eq:
+		return nil
+	default:
+		return fmt.Errorf("core: compressed search supports Hq and Eq, not %v", opts.Criterion)
+	}
 }
 
 // SearchCompressed runs BOND on the quantized fragments as a filter step
@@ -27,17 +45,12 @@ type CompressedResult struct {
 // criteria are Hq (histogram intersection, as in Figure 9) and Eq
 // (Euclidean). Both maintain a per-vector score interval [sLo, sHi] from
 // the quantization cell bounds, so no true neighbor is ever filtered out.
-func SearchCompressed(s *vstore.Store, qs *vstore.QuantStore, q []float64, opts Options) (CompressedResult, error) {
+func SearchCompressed(s Source, qs *vstore.QuantStore, q []float64, opts Options) (CompressedResult, error) {
 	if err := opts.validate(s, q); err != nil {
 		return CompressedResult{}, err
 	}
-	if len(opts.Weights) > 0 || len(opts.Dims) > 0 {
-		return CompressedResult{}, fmt.Errorf("core: compressed search supports full-space unweighted queries only")
-	}
-	switch opts.Criterion {
-	case Hq, Eq:
-	default:
-		return CompressedResult{}, fmt.Errorf("core: compressed search supports Hq and Eq, not %v", opts.Criterion)
+	if err := validateCompressed(opts); err != nil {
+		return CompressedResult{}, err
 	}
 
 	f := &compressedFilter{s: s, qs: qs, q: q, opts: opts}
@@ -49,17 +62,12 @@ func SearchCompressed(s *vstore.Store, qs *vstore.QuantStore, q []float64, opts 
 // FilterCompressed runs only the filter phase of a compressed search and
 // returns the surviving candidate ids (a superset of the true top-k) with
 // the filter statistics. Table 4 times this phase against a VA-File scan.
-func FilterCompressed(s *vstore.Store, qs *vstore.QuantStore, q []float64, opts Options) ([]int, Stats, error) {
+func FilterCompressed(s Source, qs *vstore.QuantStore, q []float64, opts Options) ([]int, Stats, error) {
 	if err := opts.validate(s, q); err != nil {
 		return nil, Stats{}, err
 	}
-	if len(opts.Weights) > 0 || len(opts.Dims) > 0 {
-		return nil, Stats{}, fmt.Errorf("core: compressed search supports full-space unweighted queries only")
-	}
-	switch opts.Criterion {
-	case Hq, Eq:
-	default:
-		return nil, Stats{}, fmt.Errorf("core: compressed search supports Hq and Eq, not %v", opts.Criterion)
+	if err := validateCompressed(opts); err != nil {
+		return nil, Stats{}, err
 	}
 	f := &compressedFilter{s: s, qs: qs, q: q, opts: opts}
 	f.init()
@@ -70,7 +78,7 @@ func FilterCompressed(s *vstore.Store, qs *vstore.QuantStore, q []float64, opts 
 }
 
 type compressedFilter struct {
-	s    *vstore.Store
+	s    Source
 	qs   *vstore.QuantStore
 	q    []float64
 	opts Options
@@ -86,12 +94,12 @@ type compressedFilter struct {
 func (f *compressedFilter) init() {
 	f.order = buildOrder(f.q, nil, nil, f.opts.Order, f.opts.Seed, f.opts.Criterion.Distance())
 	deleted := f.s.DeletedBitmap()
-	f.cands = make([]int, 0, f.s.Live())
+	f.cands = make([]int, 0, f.s.Len())
 	for id := 0; id < f.s.Len(); id++ {
 		if deleted.Get(id) {
 			continue
 		}
-		if f.opts.Exclude != nil && f.opts.Exclude.Get(id) {
+		if excludedID(f.opts.Exclude, id) {
 			continue
 		}
 		f.cands = append(f.cands, id)

@@ -29,8 +29,38 @@ import (
 
 	"bond/internal/bitmap"
 	"bond/internal/topk"
-	"bond/internal/vstore"
 )
+
+// Source is the narrow storage contract every search path runs against:
+// a vertically decomposed, fixed-dimensionality collection addressed by
+// dense positional ids. Both the flat vstore.Store and each segment of a
+// segmented store satisfy it, so one engine serves both layouts.
+//
+// Column and Totals return live views that must not be mutated; see the
+// vstore documentation for the aliasing rules. DeletedBitmap returns a
+// snapshot the engine may keep.
+type Source interface {
+	// Dims returns the dimensionality.
+	Dims() int
+	// Len returns the number of id slots, including delete-marked ones.
+	Len() int
+	// Column returns the d-th dimension column, indexed by id (read-only).
+	Column(d int) []float64
+	// Totals returns the per-vector totals T(v) side table (read-only).
+	Totals() []float64
+	// DeletedBitmap returns a snapshot of the delete marks.
+	DeletedBitmap() *bitmap.Bitmap
+	// ValueRange returns a conservative range over every coefficient.
+	ValueRange() (lo, hi float64)
+}
+
+// meta is the subset of Source that option validation needs; it is also
+// satisfied by aggregate descriptions of a segmented collection.
+type meta interface {
+	Dims() int
+	Len() int
+	ValueRange() (lo, hi float64)
+}
 
 // Criterion selects the pruning rule, which also fixes the metric:
 // Hq and Hh rank by histogram intersection (larger is better), Eq and Ev by
@@ -158,6 +188,11 @@ type Options struct {
 
 // StepStat records the candidate set after one pruning iteration.
 type StepStat struct {
+	// Segment is the index of the physical segment the step ran in. In a
+	// merged multi-segment Stats the steps of different segments are
+	// concatenated in processing order and DimsProcessed restarts per
+	// segment; Segment tells them apart. Always 0 for flat searches.
+	Segment int
 	// DimsProcessed is the number of columns read so far (the paper's m).
 	DimsProcessed int
 	// Candidates is the candidate-set size after pruning at this step.
@@ -182,6 +217,13 @@ type Stats struct {
 	DimsUntilK int
 	// FinalCandidates is the candidate-set size when pruning stopped.
 	FinalCandidates int
+	// SegmentsSearched counts segments whose columns were actually read.
+	// Single-source searches report 1.
+	SegmentsSearched int
+	// SegmentsSkipped counts segments dismissed wholesale because their
+	// min/max-per-dimension synopsis proved no member could beat the
+	// running k-th best score.
+	SegmentsSkipped int
 }
 
 // Result is a completed search: the k best matches (exact scores, best
@@ -202,7 +244,7 @@ var (
 	ErrDataRange      = errors.New("core: stored data outside the range the pruning bounds assume")
 )
 
-func (o *Options) validate(s *vstore.Store, q []float64) error {
+func (o *Options) validate(s meta, q []float64) error {
 	if o.K < 1 {
 		return ErrBadK
 	}

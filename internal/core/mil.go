@@ -7,7 +7,6 @@ import (
 	"bond/internal/bat"
 	"bond/internal/bitmap"
 	"bond/internal/topk"
-	"bond/internal/vstore"
 )
 
 // MILOptions configures the MIL reference engine.
@@ -41,7 +40,7 @@ var ErrMILOptions = errors.New("core: invalid MIL options")
 // applied iteratively, with the early iterations using the bitmap-index
 // implementation of uselect and the later ones the positional-join
 // reduction. Results are identical to Search with criterion Hq.
-func SearchMIL(s *vstore.Store, q []float64, opts MILOptions) (Result, error) {
+func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 	if opts.K < 1 {
 		return Result{}, ErrMILOptions
 	}
@@ -69,7 +68,13 @@ func SearchMIL(s *vstore.Store, q []float64, opts MILOptions) (Result, error) {
 	bm := bitmap.NewFull(n)
 	bm.AndNot(s.DeletedBitmap())
 	if opts.Exclude != nil {
-		bm.AndNot(opts.Exclude)
+		// The exclusion bitmap may be smaller than the collection (sized
+		// before concurrent appends); out-of-range ids are not excluded.
+		opts.Exclude.ForEach(func(id int) {
+			if id < n {
+				bm.Clear(id)
+			}
+		})
 	}
 	if bm.Count() == 0 {
 		return Result{}, ErrNoCandidates
@@ -183,6 +188,7 @@ func SearchMIL(s *vstore.Store, q []float64, opts MILOptions) (Result, error) {
 	}
 
 	// Final ranking.
+	stats.SegmentsSearched = 1
 	h := topk.NewLargest(k)
 	if c == nil {
 		bm.ForEach(func(id int) { h.Push(id, smin.Tail[id]) })

@@ -1,24 +1,48 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-
 	"bond/internal/bitmap"
-	"bond/internal/topk"
-	"bond/internal/vstore"
 )
 
-// SearchParallel runs BOND across shards of the collection concurrently
-// and merges the shard results into the global top-k. Each shard prunes
-// against its own local κ, which is never tighter than the global one, so
-// no true neighbor can be lost; the merge of per-shard top-k lists is
-// therefore exact. Total work is slightly higher than single-threaded
-// Search (local κ prunes later), traded for parallel column scanning.
+// rangeView exposes a contiguous id range [lo, hi) of a flat source as an
+// independent Source with local ids 0…hi−lo, by slicing the columns and
+// totals. It is how SearchParallel turns a monolithic store into virtual
+// segments; a genuinely segmented store provides real segments instead.
+type rangeView struct {
+	src     Source
+	lo, hi  int
+	deleted *bitmap.Bitmap // localized delete marks, precomputed
+}
+
+func newRangeView(src Source, deleted *bitmap.Bitmap, lo, hi int) rangeView {
+	local := bitmap.New(hi - lo)
+	for id := lo; id < hi; id++ {
+		if deleted.Get(id) {
+			local.Set(id - lo)
+		}
+	}
+	return rangeView{src: src, lo: lo, hi: hi, deleted: local}
+}
+
+func (v rangeView) Dims() int                      { return v.src.Dims() }
+func (v rangeView) Len() int                       { return v.hi - v.lo }
+func (v rangeView) Column(d int) []float64         { return v.src.Column(d)[v.lo:v.hi] }
+func (v rangeView) Totals() []float64              { return v.src.Totals()[v.lo:v.hi] }
+func (v rangeView) DeletedBitmap() *bitmap.Bitmap  { return v.deleted.Clone() }
+func (v rangeView) ValueRange() (float64, float64) { return v.src.ValueRange() }
+
+// SearchParallel runs BOND across contiguous shards of a flat collection
+// concurrently and merges the shard results into the global top-k. Each
+// shard prunes against its own local κ, which is never tighter than the
+// global one, so no true neighbor can be lost; the merge of per-shard
+// top-k lists is therefore exact. Total work is slightly higher than
+// single-threaded Search (local κ prunes later), traded for parallel
+// column scanning.
 //
-// shards < 2 falls back to Search. The Stats of the shard searches are
-// summed; Steps are omitted (they are per-shard quantities).
-func SearchParallel(s *vstore.Store, q []float64, opts Options, shards int) (Result, error) {
+// shards < 2 falls back to Search. Segmented collections should call
+// SearchSegmentsParallel instead, where the shards are the physical sealed
+// segments rather than arbitrary id ranges.
+func SearchParallel(s Source, q []float64, opts Options, shards int) (Result, error) {
 	if shards < 2 {
 		return Search(s, q, opts)
 	}
@@ -26,64 +50,18 @@ func SearchParallel(s *vstore.Store, q []float64, opts Options, shards int) (Res
 		return Result{}, err
 	}
 	n := s.Len()
+	if n == 0 {
+		return Result{}, ErrNoCandidates
+	}
 	if shards > n {
 		shards = n
 	}
-
-	type shardOut struct {
-		res Result
-		err error
-	}
-	outs := make([]shardOut, shards)
-	var wg sync.WaitGroup
+	deleted := s.DeletedBitmap()
+	views := make([]SegmentView, shards)
 	for sh := 0; sh < shards; sh++ {
-		wg.Add(1)
-		go func(sh int) {
-			defer wg.Done()
-			lo := sh * n / shards
-			hi := (sh + 1) * n / shards
-			// A shard excludes everything outside [lo, hi) plus the
-			// caller's own exclusions.
-			excl := bitmap.NewFull(n)
-			for id := lo; id < hi; id++ {
-				excl.Clear(id)
-			}
-			if opts.Exclude != nil {
-				excl.Or(opts.Exclude)
-			}
-			shardOpts := opts
-			shardOpts.Exclude = excl
-			res, err := Search(s, q, shardOpts)
-			if err == ErrNoCandidates {
-				// A fully-excluded shard contributes nothing.
-				outs[sh] = shardOut{res: Result{}}
-				return
-			}
-			outs[sh] = shardOut{res: res, err: err}
-		}(sh)
+		lo := sh * n / shards
+		hi := (sh + 1) * n / shards
+		views[sh] = SegmentView{Src: newRangeView(s, deleted, lo, hi), Base: lo}
 	}
-	wg.Wait()
-
-	var merged Result
-	lists := make([][]topk.Result, 0, shards)
-	for sh, o := range outs {
-		if o.err != nil {
-			return Result{}, fmt.Errorf("core: shard %d: %w", sh, o.err)
-		}
-		lists = append(lists, o.res.Results)
-		merged.Stats.ValuesScanned += o.res.Stats.ValuesScanned
-		merged.Stats.FinalCandidates += o.res.Stats.FinalCandidates
-	}
-	empty := true
-	for _, l := range lists {
-		if len(l) > 0 {
-			empty = false
-			break
-		}
-	}
-	if empty {
-		return Result{}, ErrNoCandidates
-	}
-	merged.Results = topk.Merge(opts.K, !opts.Criterion.Distance(), lists...)
-	return merged, nil
+	return SearchSegmentsParallel(views, q, opts)
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bond/internal/topk"
-	"bond/internal/vstore"
 )
 
 // Progressive is an incremental BOND search driven by the caller: each
@@ -11,75 +10,172 @@ import (
 // interactive retrieval pattern the paper's introduction motivates — a UI
 // can show a shrinking candidate set, stop early with the current
 // approximate candidates, or run to completion for the exact answer.
+//
+// Over a segmented collection the per-segment engines advance in
+// lockstep: one Step processes the next batch of dimensions in every
+// segment. Finish merges the per-segment results into the same exact
+// answer a one-shot search returns.
 type Progressive struct {
-	e         *engine
-	processed int
-	step      int
-	finished  bool
+	engines  []*engine
+	bases    []int
+	segIdx   []int // physical view index of each engine (for step tagging)
+	steps    []int // per-engine adaptive stride
+	pos      []int // per-engine dimensions processed
+	k        int
+	distance bool
+	finished bool
 }
 
-// NewProgressive prepares an incremental search with the same options as
-// Search.
-func NewProgressive(s *vstore.Store, q []float64, opts Options) (*Progressive, error) {
+// NewProgressive prepares an incremental search over a single flat source
+// with the same options as Search.
+func NewProgressive(s Source, q []float64, opts Options) (*Progressive, error) {
 	if err := opts.validate(s, q); err != nil {
 		return nil, err
 	}
-	e, err := newEngine(s, q, opts)
+	return newProgressive([]SegmentView{{Src: s}}, q, opts)
+}
+
+// NewProgressiveSegments prepares an incremental search over a segmented
+// collection. Segment skipping does not apply — every segment stays
+// inspectable until the caller finishes — but results are identical to
+// SearchSegments.
+func NewProgressiveSegments(views []SegmentView, q []float64, opts Options) (*Progressive, error) {
+	m, err := aggregateViews(views)
 	if err != nil {
 		return nil, err
 	}
-	return &Progressive{e: e, step: e.opts.Step}, nil
+	if err := opts.validate(m, q); err != nil {
+		return nil, err
+	}
+	return newProgressive(views, q, opts)
 }
 
-// Step processes the next batch of dimensions and prunes. It returns false
-// once every effective dimension has been processed (further calls are
-// no-ops).
+func newProgressive(views []SegmentView, q []float64, opts Options) (*Progressive, error) {
+	p := &Progressive{k: opts.K, distance: opts.Criterion.Distance()}
+	for vi, v := range views {
+		if v.Src.Len() == 0 {
+			continue
+		}
+		vopts := opts
+		vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
+		e, err := newEngine(v.Src, q, vopts)
+		if err == ErrNoCandidates {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.engines = append(p.engines, e)
+		p.bases = append(p.bases, v.Base)
+		p.segIdx = append(p.segIdx, vi)
+		p.steps = append(p.steps, e.opts.Step)
+		p.pos = append(p.pos, 0)
+	}
+	if len(p.engines) == 0 {
+		return nil, ErrNoCandidates
+	}
+	return p, nil
+}
+
+// Step processes the next batch of dimensions in every segment and prunes.
+// It returns false once every effective dimension has been processed
+// (further calls are no-ops).
 func (p *Progressive) Step() bool {
-	total := len(p.e.order)
-	if p.processed >= total {
-		p.finished = true
+	if p.finished {
 		return false
 	}
-	p.processed, p.step = p.e.stepOnce(p.processed, p.step)
-	if p.processed >= total {
-		p.finished = true
+	done := true
+	for i, e := range p.engines {
+		total := len(e.order)
+		if p.pos[i] >= total {
+			continue
+		}
+		p.pos[i], p.steps[i] = e.stepOnce(p.pos[i], p.steps[i])
+		if p.pos[i] < total {
+			done = false
+		}
 	}
+	p.finished = done
 	return !p.finished
 }
 
-// DimsProcessed returns the number of columns read so far.
-func (p *Progressive) DimsProcessed() int { return p.processed }
+// DimsProcessed returns the number of columns read so far (the maximum
+// over segments, which differ only when subspaces leave them uneven).
+func (p *Progressive) DimsProcessed() int {
+	m := 0
+	for _, pos := range p.pos {
+		if pos > m {
+			m = pos
+		}
+	}
+	return m
+}
 
 // DimsTotal returns the number of effective dimensions of the query.
-func (p *Progressive) DimsTotal() int { return len(p.e.order) }
+func (p *Progressive) DimsTotal() int {
+	m := 0
+	for _, e := range p.engines {
+		if len(e.order) > m {
+			m = len(e.order)
+		}
+	}
+	return m
+}
 
-// NumCandidates returns the current candidate-set size.
-func (p *Progressive) NumCandidates() int { return len(p.e.cands) }
+// NumCandidates returns the current candidate-set size across segments.
+func (p *Progressive) NumCandidates() int {
+	n := 0
+	for _, e := range p.engines {
+		n += len(e.cands)
+	}
+	return n
+}
 
-// Candidates returns a copy of the current candidate ids.
+// Candidates returns a copy of the current candidate ids (global,
+// ascending).
 func (p *Progressive) Candidates() []int {
-	return append([]int(nil), p.e.cands...)
+	var out []int
+	for i, e := range p.engines {
+		for _, id := range e.cands {
+			out = append(out, id+p.bases[i])
+		}
+	}
+	return out
+}
+
+// merge ranks the engines' current results into one top-k list.
+func (p *Progressive) merge() []topk.Result {
+	lists := make([][]topk.Result, len(p.engines))
+	for i, e := range p.engines {
+		lists[i] = shift(e.finish().Results, p.bases[i])
+	}
+	return topk.Merge(p.k, !p.distance, lists...)
 }
 
 // CurrentBest ranks the current candidates by their partial scores — an
 // approximate preview that becomes the exact answer once Step has
 // exhausted the dimensions.
 func (p *Progressive) CurrentBest() []topk.Result {
-	return p.e.finish().Results
+	return p.merge()
 }
 
 // Finish runs the remaining steps and returns the exact result, identical
-// to what Search would have produced.
+// to what a one-shot search would have produced.
 func (p *Progressive) Finish() Result {
 	for p.Step() {
 	}
-	p.e.stats.FinalCandidates = len(p.e.cands)
-	return p.e.finish()
+	res := Result{Results: p.merge(), Stats: p.Stats()}
+	return res
 }
 
-// Stats returns the statistics accumulated so far.
+// Stats returns the statistics accumulated so far, summed over segments.
 func (p *Progressive) Stats() Stats {
-	st := p.e.stats
-	st.FinalCandidates = len(p.e.cands)
+	var st Stats
+	for i, e := range p.engines {
+		es := e.stats
+		es.FinalCandidates = len(e.cands)
+		mergeStats(&st, es, p.segIdx[i])
+		st.SegmentsSearched++
+	}
 	return st
 }

@@ -3,15 +3,18 @@ package core
 import (
 	"bond/internal/metric"
 	"bond/internal/topk"
-	"bond/internal/vstore"
 )
 
-// Search runs BOND (Algorithm 2) over a vertically decomposed store and
+// Search runs BOND (Algorithm 2) over a vertically decomposed source and
 // returns the K best matches with exact scores, best first, together with
 // work statistics. Results are deterministic: ties in score break toward
 // the smaller vector id, exactly as in the sequential-scan baselines, so
 // BOND and a full scan always return identical answer sets.
-func Search(s *vstore.Store, q []float64, opts Options) (Result, error) {
+//
+// For a segmented collection, use SearchSegments instead: it runs this
+// engine per segment and additionally skips whole segments via their
+// synopses.
+func Search(s Source, q []float64, opts Options) (Result, error) {
 	if err := opts.validate(s, q); err != nil {
 		return Result{}, err
 	}
@@ -20,14 +23,16 @@ func Search(s *vstore.Store, q []float64, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	e.run()
-	return e.finish(), nil
+	res := e.finish()
+	res.Stats.SegmentsSearched = 1
+	return res, nil
 }
 
 // engine holds the state of one search: the candidate ids, their partial
 // scores S⁻, and (for per-vector criteria) their remaining masses T(v⁺).
 // The three slices stay index-aligned through every compaction.
 type engine struct {
-	s       *vstore.Store
+	s       Source
 	q       []float64
 	opts    Options
 	weights []float64 // effective weights (may be synthesized from Dims)
@@ -45,7 +50,7 @@ type engine struct {
 	stats      Stats
 }
 
-func newEngine(s *vstore.Store, q []float64, opts Options) (*engine, error) {
+func newEngine(s Source, q []float64, opts Options) (*engine, error) {
 	e := &engine{s: s, q: q, opts: opts}
 
 	e.weights = opts.Weights
@@ -66,12 +71,12 @@ func newEngine(s *vstore.Store, q []float64, opts Options) (*engine, error) {
 	}
 
 	deleted := s.DeletedBitmap()
-	e.cands = make([]int, 0, s.Live())
+	e.cands = make([]int, 0, s.Len())
 	for id := 0; id < s.Len(); id++ {
 		if deleted.Get(id) {
 			continue
 		}
-		if opts.Exclude != nil && opts.Exclude.Get(id) {
+		if excludedID(opts.Exclude, id) {
 			continue
 		}
 		e.cands = append(e.cands, id)

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"bond/internal/bitmap"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// SegmentView is one physical segment of a segmented collection as the
+// search layer sees it: a Source holding the segment's columns (addressed
+// by local ids 0…len−1), the global id of local id 0, and an optional
+// per-dimension min/max synopsis.
+//
+// When DimRange is non-nil, SearchSegments uses it to bound the best score
+// any member of the segment could reach and skips the segment wholesale
+// whenever that bound cannot beat the running k-th best (κ). A nil
+// DimRange only disables skipping; results stay exact either way.
+type SegmentView struct {
+	Src      Source
+	Base     int
+	DimRange func(d int) (lo, hi float64)
+}
+
+// viewsMeta aggregates segment views into the shape option validation
+// needs.
+type viewsMeta struct {
+	dims, n int
+	lo, hi  float64
+}
+
+func (m viewsMeta) Dims() int                      { return m.dims }
+func (m viewsMeta) Len() int                       { return m.n }
+func (m viewsMeta) ValueRange() (float64, float64) { return m.lo, m.hi }
+
+func aggregateViews(views []SegmentView) (viewsMeta, error) {
+	if len(views) == 0 {
+		return viewsMeta{}, fmt.Errorf("core: no segment views")
+	}
+	m := viewsMeta{dims: views[0].Src.Dims(), lo: math.Inf(1), hi: math.Inf(-1)}
+	for i, v := range views {
+		if v.Src.Dims() != m.dims {
+			return viewsMeta{}, fmt.Errorf("core: segment %d has %d dims, segment 0 has %d",
+				i, v.Src.Dims(), m.dims)
+		}
+		if v.Base != m.n {
+			return viewsMeta{}, fmt.Errorf("core: segment %d base %d, want %d (views must be dense and ordered)",
+				i, v.Base, m.n)
+		}
+		m.n += v.Src.Len()
+		lo, hi := v.Src.ValueRange()
+		m.lo = math.Min(m.lo, lo)
+		m.hi = math.Max(m.hi, hi)
+	}
+	return m, nil
+}
+
+// excludedID reports whether id is marked in the exclusion bitmap,
+// treating ids beyond the bitmap's length as not excluded. An exclusion
+// bitmap sized to an earlier Len therefore stays valid after appends —
+// the documented concurrency contract lets a writer grow the collection
+// between NewExclusion and Search — instead of crashing bitmap.Get.
+func excludedID(bm *bitmap.Bitmap, id int) bool {
+	return bm != nil && id < bm.Len() && bm.Get(id)
+}
+
+// localExclude projects the [base, base+n) window of a global exclusion
+// bitmap onto segment-local ids. It returns nil when nothing is excluded.
+func localExclude(global *bitmap.Bitmap, base, n int) *bitmap.Bitmap {
+	if global == nil {
+		return nil
+	}
+	var local *bitmap.Bitmap
+	for i := 0; i < n; i++ {
+		if excludedID(global, base+i) {
+			if local == nil {
+				local = bitmap.New(n)
+			}
+			local.Set(i)
+		}
+	}
+	return local
+}
+
+// segmentBound returns the best score any vector inside the segment could
+// possibly reach under the query and options, derived from the synopsis:
+// an upper bound on similarity for the histogram criteria, a lower bound
+// on distance for the Euclidean ones. ok is false when the view carries no
+// usable synopsis (empty segment or nil DimRange), in which case the
+// segment must be searched.
+func segmentBound(v SegmentView, q []float64, opts Options) (bound float64, ok bool) {
+	if v.DimRange == nil || v.Src.Len() == 0 {
+		return 0, false
+	}
+	dist := opts.Criterion.Distance()
+	// Effective dimensions mirror buildOrder: Dims restricts, zero weights
+	// drop out (their best-case contribution is 0 for both metrics).
+	eff := opts.Dims
+	if len(eff) == 0 {
+		eff = make([]int, len(q))
+		for d := range eff {
+			eff[d] = d
+		}
+	}
+	for _, d := range eff {
+		w := 1.0
+		if len(opts.Weights) > 0 {
+			w = opts.Weights[d]
+			if w == 0 {
+				continue
+			}
+		}
+		lo, hi := v.DimRange(d)
+		if math.IsInf(lo, 1) { // no data observed for this dimension
+			return 0, false
+		}
+		if dist {
+			// Best case: the closest point of [lo, hi] to q_d.
+			gap := 0.0
+			if q[d] < lo {
+				gap = lo - q[d]
+			} else if q[d] > hi {
+				gap = q[d] - hi
+			}
+			bound += w * gap * gap
+		} else {
+			// Best case of min(h, q): capped by the segment's largest value.
+			bound += w * math.Min(q[d], hi)
+		}
+	}
+	return bound, true
+}
+
+// cannotBeat reports whether a segment whose best possible score is bound
+// has no chance against the current κ. The comparison is strict: a segment
+// that could only tie κ is still searched, so id tie-breaks stay identical
+// to a single flat search.
+func cannotBeat(bound, kappa float64, distance bool) bool {
+	if distance {
+		return bound > kappa
+	}
+	return bound < kappa
+}
+
+// searchOne runs the engine over a single segment without re-validating.
+// empty is true when the segment holds no eligible candidates.
+func searchOne(src Source, q []float64, opts Options) (Result, bool, error) {
+	e, err := newEngine(src, q, opts)
+	if err == ErrNoCandidates {
+		return Result{}, true, nil
+	}
+	if err != nil {
+		return Result{}, false, err
+	}
+	e.run()
+	return e.finish(), false, nil
+}
+
+// shift rebases segment-local result ids to global ids.
+func shift(rs []topk.Result, base int) []topk.Result {
+	if base == 0 {
+		return rs
+	}
+	out := make([]topk.Result, len(rs))
+	for i, r := range rs {
+		out[i] = topk.Result{ID: r.ID + base, Score: r.Score}
+	}
+	return out
+}
+
+// orderViews returns the processing order over the views: synopsis-bounded
+// views best-first (so κ tightens as fast as possible and later segments
+// can be skipped), with unbounded views first since they must be searched
+// regardless.
+func orderViews(views []SegmentView, q []float64, opts Options) (order []int, bounds []float64, hasBound []bool) {
+	dist := opts.Criterion.Distance()
+	bounds = make([]float64, len(views))
+	hasBound = make([]bool, len(views))
+	order = make([]int, 0, len(views))
+	for i, v := range views {
+		if v.Src.Len() == 0 {
+			continue
+		}
+		bounds[i], hasBound[i] = segmentBound(v, q, opts)
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if hasBound[ia] != hasBound[ib] {
+			return !hasBound[ia] // unbounded views go first
+		}
+		if !hasBound[ia] {
+			return false
+		}
+		if dist {
+			return bounds[ia] < bounds[ib] // smallest possible distance first
+		}
+		return bounds[ia] > bounds[ib] // largest possible similarity first
+	})
+	return order, bounds, hasBound
+}
+
+// SearchSegments runs BOND per segment and merges the per-segment top-k
+// lists into the exact global top-k. Before searching a segment it bounds
+// the best score any of the segment's members could reach from the
+// per-dimension synopsis; once k results are in hand, segments whose bound
+// cannot beat the current κ are skipped without reading a single column —
+// the segmented store's answer to clustered data. The neighbor set is
+// identical to a flat Search over the concatenated collection.
+func SearchSegments(views []SegmentView, q []float64, opts Options) (Result, error) {
+	m, err := aggregateViews(views)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := opts.validate(m, q); err != nil {
+		return Result{}, err
+	}
+	order, bounds, hasBound := orderViews(views, q, opts)
+
+	dist := opts.Criterion.Distance()
+	var kappaHeap *topk.Heap
+	if dist {
+		kappaHeap = topk.NewSmallest(opts.K)
+	} else {
+		kappaHeap = topk.NewLargest(opts.K)
+	}
+
+	var merged Result
+	var lists [][]topk.Result
+	for _, vi := range order {
+		v := views[vi]
+		if kappa, full := kappaHeap.Threshold(); full && hasBound[vi] &&
+			cannotBeat(bounds[vi], kappa, dist) {
+			merged.Stats.SegmentsSkipped++
+			continue
+		}
+		vopts := opts
+		vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
+		res, empty, err := searchOne(v.Src, q, vopts)
+		if err != nil {
+			return Result{}, err
+		}
+		if empty {
+			continue
+		}
+		merged.Stats.SegmentsSearched++
+		mergeStats(&merged.Stats, res.Stats, vi)
+		rs := shift(res.Results, v.Base)
+		lists = append(lists, rs)
+		for _, r := range rs {
+			kappaHeap.Push(r.ID, r.Score)
+		}
+	}
+	if len(lists) == 0 {
+		return Result{}, ErrNoCandidates
+	}
+	merged.Results = topk.Merge(opts.K, !dist, lists...)
+	return merged, nil
+}
+
+// SearchSegmentsParallel runs BOND over every segment concurrently — one
+// goroutine per segment — and merges the per-segment top-k lists. Results
+// are identical to SearchSegments; synopsis skipping is not applied since
+// all segments start before any κ exists.
+func SearchSegmentsParallel(views []SegmentView, q []float64, opts Options) (Result, error) {
+	m, err := aggregateViews(views)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := opts.validate(m, q); err != nil {
+		return Result{}, err
+	}
+	type out struct {
+		res   Result
+		empty bool
+		err   error
+	}
+	outs := make([]out, len(views))
+	var wg sync.WaitGroup
+	for i, v := range views {
+		if v.Src.Len() == 0 {
+			outs[i].empty = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, v SegmentView) {
+			defer wg.Done()
+			vopts := opts
+			vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
+			res, empty, err := searchOne(v.Src, q, vopts)
+			if err == nil && !empty {
+				res.Results = shift(res.Results, v.Base)
+			}
+			outs[i] = out{res: res, empty: empty, err: err}
+		}(i, v)
+	}
+	wg.Wait()
+
+	var merged Result
+	var lists [][]topk.Result
+	for i, o := range outs {
+		if o.err != nil {
+			return Result{}, fmt.Errorf("core: segment %d: %w", i, o.err)
+		}
+		if o.empty {
+			continue
+		}
+		merged.Stats.SegmentsSearched++
+		mergeStats(&merged.Stats, o.res.Stats, i)
+		lists = append(lists, o.res.Results)
+	}
+	if len(lists) == 0 {
+		return Result{}, ErrNoCandidates
+	}
+	merged.Results = topk.Merge(opts.K, !opts.Criterion.Distance(), lists...)
+	return merged, nil
+}
+
+// CompressedSegmentView pairs a segment view with a provider for its
+// 8-bit compressed fragments. Codes is invoked only when the segment is
+// actually searched, so synopsis-skipped segments are never quantized. A
+// nil Codes (the mutable active segment, whose columns still move under
+// appends) makes the segment run through an exact scan instead of
+// filter-and-refine; either way the merged result is exact.
+type CompressedSegmentView struct {
+	SegmentView
+	Codes func() *vstore.QuantStore
+}
+
+// SearchCompressedSegments runs the filter-and-refine search per segment —
+// compressed filter on encoded segments, exact BOND on unencoded ones —
+// with the same synopsis-based segment skipping as SearchSegments, and
+// merges the exact per-segment top-k lists.
+func SearchCompressedSegments(views []CompressedSegmentView, q []float64, opts Options) (CompressedResult, error) {
+	plain := make([]SegmentView, len(views))
+	for i, v := range views {
+		plain[i] = v.SegmentView
+	}
+	m, err := aggregateViews(plain)
+	if err != nil {
+		return CompressedResult{}, err
+	}
+	if err := opts.validate(m, q); err != nil {
+		return CompressedResult{}, err
+	}
+	if err := validateCompressed(opts); err != nil {
+		return CompressedResult{}, err
+	}
+	order, bounds, hasBound := orderViews(plain, q, opts)
+
+	dist := opts.Criterion.Distance()
+	var kappaHeap *topk.Heap
+	if dist {
+		kappaHeap = topk.NewSmallest(opts.K)
+	} else {
+		kappaHeap = topk.NewLargest(opts.K)
+	}
+
+	var merged CompressedResult
+	var lists [][]topk.Result
+	for _, vi := range order {
+		v := views[vi]
+		if kappa, full := kappaHeap.Threshold(); full && hasBound[vi] &&
+			cannotBeat(bounds[vi], kappa, dist) {
+			merged.FilterStats.SegmentsSkipped++
+			continue
+		}
+		vopts := opts
+		vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
+		var rs []topk.Result
+		if v.Codes != nil {
+			f := &compressedFilter{s: v.Src, qs: v.Codes(), q: q, opts: vopts}
+			f.init()
+			if len(f.cands) == 0 {
+				continue
+			}
+			sub := f.refineRun()
+			merged.FilterCandidates += sub.FilterCandidates
+			mergeStats(&merged.FilterStats, sub.FilterStats, vi)
+			merged.RefineValuesScanned += sub.RefineValuesScanned
+			rs = sub.Results
+		} else {
+			exact, scanned := exactScanView(v.Src, q, vopts)
+			if exact == nil {
+				continue
+			}
+			merged.ExactValuesScanned += scanned
+			rs = exact
+		}
+		merged.FilterStats.SegmentsSearched++
+		rs = shift(rs, v.Base)
+		lists = append(lists, rs)
+		for _, r := range rs {
+			kappaHeap.Push(r.ID, r.Score)
+		}
+	}
+	if len(lists) == 0 {
+		return CompressedResult{}, ErrNoCandidates
+	}
+	merged.Results = topk.Merge(opts.K, !dist, lists...)
+	return merged, nil
+}
+
+// refineRun drives an initialized compressed filter to its refined result.
+func (f *compressedFilter) refineRun() CompressedResult {
+	f.run()
+	return f.refine()
+}
+
+// exactScanView ranks a segment's live candidates by their exact scores,
+// accumulating dimensions in natural (storage) order — the same summation
+// order the compressed refine step uses, so a segment answers identically
+// whether it is encoded or not. Returns nil when no candidate is eligible.
+func exactScanView(src Source, q []float64, opts Options) ([]topk.Result, int64) {
+	deleted := src.DeletedBitmap()
+	cands := make([]int, 0, src.Len())
+	for id := 0; id < src.Len(); id++ {
+		if deleted.Get(id) {
+			continue
+		}
+		if excludedID(opts.Exclude, id) {
+			continue
+		}
+		cands = append(cands, id)
+	}
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	dist := opts.Criterion.Distance()
+	score := make([]float64, len(cands))
+	for d := 0; d < src.Dims(); d++ {
+		col := src.Column(d)
+		qd := q[d]
+		for ci, id := range cands {
+			v := col[id]
+			if dist {
+				diff := v - qd
+				score[ci] += diff * diff
+			} else if v < qd {
+				score[ci] += v
+			} else {
+				score[ci] += qd
+			}
+		}
+	}
+	k := opts.K
+	if k > len(cands) {
+		k = len(cands)
+	}
+	var h *topk.Heap
+	if dist {
+		h = topk.NewSmallest(k)
+	} else {
+		h = topk.NewLargest(k)
+	}
+	for ci, id := range cands {
+		h.Push(id, score[ci])
+	}
+	return h.Results(), int64(len(cands)) * int64(src.Dims())
+}
+
+// SearchMILSegments runs the MIL reference engine per segment and merges
+// the per-segment top-k lists (criterion Hq, largest wins). Results are
+// identical to SearchMIL over the concatenated collection.
+func SearchMILSegments(views []SegmentView, q []float64, opts MILOptions) (Result, error) {
+	var merged Result
+	var lists [][]topk.Result
+	searched := false
+	for vi, v := range views {
+		if v.Src.Len() == 0 {
+			continue
+		}
+		vopts := opts
+		vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
+		res, err := SearchMIL(v.Src, q, vopts)
+		if err == ErrNoCandidates {
+			continue
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		searched = true
+		merged.Stats.SegmentsSearched++
+		mergeStats(&merged.Stats, res.Stats, vi)
+		lists = append(lists, shift(res.Results, v.Base))
+	}
+	if !searched {
+		return Result{}, ErrNoCandidates
+	}
+	merged.Results = topk.Merge(opts.K, true, lists...)
+	return merged, nil
+}
+
+// mergeStats folds one segment's work statistics into the aggregate.
+// Steps are concatenated in processing order, tagged with the segment
+// index they ran in; DimsUntilK keeps the worst (largest) per-segment
+// value.
+func mergeStats(dst *Stats, src Stats, segment int) {
+	dst.ValuesScanned += src.ValuesScanned
+	dst.FinalCandidates += src.FinalCandidates
+	for _, st := range src.Steps {
+		st.Segment = segment
+		dst.Steps = append(dst.Steps, st)
+	}
+	if src.DimsUntilK > dst.DimsUntilK {
+		dst.DimsUntilK = src.DimsUntilK
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bond/internal/bitmap"
+	"bond/internal/dataset"
+	"bond/internal/quant"
+	"bond/internal/topk"
+	"bond/internal/vstore"
+)
+
+// viewsOf exposes a segmented store to the search layer, synopses included.
+func viewsOf(s *vstore.SegStore) []SegmentView {
+	segs, bases := s.Segments(), s.Bases()
+	views := make([]SegmentView, len(segs))
+	for i := range segs {
+		views[i] = SegmentView{Src: segs[i], Base: bases[i], DimRange: segs[i].DimRange}
+	}
+	return views
+}
+
+// identicalResults demands byte-identical neighbor sets: same ids, same
+// float64 scores, same order. The segmented engine accumulates each
+// candidate's score over the same dimension sequence as the flat engine,
+// so not even last-ulp drift is tolerated.
+func identicalResults(t *testing.T, label string, got, want []topk.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: rank %d = {%d %v}, want {%d %v}",
+				label, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// segFixture builds the same collection twice: flat and segmented (with a
+// few deletes sprinkled in so delete handling is part of every oracle).
+func segFixture(n, dims, segSize int, seed int64) (*vstore.Store, *vstore.SegStore) {
+	vs := dataset.CorelLike(n, dims, seed)
+	flat := vstore.FromVectors(vs)
+	seg := vstore.SegmentedFromVectors(vs, segSize)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n/20; i++ {
+		id := rng.Intn(n)
+		flat.Delete(id)
+		seg.Delete(id)
+	}
+	return flat, seg
+}
+
+func TestSearchSegmentsMatchesFlatAllCriteria(t *testing.T) {
+	flat, seg := segFixture(700, 32, 150, 11)
+	views := viewsOf(seg)
+	queries := dataset.CorelLike(6, 32, 77)
+	for _, crit := range []Criterion{Hq, Hh, Eq, Ev} {
+		for qi, q := range queries {
+			opts := Options{K: 9, Criterion: crit}
+			want, err := Search(flat, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SearchSegments(views, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identicalResults(t, crit.String(), got.Results, want.Results)
+			if got.Stats.SegmentsSearched+got.Stats.SegmentsSkipped == 0 {
+				t.Fatalf("%s q%d: no segment accounting", crit, qi)
+			}
+		}
+	}
+}
+
+func TestSearchSegmentsWeightedSubspaceExclude(t *testing.T) {
+	flat, seg := segFixture(500, 24, 128, 5)
+	views := viewsOf(seg)
+	q := dataset.CorelLike(1, 24, 123)[0]
+	w := dataset.WeightsZipf(24, 1.5, 9)
+	excl := bitmap.New(flat.Len())
+	for id := 0; id < flat.Len(); id += 7 {
+		excl.Set(id)
+	}
+	cases := []struct {
+		label string
+		opts  Options
+	}{
+		{"weighted-Ev", Options{K: 7, Criterion: Ev, Weights: w}},
+		{"weighted-Hq", Options{K: 7, Criterion: Hq, Weights: w}},
+		{"subspace-Ev", Options{K: 7, Criterion: Ev, Dims: []int{1, 4, 9, 16}}},
+		{"subspace-Hq", Options{K: 7, Criterion: Hq, Dims: []int{0, 2, 3, 11, 20}}},
+		{"excluded-Hq", Options{K: 7, Criterion: Hq, Exclude: excl}},
+		{"excluded-Ev", Options{K: 7, Criterion: Ev, Exclude: excl}},
+		{"adaptive", Options{K: 7, Criterion: Hq, AdaptiveStep: true}},
+		{"step1", Options{K: 7, Criterion: Ev, Step: 1}},
+	}
+	for _, c := range cases {
+		want, err := Search(flat, q, c.opts)
+		if err != nil {
+			t.Fatal(c.label, err)
+		}
+		got, err := SearchSegments(views, q, c.opts)
+		if err != nil {
+			t.Fatal(c.label, err)
+		}
+		identicalResults(t, c.label, got.Results, want.Results)
+	}
+}
+
+func TestSearchSegmentsParallelMatchesFlat(t *testing.T) {
+	flat, seg := segFixture(640, 16, 100, 21)
+	views := viewsOf(seg)
+	q := dataset.CorelLike(1, 16, 3)[0]
+	for _, crit := range []Criterion{Hq, Ev} {
+		opts := Options{K: 10, Criterion: crit}
+		want, err := Search(flat, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SearchSegmentsParallel(views, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonEmpty := 0
+		for _, g := range seg.Segments() {
+			if g.Len() > 0 {
+				nonEmpty++
+			}
+		}
+		identicalResults(t, "parallel-"+crit.String(), got.Results, want.Results)
+		if got.Stats.SegmentsSearched != nonEmpty {
+			t.Fatalf("searched %d segments, want %d", got.Stats.SegmentsSearched, nonEmpty)
+		}
+	}
+}
+
+func TestSearchParallelRangeShardsMatchSearch(t *testing.T) {
+	flat, _ := segFixture(530, 16, 100, 31)
+	q := dataset.CorelLike(1, 16, 8)[0]
+	excl := bitmap.New(flat.Len())
+	excl.Set(2)
+	excl.Set(333)
+	for _, crit := range []Criterion{Hq, Hh, Eq, Ev} {
+		opts := Options{K: 8, Criterion: crit, Exclude: excl}
+		want, err := Search(flat, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SearchParallel(flat, q, opts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalResults(t, "shards-"+crit.String(), got.Results, want.Results)
+	}
+}
+
+func TestProgressiveSegmentsMatchesFlat(t *testing.T) {
+	flat, seg := segFixture(420, 24, 90, 41)
+	views := viewsOf(seg)
+	q := dataset.CorelLike(1, 24, 12)[0]
+	for _, crit := range []Criterion{Hq, Ev} {
+		opts := Options{K: 6, Criterion: crit, Step: 5}
+		want, err := Search(flat, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProgressiveSegments(views, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for p.Step() {
+			steps++
+			if p.NumCandidates() < opts.K {
+				t.Fatalf("candidate set fell below k mid-search")
+			}
+		}
+		res := p.Finish()
+		identicalResults(t, "progressive-"+crit.String(), res.Results, want.Results)
+		if steps == 0 {
+			t.Fatal("progressive finished without stepping")
+		}
+	}
+}
+
+func TestCompressedSegmentsMatchesFlat(t *testing.T) {
+	flat, seg := segFixture(560, 24, 128, 51)
+	q := dataset.CorelLike(1, 24, 4)[0]
+	qs := flat.Quantize(quant.NewUnit())
+	segs, bases := seg.Segments(), seg.Bases()
+	views := make([]CompressedSegmentView, len(segs))
+	for i, g := range segs {
+		views[i] = CompressedSegmentView{
+			SegmentView: SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange},
+		}
+		if g.Sealed() {
+			g := g
+			views[i].Codes = func() *vstore.QuantStore { return g.Codes(quant.NewUnit()) }
+		}
+	}
+	for _, crit := range []Criterion{Hq, Eq} {
+		opts := Options{K: 10, Criterion: crit}
+		want, err := SearchCompressed(flat, qs, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SearchCompressedSegments(views, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalResults(t, "compressed-"+crit.String(), got.Results, want.Results)
+	}
+}
+
+func TestMILSegmentsMatchesFlat(t *testing.T) {
+	flat, seg := segFixture(450, 16, 120, 61)
+	views := viewsOf(seg)
+	q := dataset.CorelLike(1, 16, 14)[0]
+	want, err := SearchMIL(flat, q, MILOptions{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchMILSegments(views, q, MILOptions{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResults(t, "mil", got.Results, want.Results)
+}
+
+// clusterContiguous builds data where each segment-sized block of vectors
+// sits around its own cluster centre — the locality pattern (ingest by
+// time or by class) that makes segment synopses selective.
+func clusterContiguous(blocks, perBlock, dims int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, 0, blocks*perBlock)
+	for b := 0; b < blocks; b++ {
+		ctr := make([]float64, dims)
+		for d := range ctr {
+			ctr[d] = rng.Float64()
+		}
+		for i := 0; i < perBlock; i++ {
+			v := make([]float64, dims)
+			for d := range v {
+				x := ctr[d] + rng.NormFloat64()*0.01
+				if x < 0 {
+					x = 0
+				}
+				if x > 1 {
+					x = 1
+				}
+				v[d] = x
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestSearchSegmentsSkipsColdSegments(t *testing.T) {
+	const blocks, perBlock, dims = 8, 100, 16
+	vs := clusterContiguous(blocks, perBlock, dims, 17)
+	flat := vstore.FromVectors(vs)
+	seg := vstore.SegmentedFromVectors(vs, perBlock)
+	views := viewsOf(seg)
+	q := vs[3] // deep inside block 0
+	for _, crit := range []Criterion{Ev, Eq, Hq} {
+		opts := Options{K: 5, Criterion: crit}
+		want, err := Search(flat, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SearchSegments(views, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalResults(t, "skip-"+crit.String(), got.Results, want.Results)
+		if got.Stats.SegmentsSkipped == 0 {
+			t.Errorf("%s: no segments skipped on cluster-contiguous data", crit)
+		}
+		if got.Stats.SegmentsSearched+got.Stats.SegmentsSkipped < blocks {
+			t.Errorf("%s: accounting: searched %d + skipped %d < %d segments",
+				crit, got.Stats.SegmentsSearched, got.Stats.SegmentsSkipped, blocks)
+		}
+		if got.Stats.ValuesScanned >= want.Stats.ValuesScanned {
+			t.Errorf("%s: segmented scanned %d values, flat scanned %d — skipping saved nothing",
+				crit, got.Stats.ValuesScanned, want.Stats.ValuesScanned)
+		}
+	}
+}
+
+func TestSearchSegmentsEmptyAndErrorCases(t *testing.T) {
+	seg := vstore.NewSegmented(4, 8)
+	if _, err := SearchSegments(viewsOf(seg), []float64{1, 0, 0, 0}, Options{K: 3, Criterion: Hq}); err != ErrNoCandidates {
+		t.Fatalf("empty store: err = %v, want ErrNoCandidates", err)
+	}
+	seg.Append([]float64{0.1, 0.2, 0.3, 0.4})
+	if _, err := SearchSegments(viewsOf(seg), []float64{1, 0, 0}, Options{K: 3, Criterion: Hq}); err == nil {
+		t.Fatal("dimension mismatch not rejected")
+	}
+	res, err := SearchSegments(viewsOf(seg), []float64{1, 0, 0, 0}, Options{K: 5, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 {
+		t.Fatalf("k beyond size: %d results, want 1", len(res.Results))
+	}
+}

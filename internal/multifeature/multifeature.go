@@ -14,6 +14,11 @@
 // found this 20 % faster than stream merging for the average aggregate and
 // 70 % faster for min (Section 8.2); package streammerge provides that
 // comparator.
+//
+// A feature may be backed by a flat store (Store) or by the segments of a
+// segmented collection (Segments). Candidates stay ordered by global id
+// throughout the loop, so segmented column access advances a cursor over
+// the segment boundaries instead of copying columns together.
 package multifeature
 
 import (
@@ -22,9 +27,9 @@ import (
 	"math"
 	"sort"
 
+	"bond/internal/core"
 	"bond/internal/metric"
 	"bond/internal/topk"
-	"bond/internal/vstore"
 )
 
 // FeatureMetric selects the similarity metric of one query component —
@@ -57,11 +62,45 @@ func (m FeatureMetric) String() string {
 // Feature is one component of a multi-feature query: a decomposed
 // collection, the query vector for it, its weight in the aggregate, and
 // its similarity metric.
+//
+// The collection is given either as a single flat Store or as the ordered
+// Segments of a segmented collection; Segments wins when both are set.
 type Feature struct {
-	Store  *vstore.Store
-	Query  []float64
-	Weight float64
-	Metric FeatureMetric
+	Store    core.Source
+	Segments []core.SegmentView
+	Query    []float64
+	Weight   float64
+	Metric   FeatureMetric
+}
+
+// Views returns the feature's storage as segment views (a flat Store
+// becomes a single view at base 0).
+func (f Feature) Views() []core.SegmentView {
+	if len(f.Segments) > 0 {
+		return f.Segments
+	}
+	if f.Store == nil {
+		return nil
+	}
+	return []core.SegmentView{{Src: f.Store}}
+}
+
+// Len returns the number of object slots the feature covers.
+func (f Feature) Len() int {
+	n := 0
+	for _, v := range f.Views() {
+		n += v.Src.Len()
+	}
+	return n
+}
+
+// Dims returns the feature's dimensionality (0 when no storage is set).
+func (f Feature) Dims() int {
+	views := f.Views()
+	if len(views) == 0 {
+		return 0
+	}
+	return views[0].Src.Dims()
 }
 
 // Aggregate combines per-feature similarities into a global score.
@@ -165,16 +204,26 @@ func validate(features []Feature, opts *Options) error {
 	if len(features) == 0 {
 		return ErrNoFeatures
 	}
-	n := features[0].Store.Len()
+	n := features[0].Len()
 	for i, f := range features {
-		if f.Store.Len() != n {
-			return fmt.Errorf("%w: feature %d has %d objects, want %d", ErrSizeMismatch, i, f.Store.Len(), n)
+		if len(f.Views()) == 0 {
+			return fmt.Errorf("%w: feature %d has no storage", ErrBadOptions, i)
 		}
-		if len(f.Query) != f.Store.Dims() {
-			return fmt.Errorf("%w: feature %d query dims %d != store dims %d", ErrBadOptions, i, len(f.Query), f.Store.Dims())
+		if f.Len() != n {
+			return fmt.Errorf("%w: feature %d has %d objects, want %d", ErrSizeMismatch, i, f.Len(), n)
+		}
+		if len(f.Query) != f.Dims() {
+			return fmt.Errorf("%w: feature %d query dims %d != store dims %d", ErrBadOptions, i, len(f.Query), f.Dims())
 		}
 		if f.Weight < 0 {
 			return fmt.Errorf("%w: feature %d has negative weight", ErrBadOptions, i)
+		}
+		base := 0
+		for vi, v := range f.Views() {
+			if v.Base != base {
+				return fmt.Errorf("%w: feature %d segment %d base %d, want %d", ErrBadOptions, i, vi, v.Base, base)
+			}
+			base += v.Src.Len()
 		}
 	}
 	if opts.K < 1 {
@@ -195,6 +244,57 @@ type dimRef struct {
 	dim     int
 }
 
+// featData caches one feature's segment layout for cursor-based access.
+type featData struct {
+	views []core.SegmentView
+	ends  []int // ends[i] = views[i].Base + views[i].Src.Len()
+}
+
+func layout(f Feature) featData {
+	views := f.Views()
+	fd := featData{views: views, ends: make([]int, len(views))}
+	for i, v := range views {
+		fd.ends[i] = v.Base + v.Src.Len()
+	}
+	return fd
+}
+
+// forEachValue streams dimension d's value for every candidate id (ids
+// must be ascending — the search loop's standing invariant), advancing a
+// segment cursor instead of materializing a global column.
+func (fd featData) forEachValue(d int, cands []int, fn func(ci int, v float64)) {
+	si := 0
+	var col []float64
+	for ci, id := range cands {
+		for id >= fd.ends[si] {
+			si++
+			col = nil
+		}
+		if col == nil {
+			col = fd.views[si].Src.Column(d)
+		}
+		fn(ci, col[id-fd.views[si].Base])
+	}
+}
+
+// value performs one random access to dimension d of object id.
+func (fd featData) value(d, id int) float64 {
+	si := sort.Search(len(fd.ends), func(i int) bool { return id < fd.ends[i] })
+	return fd.views[si].Src.Column(d)[id-fd.views[si].Base]
+}
+
+// deletedUnion marks every object deleted in at least one feature.
+func deletedUnion(features []Feature, n int) []bool {
+	deleted := make([]bool, n)
+	for _, f := range features {
+		for _, v := range f.Views() {
+			base := v.Base
+			v.Src.DeletedBitmap().ForEach(func(local int) { deleted[base+local] = true })
+		}
+	}
+	return deleted
+}
+
 // Search runs synchronized BOND over all features with the Hq
 // (histogram-intersection, query-only) bounds per feature, aggregating the
 // per-feature bounds into global score bounds. It returns the exact global
@@ -204,14 +304,16 @@ func Search(features []Feature, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	nf := len(features)
-	n := features[0].Store.Len()
+	n := features[0].Len()
 	k := opts.K
 	if k > n {
 		k = n
 	}
 	weights := make([]float64, nf)
+	feats := make([]featData, nf)
 	for f := range features {
 		weights[f] = features[f].Weight
+		feats[f] = layout(features[f])
 	}
 
 	// Merged processing order: all (feature, dim) pairs by decreasing
@@ -225,7 +327,7 @@ func Search(features []Feature, opts Options) (Result, error) {
 			if 1-q > m {
 				m = 1 - q
 			}
-			return weights[f] * m * m / float64(features[f].Store.Dims())
+			return weights[f] * m * m / float64(features[f].Dims())
 		}
 		return weights[f] * q
 	}
@@ -259,11 +361,7 @@ func Search(features []Feature, opts Options) (Result, error) {
 	}
 
 	cands := make([]int, 0, n)
-	deleted := make([]bool, n)
-	for f := range features {
-		bm := features[f].Store.DeletedBitmap()
-		bm.ForEach(func(id int) { deleted[id] = true })
-	}
+	deleted := deletedUnion(features, n)
 	for id := 0; id < n; id++ {
 		if !deleted[id] {
 			cands = append(cands, id)
@@ -287,17 +385,24 @@ func Search(features []Feature, opts Options) (Result, error) {
 	scratch2 := make([]float64, nf)
 
 	// simBounds converts a component's partial score and remaining tail
-	// bound into similarity-scale lower/upper bounds.
+	// bound into similarity-scale lower/upper bounds. The maintained tail
+	// mass can drift an ulp below zero once every dimension of a feature
+	// is processed; it is floored at 0 so the Euclidean square root stays
+	// real and the histogram upper bound stays conservative.
 	simBounds := func(f int, s float64) (lo, hi float64) {
-		if features[f].Metric == MetricEuclidean {
-			n := features[f].Store.Dims()
-			return metric.EuclideanSim(s+tailQ[f], n), metric.EuclideanSim(s, n)
+		t := tailQ[f]
+		if t < 0 {
+			t = 0
 		}
-		return s, s + tailQ[f]
+		if features[f].Metric == MetricEuclidean {
+			n := features[f].Dims()
+			return metric.EuclideanSim(s+t, n), metric.EuclideanSim(s, n)
+		}
+		return s, s + t
 	}
 	simFinal := func(f int, s float64) float64 {
 		if features[f].Metric == MetricEuclidean {
-			return metric.EuclideanSim(s, features[f].Store.Dims())
+			return metric.EuclideanSim(s, features[f].Dims())
 		}
 		return s
 	}
@@ -308,28 +413,26 @@ func Search(features []Feature, opts Options) (Result, error) {
 			next = total
 		}
 		for _, ref := range order[processed:next] {
-			col := features[ref.feature].Store.Column(ref.dim)
 			qd := features[ref.feature].Query[ref.dim]
 			sf := scores[ref.feature]
 			if features[ref.feature].Metric == MetricEuclidean {
-				for ci, id := range cands {
-					diff := col[id] - qd
+				feats[ref.feature].forEachValue(ref.dim, cands, func(ci int, v float64) {
+					diff := v - qd
 					sf[ci] += diff * diff
-				}
+				})
 				m := qd
 				if 1-qd > m {
 					m = 1 - qd
 				}
 				tailQ[ref.feature] -= m * m
 			} else {
-				for ci, id := range cands {
-					v := col[id]
+				feats[ref.feature].forEachValue(ref.dim, cands, func(ci int, v float64) {
 					if v < qd {
 						sf[ci] += v
 					} else {
 						sf[ci] += qd
 					}
-				}
+				})
 				tailQ[ref.feature] -= qd
 			}
 			stats.ValuesScanned += int64(len(cands))
@@ -386,20 +489,21 @@ func ExactGlobal(features []Feature, agg Aggregate, id int) float64 {
 	weights := make([]float64, len(features))
 	for f, feat := range features {
 		weights[f] = feat.Weight
-		row := feat.Store.Row(id)
+		fd := layout(feat)
 		s := 0.0
 		if feat.Metric == MetricEuclidean {
-			for d, v := range row {
-				diff := v - feat.Query[d]
+			for d, qd := range feat.Query {
+				diff := fd.value(d, id) - qd
 				s += diff * diff
 			}
-			s = metric.EuclideanSim(s, feat.Store.Dims())
+			s = metric.EuclideanSim(s, feat.Dims())
 		} else {
-			for d, v := range row {
-				if v < feat.Query[d] {
+			for d, qd := range feat.Query {
+				v := fd.value(d, id)
+				if v < qd {
 					s += v
 				} else {
-					s += feat.Query[d]
+					s += qd
 				}
 			}
 		}
@@ -410,20 +514,25 @@ func ExactGlobal(features []Feature, agg Aggregate, id int) float64 {
 
 // ExactGlobalBatch computes exact global similarities for many objects at
 // once, iterating column-wise per feature so the accesses stay sequential
-// within each dimension table.
+// within each dimension table. The ids may be in any order.
 func ExactGlobalBatch(features []Feature, agg Aggregate, ids []int) []float64 {
 	nf := len(features)
 	weights := make([]float64, nf)
 	perFeature := make([][]float64, nf)
 	for f, feat := range features {
 		weights[f] = feat.Weight
+		fd := layout(feat)
+		// Pre-resolve each id's segment once; reused for every dimension.
+		segOf := make([]int, len(ids))
+		for i, id := range ids {
+			segOf[i] = sort.Search(len(fd.ends), func(s int) bool { return id < fd.ends[s] })
+		}
 		acc := make([]float64, len(ids))
 		euc := feat.Metric == MetricEuclidean
-		for d := 0; d < feat.Store.Dims(); d++ {
-			col := feat.Store.Column(d)
+		for d := 0; d < feat.Dims(); d++ {
 			qd := feat.Query[d]
 			for i, id := range ids {
-				v := col[id]
+				v := fd.views[segOf[i]].Src.Column(d)[id-fd.views[segOf[i]].Base]
 				if euc {
 					diff := v - qd
 					acc[i] += diff * diff
@@ -436,7 +545,7 @@ func ExactGlobalBatch(features []Feature, agg Aggregate, ids []int) []float64 {
 		}
 		if euc {
 			for i := range acc {
-				acc[i] = metric.EuclideanSim(acc[i], feat.Store.Dims())
+				acc[i] = metric.EuclideanSim(acc[i], feat.Dims())
 			}
 		}
 		perFeature[f] = acc

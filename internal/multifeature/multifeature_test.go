@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"bond/internal/core"
 	"bond/internal/dataset"
 	"bond/internal/topk"
 	"bond/internal/vstore"
@@ -106,7 +107,7 @@ func TestSearchPrunes(t *testing.T) {
 
 func TestSearchRespectsDeletes(t *testing.T) {
 	features := twoFeatures(100, 7)
-	features[0].Store.Delete(0)
+	features[0].Store.(*vstore.Store).Delete(0)
 	res, err := Search(features, Options{K: 3, Agg: WeightedAvg})
 	if err != nil {
 		t.Fatal(err)
@@ -257,6 +258,65 @@ func TestMixedMetricsBatchMatchesSingle(t *testing.T) {
 	for i, id := range ids {
 		if s := ExactGlobal(features, WeightedAvg, id); math.Abs(batch[i]-s) > 1e-12 {
 			t.Errorf("id %d: batch %v != single %v", id, batch[i], s)
+		}
+	}
+}
+
+// TestSegmentedFeaturesMatchFlat is the segmented-storage oracle: the same
+// objects served from segment views must produce the identical result set
+// as flat stores, for synchronized search and both random-access primitives.
+func TestSegmentedFeaturesMatchFlat(t *testing.T) {
+	flat := twoFeatures(400, 13)
+	seg := twoFeatures(400, 13)
+	for f := range seg {
+		st := seg[f].Store.(*vstore.Store)
+		ss := vstore.NewSegmented(st.Dims(), 90)
+		for id := 0; id < st.Len(); id++ {
+			ss.Append(st.Row(id))
+		}
+		segs, bases := ss.Segments(), ss.Bases()
+		views := make([]core.SegmentView, len(segs))
+		for i := range segs {
+			views[i] = core.SegmentView{Src: segs[i], Base: bases[i], DimRange: segs[i].DimRange}
+		}
+		seg[f].Store = nil
+		seg[f].Segments = views
+	}
+	seg[1].Metric = MetricEuclidean
+	flat[1].Metric = MetricEuclidean
+	// Deletes must be honored per segment.
+	flat[0].Store.(*vstore.Store).Delete(33)
+	seg[0].Segments[0].Src.(*vstore.Segment).Delete(33)
+
+	for _, agg := range []Aggregate{WeightedAvg, MinAgg, MaxAgg} {
+		want, err := Search(flat, Options{K: 8, Agg: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Search(seg, Options{K: 8, Agg: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("%v: %d results, want %d", agg, len(got.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			if got.Results[i] != want.Results[i] {
+				t.Fatalf("%v rank %d: {%d %v}, want {%d %v}", agg, i,
+					got.Results[i].ID, got.Results[i].Score,
+					want.Results[i].ID, want.Results[i].Score)
+			}
+		}
+	}
+	ids := []int{5, 399, 90, 89, 180}
+	wantB := ExactGlobalBatch(flat, WeightedAvg, ids)
+	gotB := ExactGlobalBatch(seg, WeightedAvg, ids)
+	for i := range ids {
+		if gotB[i] != wantB[i] {
+			t.Fatalf("batch id %d: %v, want %v", ids[i], gotB[i], wantB[i])
+		}
+		if g := ExactGlobal(seg, WeightedAvg, ids[i]); g != wantB[i] {
+			t.Fatalf("single id %d: %v, want %v", ids[i], g, wantB[i])
 		}
 	}
 }

@@ -58,7 +58,7 @@ func Search(features []multifeature.Feature, k int, agg multifeature.Aggregate) 
 	if err := check(features, k); err != nil {
 		return Result{}, err
 	}
-	n := features[0].Store.Len()
+	n := features[0].Len()
 	var total Stats
 	kprime := k
 	for {
@@ -89,7 +89,7 @@ func SearchOptimal(features []multifeature.Feature, k int, agg multifeature.Aggr
 	if err := check(features, k); err != nil {
 		return Result{}, err
 	}
-	n := features[0].Store.Len()
+	n := features[0].Len()
 	lo, hi := k, n
 	// Invariant: a round at hi terminates (at k′ = n it always does: all
 	// objects are seen, so the threshold test is irrelevant).
@@ -123,7 +123,9 @@ func runOnce(features []multifeature.Feature, k, kprime int, agg multifeature.Ag
 	weights := make([]float64, len(features))
 	for f, feat := range features {
 		weights[f] = feat.Weight
-		sr, err := core.Search(feat.Store, feat.Query, core.Options{K: kprime, Criterion: core.Hq})
+		// Per-stream ranking runs segment-aware BOND, so segmented feature
+		// collections stream as cheaply as flat ones.
+		sr, err := core.SearchSegments(feat.Views(), feat.Query, core.Options{K: kprime, Criterion: core.Hq})
 		if err != nil {
 			return Result{}, false, fmt.Errorf("streammerge: stream %d: %w", f, err)
 		}
@@ -158,7 +160,7 @@ func runOnce(features []multifeature.Feature, k, kprime int, agg multifeature.Ag
 		satisfied = results[len(results)-1].Score >= tau
 	}
 	// At full depth every object was seen: always complete.
-	if kprime >= features[0].Store.Len() {
+	if kprime >= features[0].Len() {
 		satisfied = true
 	}
 	return Result{Results: results, Stats: st}, satisfied, nil
@@ -171,12 +173,12 @@ func check(features []multifeature.Feature, k int) error {
 	if k < 1 {
 		return fmt.Errorf("%w: k must be >= 1", ErrBadOptions)
 	}
-	n := features[0].Store.Len()
+	n := features[0].Len()
 	for i, f := range features {
-		if f.Store.Len() != n {
+		if f.Len() != n {
 			return fmt.Errorf("%w: feature %d size mismatch", ErrBadOptions, i)
 		}
-		if len(f.Query) != f.Store.Dims() {
+		if len(f.Query) != f.Dims() {
 			return fmt.Errorf("%w: feature %d query dims", ErrBadOptions, i)
 		}
 	}

@@ -113,7 +113,7 @@ func TestKPrimeGrowsWhenNeeded(t *testing.T) {
 	// With the min aggregate and queries from different objects, the global
 	// winner may rank low in each individual stream, forcing k′ growth.
 	features := twoFeatures(300, 23)
-	features[1].Query = append([]float64(nil), features[1].Store.Row(17)...)
+	features[1].Query = append([]float64(nil), features[1].Store.(*vstore.Store).Row(17)...)
 	res, err := Search(features, 10, multifeature.MinAgg)
 	if err != nil {
 		t.Fatal(err)

@@ -81,30 +81,38 @@ func (h *Heap) Len() int { return len(h.items) }
 // Full reports whether the heap holds k results.
 func (h *Heap) Full() bool { return len(h.items) == h.k }
 
-// worse reports whether score a is worse than score b under the heap's mode:
-// for a "largest" heap smaller scores are worse, for a "smallest" heap
-// larger scores are worse.
-func (h *Heap) worse(a, b float64) bool {
-	if h.largest {
-		return a < b
+// worse reports whether result a ranks strictly behind result b under the
+// heap's mode: by score first (for a "largest" heap smaller scores are
+// worse, for a "smallest" heap larger scores are worse), then by id —
+// among equal scores the larger id is worse. The id tie-break makes the
+// retained set a unique function of the offered results, independent of
+// push order, which is what lets a per-segment search merge to exactly
+// the same answer as a flat scan.
+func (h *Heap) worse(a, b Result) bool {
+	if a.Score != b.Score {
+		if h.largest {
+			return a.Score < b.Score
+		}
+		return a.Score > b.Score
 	}
-	return a > b
+	return a.ID > b.ID
 }
 
 // Push offers a result to the heap. It returns true if the result was
 // retained (it is currently among the k best).
 func (h *Heap) Push(id int, score float64) bool {
+	it := Result{ID: id, Score: score}
 	if len(h.items) < h.k {
-		h.items = append(h.items, Result{ID: id, Score: score})
+		h.items = append(h.items, it)
 		h.siftUp(len(h.items) - 1)
 		return true
 	}
 	h.overflow = true
 	// Root is the current worst of the k best.
-	if h.worse(score, h.items[0].Score) || score == h.items[0].Score {
+	if !h.worse(h.items[0], it) {
 		return false
 	}
-	h.items[0] = Result{ID: id, Score: score}
+	h.items[0] = it
 	h.siftDown(0)
 	return true
 }
@@ -119,13 +127,21 @@ func (h *Heap) Threshold() (float64, bool) {
 	return h.items[0].Score, true
 }
 
-// WouldAccept reports whether a result with the given score would displace
-// the current k-th best (or whether the heap still has room).
+// WouldAccept reports whether a result with the given score could displace
+// the current k-th best (or whether the heap still has room). A score
+// equal to the threshold answers true, since an id smaller than the
+// root's would be retained.
 func (h *Heap) WouldAccept(score float64) bool {
 	if len(h.items) < h.k {
 		return true
 	}
-	return !h.worse(score, h.items[0].Score) && score != h.items[0].Score
+	if score == h.items[0].Score {
+		return true
+	}
+	if h.largest {
+		return score > h.items[0].Score
+	}
+	return score < h.items[0].Score
 }
 
 // Results returns the retained results sorted best-first: decreasing score
@@ -146,7 +162,7 @@ func (h *Heap) Results() []Result {
 func (h *Heap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.worse(h.items[i].Score, h.items[parent].Score) {
+		if !h.worse(h.items[i], h.items[parent]) {
 			break
 		}
 		h.items[i], h.items[parent] = h.items[parent], h.items[i]
@@ -160,10 +176,10 @@ func (h *Heap) siftDown(i int) {
 	for {
 		left, right := 2*i+1, 2*i+2
 		worst := i
-		if left < n && h.worse(h.items[left].Score, h.items[worst].Score) {
+		if left < n && h.worse(h.items[left], h.items[worst]) {
 			worst = left
 		}
-		if right < n && h.worse(h.items[right].Score, h.items[worst].Score) {
+		if right < n && h.worse(h.items[right], h.items[worst]) {
 			worst = right
 		}
 		if worst == i {

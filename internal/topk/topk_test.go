@@ -64,8 +64,8 @@ func TestHeapWouldAccept(t *testing.T) {
 	if h.WouldAccept(0.4) {
 		t.Error("0.4 must not displace threshold 0.5")
 	}
-	if h.WouldAccept(0.5) {
-		t.Error("equal score must not displace (ties keep incumbent)")
+	if !h.WouldAccept(0.5) {
+		t.Error("equal score could displace via a smaller id, must answer true")
 	}
 	if !h.WouldAccept(0.6) {
 		t.Error("0.6 must displace threshold 0.5")
@@ -94,19 +94,6 @@ func TestHeapFewerThanK(t *testing.T) {
 	}
 	if got[0].ID != 1 || got[1].ID != 3 {
 		t.Errorf("unexpected order: %+v", got)
-	}
-}
-
-func TestHeapDeterministicTieBreak(t *testing.T) {
-	h := NewLargest(2)
-	h.Push(5, 1.0)
-	h.Push(2, 1.0)
-	h.Push(9, 1.0)
-	got := h.Results()
-	// All scores equal: first two pushed are retained (ties never displace),
-	// sorted by ID.
-	if got[0].ID != 2 || got[1].ID != 5 {
-		t.Errorf("got %+v, want IDs [2 5]", got)
 	}
 }
 
@@ -261,5 +248,40 @@ func BenchmarkKthLargest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		KthLargest(xs, 10)
+	}
+}
+
+// TestHeapDeterministicTieBreak pins the order-independence property the
+// segmented merge relies on: among equal scores at the k-boundary the
+// smaller ids win, no matter in which order results are offered.
+func TestHeapDeterministicTieBreak(t *testing.T) {
+	offers := []Result{{ID: 9, Score: 0.5}, {ID: 2, Score: 0.5}, {ID: 7, Score: 0.9},
+		{ID: 4, Score: 0.5}, {ID: 1, Score: 0.2}}
+	perms := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {3, 4, 0, 2, 1}}
+	for _, p := range perms {
+		h := NewLargest(3)
+		for _, i := range p {
+			h.Push(offers[i].ID, offers[i].Score)
+		}
+		got := h.Results()
+		want := []Result{{ID: 7, Score: 0.9}, {ID: 2, Score: 0.5}, {ID: 4, Score: 0.5}}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("perm %v: rank %d = %+v, want %+v", p, i, got[i], want[i])
+			}
+		}
+	}
+	for _, p := range perms {
+		h := NewSmallest(2)
+		for _, i := range p {
+			h.Push(offers[i].ID, offers[i].Score)
+		}
+		got := h.Results()
+		want := []Result{{ID: 1, Score: 0.2}, {ID: 2, Score: 0.5}}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("smallest perm %v: rank %d = %+v, want %+v", p, i, got[i], want[i])
+			}
+		}
 	}
 }

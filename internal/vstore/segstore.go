@@ -1,0 +1,482 @@
+package vstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"bond/internal/quant"
+)
+
+// DefaultSegmentSize is the seal threshold of a segmented store: once the
+// active segment holds this many vectors it is frozen and a fresh active
+// segment takes over.
+const DefaultSegmentSize = 4096
+
+// Segment is one horizontal fragment of a segmented store: a flat Store
+// plus a sealed flag and lazily built 8-bit compressed fragments.
+//
+// A sealed segment's columns and totals never change again (deletes are
+// only bitmap marks, compaction replaces the whole Segment), so its codes
+// are built at most once and shared by every subsequent compressed search.
+type Segment struct {
+	*Store
+	sealed    bool
+	codesOnce sync.Once
+	codes     *QuantStore
+}
+
+// Sealed reports whether the segment is frozen (immutable columns).
+func (g *Segment) Sealed() bool { return g.sealed }
+
+// Codes returns the segment's 8-bit compressed fragments, building them on
+// first use with the given quantizer. Only sealed segments may be encoded
+// (an active segment's columns still move); the first caller's quantizer
+// wins. Safe for concurrent use.
+func (g *Segment) Codes(q *quant.Quantizer) *QuantStore {
+	if !g.sealed {
+		panic("vstore: Codes on unsealed segment")
+	}
+	g.codesOnce.Do(func() { g.codes = g.Store.Quantize(q) })
+	return g.codes
+}
+
+// SegStore is a segmented vertically decomposed collection: a list of
+// immutable sealed segments followed by one mutable active segment.
+// Global object identifiers are positional across the segment list in
+// order, so segment i covers ids [base_i, base_i+len_i).
+//
+// Appends go to the active segment, which seals at the size threshold.
+// Deletes stay bitmap-marked inside their segment until Compact rewrites
+// segments whose tombstone ratio crosses a threshold. SegStore itself is
+// not safe for concurrent use; bond.Collection adds the locking contract.
+type SegStore struct {
+	dims    int
+	segSize int
+	segs    []*Segment // invariant: segs[len-1] is the active segment
+	bases   []int      // bases[i] = global id of segs[i]'s local id 0
+}
+
+// NewSegmented returns an empty segmented store. segSize <= 0 selects
+// DefaultSegmentSize. It panics if dims < 1.
+func NewSegmented(dims, segSize int) *SegStore {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	s := &SegStore{dims: dims, segSize: segSize}
+	s.segs = []*Segment{{Store: New(dims)}}
+	s.bases = []int{0}
+	return s
+}
+
+// SegmentedFromVectors builds a segmented store from a row-major
+// collection. The partial tail segment is sealed too — a bulk load is a
+// read-mostly signal, and sealing gives the tail synopses and codes
+// immediately (later appends open a fresh active segment). It panics on
+// empty or ragged input.
+func SegmentedFromVectors(vectors [][]float64, segSize int) *SegStore {
+	if len(vectors) == 0 {
+		panic("vstore: SegmentedFromVectors on empty collection")
+	}
+	s := NewSegmented(len(vectors[0]), segSize)
+	s.AppendBatch(vectors)
+	s.SealActive()
+	return s
+}
+
+// Dims returns the dimensionality.
+func (s *SegStore) Dims() int { return s.dims }
+
+// SegmentSize returns the seal threshold.
+func (s *SegStore) SegmentSize() int { return s.segSize }
+
+// NumSegments returns the number of segments (sealed plus active).
+func (s *SegStore) NumSegments() int { return len(s.segs) }
+
+// Segments returns the segment list in id order (the last one active).
+// The returned slice is a copy; the segments themselves are shared.
+func (s *SegStore) Segments() []*Segment {
+	return append([]*Segment(nil), s.segs...)
+}
+
+// Bases returns the global id of each segment's first slot.
+func (s *SegStore) Bases() []int { return append([]int(nil), s.bases...) }
+
+// Len returns the total number of slots, including delete-marked ones.
+func (s *SegStore) Len() int {
+	last := len(s.segs) - 1
+	return s.bases[last] + s.segs[last].Len()
+}
+
+// Live returns the number of non-deleted vectors.
+func (s *SegStore) Live() int {
+	live := 0
+	for _, g := range s.segs {
+		live += g.Live()
+	}
+	return live
+}
+
+// ValueRange returns the smallest and largest coefficient over every
+// segment. An empty store returns (+Inf, −Inf).
+func (s *SegStore) ValueRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, g := range s.segs {
+		glo, ghi := g.ValueRange()
+		lo = math.Min(lo, glo)
+		hi = math.Max(hi, ghi)
+	}
+	return lo, hi
+}
+
+// active returns the mutable tail segment.
+func (s *SegStore) active() *Segment { return s.segs[len(s.segs)-1] }
+
+// seal freezes the active segment and starts a fresh one.
+func (s *SegStore) seal() {
+	act := s.active()
+	act.sealed = true
+	s.bases = append(s.bases, s.bases[len(s.bases)-1]+act.Len())
+	s.segs = append(s.segs, &Segment{Store: New(s.dims)})
+}
+
+// SealActive force-seals the current active segment (a no-op when it is
+// empty), e.g. to fix a layout before benchmarking.
+func (s *SegStore) SealActive() {
+	if s.active().Len() > 0 {
+		s.seal()
+	}
+}
+
+// Append adds a vector and returns its global id. A full active segment
+// seals immediately (leaving a fresh empty active), so read-only phases
+// after a bulk load get sealed segments — synopses and codes included —
+// without waiting for one more write.
+func (s *SegStore) Append(v []float64) int {
+	last := len(s.segs) - 1
+	id := s.bases[last] + s.segs[last].Append(v)
+	if s.active().Len() >= s.segSize {
+		s.seal()
+	}
+	return id
+}
+
+// AppendBatch adds many vectors, spilling across segment boundaries as the
+// active segment fills (full segments seal immediately, as in Append). It
+// returns the global id of the first vector.
+func (s *SegStore) AppendBatch(vectors [][]float64) int {
+	first := s.Len()
+	for len(vectors) > 0 {
+		room := s.segSize - s.active().Len()
+		chunk := vectors
+		if len(chunk) > room {
+			chunk = vectors[:room]
+		}
+		s.active().AppendBatch(chunk)
+		vectors = vectors[len(chunk):]
+		if s.active().Len() >= s.segSize {
+			s.seal()
+		}
+	}
+	return first
+}
+
+// locate maps a global id to its segment index and local id. It panics on
+// a bad id.
+func (s *SegStore) locate(id int) (seg, local int) {
+	if id < 0 || id >= s.Len() {
+		panic(fmt.Sprintf("vstore: id %d outside [0,%d)", id, s.Len()))
+	}
+	// First segment whose base exceeds id, minus one.
+	seg = sort.SearchInts(s.bases, id+1) - 1
+	return seg, id - s.bases[seg]
+}
+
+// Row reconstructs the vector with global id.
+func (s *SegStore) Row(id int) []float64 {
+	g, local := s.locate(id)
+	return s.segs[g].Row(local)
+}
+
+// Delete marks the vector with global id as deleted.
+func (s *SegStore) Delete(id int) {
+	g, local := s.locate(id)
+	s.segs[g].Delete(local)
+}
+
+// IsDeleted reports whether the vector with global id carries a delete mark.
+func (s *SegStore) IsDeleted(id int) bool {
+	g, local := s.locate(id)
+	return s.segs[g].IsDeleted(local)
+}
+
+// Compact physically removes delete-marked vectors from every segment
+// whose tombstone ratio is at least minRatio (so cold, barely-touched
+// segments are never rewritten), and drops sealed segments that end up
+// empty. It returns the old-global-id → new-global-id mapping (−1 for
+// removed vectors). minRatio 0 rewrites every segment with at least one
+// tombstone — the seed's full Reorganize behavior.
+func (s *SegStore) Compact(minRatio float64) []int {
+	mapping := make([]int, s.Len())
+	var (
+		newSegs  []*Segment
+		newBases []int
+		newBase  int
+	)
+	for i, g := range s.segs {
+		base := s.bases[i]
+		dead := g.Len() - g.Live()
+		rewrite := dead > 0 && float64(dead) >= minRatio*float64(g.Len())
+		switch {
+		case rewrite && g.sealed:
+			ng, local := compactSealed(g)
+			for old, nw := range local {
+				if nw < 0 {
+					mapping[base+old] = -1
+				} else {
+					mapping[base+old] = newBase + nw
+				}
+			}
+			g = ng
+		case rewrite:
+			local := g.Reorganize()
+			for old, nw := range local {
+				if nw < 0 {
+					mapping[base+old] = -1
+				} else {
+					mapping[base+old] = newBase + nw
+				}
+			}
+		default:
+			for j := 0; j < g.Len(); j++ {
+				mapping[base+j] = newBase + j
+			}
+		}
+		if g.sealed && g.Len() == 0 {
+			continue // fully dead sealed segment: drop it
+		}
+		newSegs = append(newSegs, g)
+		newBases = append(newBases, newBase)
+		newBase += g.Len()
+	}
+	if len(newSegs) == 0 || newSegs[len(newSegs)-1].sealed {
+		newSegs = append(newSegs, &Segment{Store: New(s.dims)})
+		newBases = append(newBases, newBase)
+	}
+	s.segs, s.bases = newSegs, newBases
+	return mapping
+}
+
+// compactSealed builds a tombstone-free replacement for a sealed segment
+// (the original is left untouched so in-flight snapshot readers stay
+// valid) and returns it with the local old-id → new-id mapping.
+func compactSealed(g *Segment) (*Segment, []int) {
+	live := g.LiveIDs()
+	ns := New(g.Dims())
+	for d := 0; d < g.Dims(); d++ {
+		src := g.Column(d)
+		col := make([]float64, len(live))
+		for j, id := range live {
+			col[j] = src[id]
+			ns.observe(d, src[id])
+		}
+		ns.columns[d] = col
+	}
+	totals := make([]float64, len(live))
+	src := g.Totals()
+	for j, id := range live {
+		totals[j] = src[id]
+	}
+	ns.totals = totals
+	ns.n = len(live)
+	ns.growDeleted()
+	mapping := make([]int, g.Len())
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	for j, id := range live {
+		mapping[id] = j
+	}
+	return &Segment{Store: ns, sealed: true}, mapping
+}
+
+// Flatten returns the collection as a single flat Store with identical
+// global ids (tombstones preserved). With exactly one segment the segment's
+// own store is returned as a read-only view; otherwise the columns are
+// copied, which costs O(n·dims).
+func (s *SegStore) Flatten() *Store {
+	if len(s.segs) == 1 {
+		return s.segs[0].Store
+	}
+	f := New(s.dims)
+	n := s.Len()
+	for d := 0; d < s.dims; d++ {
+		col := make([]float64, 0, n)
+		for _, g := range s.segs {
+			col = append(col, g.Column(d)...)
+		}
+		f.columns[d] = col
+		for _, x := range col {
+			f.observe(d, x)
+		}
+	}
+	totals := make([]float64, 0, n)
+	for _, g := range s.segs {
+		totals = append(totals, g.Totals()...)
+	}
+	f.totals = totals
+	f.n = n
+	f.growDeleted()
+	for i, g := range s.segs {
+		base := s.bases[i]
+		g.deleted.ForEach(func(local int) { f.deleted.Set(base + local) })
+	}
+	return f
+}
+
+// --- Persistence ----------------------------------------------------------
+
+const (
+	segMagic   = "BONDSEG1"
+	segVersion = uint32(1)
+)
+
+// Save writes the segmented layout: a header (magic, version, dims,
+// segment size, segment count), each segment as a nested flat-store
+// stream, and a CRC32 trailer over everything written.
+func (s *SegStore) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write([]byte(segMagic)); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(segVersion), uint64(s.dims), uint64(s.segSize), uint64(len(s.segs))}
+	for _, h := range hdr {
+		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.segs {
+		if err := g.Store.Save(mw); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// LoadSegmented reads a store written by Save, validating magic, version,
+// and both the per-segment and the trailing checksums. Every segment but
+// the last is marked sealed, restoring the active-tail invariant.
+func LoadSegmented(r io.Reader) (*SegStore, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(tr, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(magic) != segMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	}
+	var version, dims64, segSize64, nsegs64 uint64
+	for _, p := range []*uint64{&version, &dims64, &segSize64, &nsegs64} {
+		if err := binary.Read(tr, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if uint32(version) != segVersion {
+		return nil, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, version)
+	}
+	dims, segSize, nsegs := int(dims64), int(segSize64), int(nsegs64)
+	if dims < 1 || dims > 1<<20 || segSize < 1 || nsegs < 1 || nsegs > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible header dims=%d segSize=%d nsegs=%d",
+			ErrCorrupt, dims, segSize, nsegs)
+	}
+	s := &SegStore{dims: dims, segSize: segSize}
+	for i := 0; i < nsegs; i++ {
+		st, err := Load(tr)
+		if err != nil {
+			return nil, err
+		}
+		if st.Dims() != dims {
+			return nil, fmt.Errorf("%w: segment %d dims %d != %d", ErrCorrupt, i, st.Dims(), dims)
+		}
+		s.bases = append(s.bases, 0)
+		if i > 0 {
+			s.bases[i] = s.bases[i-1] + s.segs[i-1].Len()
+		}
+		s.segs = append(s.segs, &Segment{Store: st, sealed: i < nsegs-1})
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return s, nil
+}
+
+// SaveFile writes the segmented store to path atomically.
+func (s *SegStore) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := s.Save(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadAnyFile reads either storage layout from path: the segmented format
+// written by SegStore.Save, or the seed's flat format written by
+// Store.Save, which loads as a single sealed segment (so synopses and
+// compressed codes apply to it) plus a fresh active segment.
+func LoadAnyFile(path string) (*SegStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(len(segMagic))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(magic) == segMagic {
+		return LoadSegmented(br)
+	}
+	st, err := Load(br)
+	if err != nil {
+		return nil, err
+	}
+	s := &SegStore{dims: st.Dims(), segSize: DefaultSegmentSize}
+	if st.Len() > 0 {
+		s.segs = []*Segment{{Store: st, sealed: true}, {Store: New(st.Dims())}}
+		s.bases = []int{0, st.Len()}
+	} else {
+		s.segs = []*Segment{{Store: st}}
+		s.bases = []int{0}
+	}
+	return s, nil
+}

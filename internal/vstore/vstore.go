@@ -37,6 +37,11 @@ type Store struct {
 	// (conservative across deletes). The Euclidean pruning bounds require
 	// data inside the unit hyper-box; the search layer checks this range.
 	minVal, maxVal float64
+
+	// Per-dimension value ranges (conservative across deletes, recomputed
+	// by Reorganize). These are the segment synopses the segmented store
+	// uses to bound a segment's best possible score and skip it wholesale.
+	dimMin, dimMax []float64
 }
 
 // New returns an empty store for dims-dimensional vectors.
@@ -45,13 +50,20 @@ func New(dims int) *Store {
 	if dims < 1 {
 		panic(fmt.Sprintf("vstore: dims must be >= 1, got %d", dims))
 	}
-	return &Store{
+	s := &Store{
 		dims:    dims,
 		columns: make([][]float64, dims),
 		deleted: bitmap.New(0),
 		minVal:  math.Inf(1),
 		maxVal:  math.Inf(-1),
+		dimMin:  make([]float64, dims),
+		dimMax:  make([]float64, dims),
 	}
+	for d := 0; d < dims; d++ {
+		s.dimMin[d] = math.Inf(1)
+		s.dimMax[d] = math.Inf(-1)
+	}
+	return s
 }
 
 // ValueRange returns the smallest and largest coefficient ever stored
@@ -59,13 +71,29 @@ func New(dims int) *Store {
 // (+Inf, −Inf).
 func (s *Store) ValueRange() (lo, hi float64) { return s.minVal, s.maxVal }
 
-func (s *Store) observe(x float64) {
+func (s *Store) observe(d int, x float64) {
 	if x < s.minVal {
 		s.minVal = x
 	}
 	if x > s.maxVal {
 		s.maxVal = x
 	}
+	if x < s.dimMin[d] {
+		s.dimMin[d] = x
+	}
+	if x > s.dimMax[d] {
+		s.dimMax[d] = x
+	}
+}
+
+// DimRange returns a conservative range covering every coefficient of
+// dimension d (exact after Reorganize, conservative across deletes). An
+// empty store returns (+Inf, −Inf). It panics on a bad dimension.
+func (s *Store) DimRange(d int) (lo, hi float64) {
+	if d < 0 || d >= s.dims {
+		panic(fmt.Sprintf("vstore: dimension %d outside [0,%d)", d, s.dims))
+	}
+	return s.dimMin[d], s.dimMax[d]
 }
 
 // FromVectors builds a store from a row-major collection. It panics on
@@ -88,8 +116,11 @@ func (s *Store) Len() int { return s.n }
 // Live returns the number of non-deleted vectors.
 func (s *Store) Live() int { return s.n - s.deleted.Count() }
 
-// Column returns the d-th dimension column. The returned slice aliases the
-// store and must not be modified.
+// Column returns the d-th dimension column as a live view: the returned
+// slice aliases the store's backing array. Callers must treat it as
+// read-only — writing through it corrupts the store and its synopses — and
+// must not hold it across an Append/AppendBatch (which may reallocate the
+// column) or a Reorganize (which rewrites it in place).
 func (s *Store) Column(d int) []float64 {
 	if d < 0 || d >= s.dims {
 		panic(fmt.Sprintf("vstore: column %d outside [0,%d)", d, s.dims))
@@ -97,7 +128,11 @@ func (s *Store) Column(d int) []float64 {
 	return s.columns[d]
 }
 
-// Totals returns the per-vector totals T(v) side table (aliased, read-only).
+// Totals returns the per-vector totals T(v) side table as a live view: the
+// returned slice aliases the store's backing array. Callers must treat it
+// as read-only — the search layer derives pruning bounds from it, so a
+// stray write silently breaks exactness — and must not hold it across an
+// Append/AppendBatch or Reorganize.
 func (s *Store) Totals() []float64 { return s.totals }
 
 // Row reconstructs vector id from the columns. It panics on a bad id.
@@ -121,7 +156,7 @@ func (s *Store) Append(v []float64) int {
 	for d, x := range v {
 		s.columns[d] = append(s.columns[d], x)
 		total += x
-		s.observe(x)
+		s.observe(d, x)
 	}
 	s.totals = append(s.totals, total)
 	s.n++
@@ -148,7 +183,7 @@ func (s *Store) AppendBatch(vectors [][]float64) int {
 		for d, x := range v {
 			s.columns[d] = append(s.columns[d], x)
 			total += x
-			s.observe(x)
+			s.observe(d, x)
 		}
 		s.totals = append(s.totals, total)
 		s.n++
@@ -220,7 +255,20 @@ func (s *Store) Reorganize() []int {
 	s.totals = s.totals[:next]
 	s.n = next
 	s.deleted = bitmap.New(next)
+	s.recomputeRanges()
 	return mapping
+}
+
+// recomputeRanges rebuilds the global and per-dimension value ranges from
+// the surviving data, so synopses tighten after a reorganization.
+func (s *Store) recomputeRanges() {
+	s.minVal, s.maxVal = math.Inf(1), math.Inf(-1)
+	for d := range s.columns {
+		s.dimMin[d], s.dimMax[d] = math.Inf(1), math.Inf(-1)
+		for _, x := range s.columns[d] {
+			s.observe(d, x)
+		}
+	}
 }
 
 func (s *Store) check(id int) {
@@ -234,6 +282,23 @@ func (s *Store) check(id int) {
 type QuantStore struct {
 	Q     *quant.Quantizer
 	Codes [][]uint8 // Codes[d][id]
+}
+
+// Clone returns a deep copy that shares no mutable state with the
+// receiver — the snapshot primitive behind the collection's lock-free
+// progressive searches and multi-feature snapshots.
+func (s *Store) Clone() *Store {
+	c := New(s.dims)
+	c.n = s.n
+	for d := range s.columns {
+		c.columns[d] = append([]float64(nil), s.columns[d]...)
+	}
+	c.totals = append([]float64(nil), s.totals...)
+	c.deleted = s.deleted.Clone()
+	c.minVal, c.maxVal = s.minVal, s.maxVal
+	copy(c.dimMin, s.dimMin)
+	copy(c.dimMax, s.dimMax)
+	return c
 }
 
 // Quantize builds the compressed fragments with the given quantizer.
@@ -347,7 +412,7 @@ func Load(r io.Reader) (*Store, error) {
 			return nil, err
 		}
 		for _, x := range s.columns[d] {
-			s.observe(x)
+			s.observe(d, x)
 		}
 	}
 	if s.totals, err = readCol(); err != nil {

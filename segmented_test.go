@@ -1,0 +1,271 @@
+package bond
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bond/internal/dataset"
+	"bond/internal/vstore"
+)
+
+// multiSegCollection returns the same data as one collection per layout:
+// many small segments versus a single segment.
+func multiSegCollection(t *testing.T, n, dims int) ([][]float64, *Collection, *Collection) {
+	t.Helper()
+	vs := dataset.CorelLike(n, dims, 321)
+	segmented := NewCollectionSegmented(vs, 100)
+	single := NewCollectionSegmented(vs, n+1)
+	return vs, segmented, single
+}
+
+// TestSegmentedFacadeMatchesSingleSegment drives every public search path
+// on a multi-segment collection and demands byte-identical neighbor sets
+// to a single-segment (flat-equivalent) collection.
+func TestSegmentedFacadeMatchesSingleSegment(t *testing.T) {
+	vs, segd, single := multiSegCollection(t, 650, 24)
+	// "single" holds all data in one sealed segment (plus the empty
+	// active tail a bulk load leaves behind).
+	if segd.NumSegments() < 6 || single.NumSegments() != 2 {
+		t.Fatalf("layouts: %d and %d segments", segd.NumSegments(), single.NumSegments())
+	}
+	for _, c := range []*Collection{segd, single} {
+		c.Delete(13)
+		c.Delete(444)
+	}
+	q := vs[77]
+	for _, crit := range []Criterion{Hq, Hh, Eq, Ev} {
+		opts := Options{K: 8, Criterion: crit}
+		want, err := single.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := segd.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Results {
+			if got.Results[i] != want.Results[i] {
+				t.Fatalf("%v rank %d: %+v, want %+v", crit, i, got.Results[i], want.Results[i])
+			}
+		}
+		par, err := segd.SearchParallel(q, opts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Results {
+			if par.Results[i] != want.Results[i] {
+				t.Fatalf("%v parallel rank %d: %+v, want %+v", crit, i, par.Results[i], want.Results[i])
+			}
+		}
+		p, err := segd.SearchProgressive(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := p.Finish()
+		for i := range want.Results {
+			if prog.Results[i] != want.Results[i] {
+				t.Fatalf("%v progressive rank %d: %+v, want %+v", crit, i, prog.Results[i], want.Results[i])
+			}
+		}
+	}
+	for _, crit := range []Criterion{Hq, Eq} {
+		opts := Options{K: 8, Criterion: crit}
+		want, err := single.SearchCompressed(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := segd.SearchCompressed(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Results {
+			if got.Results[i] != want.Results[i] {
+				t.Fatalf("%v compressed rank %d: %+v, want %+v", crit, i, got.Results[i], want.Results[i])
+			}
+		}
+	}
+	wantMIL, err := single.SearchMIL(q, MILOptions{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMIL, err := segd.SearchMIL(q, MILOptions{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantMIL.Results {
+		if gotMIL.Results[i] != wantMIL.Results[i] {
+			t.Fatalf("MIL rank %d: %+v, want %+v", i, gotMIL.Results[i], wantMIL.Results[i])
+		}
+	}
+}
+
+func TestFacadeSaveOpenSegmentedLayout(t *testing.T) {
+	vs, segd, _ := multiSegCollection(t, 350, 16)
+	segd.Delete(42)
+	path := filepath.Join(t.TempDir(), "seg.bond")
+	if err := segd.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSegments() != segd.NumSegments() || got.Live() != segd.Live() {
+		t.Fatalf("reloaded: %d segments, %d live; want %d, %d",
+			got.NumSegments(), got.Live(), segd.NumSegments(), segd.Live())
+	}
+	q := vs[5]
+	a, err := segd.Search(q, Options{K: 4, Criterion: Ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Search(q, Options{K: 4, Criterion: Ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("result %d differs after segmented round trip", i)
+		}
+	}
+}
+
+func TestFacadeOpenLegacyFlatFile(t *testing.T) {
+	vs := dataset.CorelLike(200, 12, 9)
+	flat := vstore.FromVectors(vs)
+	flat.Delete(7)
+	path := filepath.Join(t.TempDir(), "legacy.bond")
+	if err := flat.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	col, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 200 || col.Live() != 199 {
+		t.Fatalf("legacy open: len=%d live=%d", col.Len(), col.Live())
+	}
+	res, err := col.Search(vs[3], Options{K: 1, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].ID != 3 {
+		t.Fatalf("self query returned %d", res.Results[0].ID)
+	}
+	// A legacy collection keeps working as a segmented one.
+	col.Add(vs[0])
+	if col.Len() != 201 {
+		t.Fatal("append after legacy open failed")
+	}
+}
+
+func TestFacadeCompactRatio(t *testing.T) {
+	vs, segd, _ := multiSegCollection(t, 400, 8)
+	// Heavy churn in the second segment only.
+	for id := 100; id < 170; id++ {
+		segd.Delete(id)
+	}
+	segd.Delete(0) // one tombstone in the first segment
+	mapping := segd.CompactRatio(0.5)
+	if mapping[0] != 0 {
+		t.Fatalf("cold segment id moved: mapping[0] = %d", mapping[0])
+	}
+	if !segd.store.IsDeleted(0) {
+		t.Fatal("cold tombstone should survive CompactRatio(0.5)")
+	}
+	if mapping[150] != -1 || mapping[170] != 100 {
+		t.Fatalf("hot segment mapping: [150]=%d [170]=%d", mapping[150], mapping[170])
+	}
+	if segd.Len() != 330 {
+		t.Fatalf("len after ratio compact = %d, want 330", segd.Len())
+	}
+	// Results must still be exact after partial compaction.
+	res, err := segd.Search(vs[200], Options{K: 1, Criterion: Hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := segd.Vector(res.Results[0].ID); len(got) != 8 {
+		t.Fatal("vector fetch after compact failed")
+	}
+}
+
+func TestFacadeSegmentSkippingReported(t *testing.T) {
+	// Cluster-contiguous ingest: each 100-vector block around its own centre.
+	blocks := 6
+	var vs [][]float64
+	base := dataset.CorelLike(blocks, 16, 5) // block centres
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < 100; i++ {
+			v := make([]float64, 16)
+			copy(v, base[b])
+			v[i%16] += 0.001 * float64(i%7)
+			vs = append(vs, v)
+		}
+	}
+	col := NewCollectionSegmented(vs, 100)
+	res, err := col.Search(vs[10], Options{K: 3, Criterion: Ev, SkipRangeCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SegmentsSkipped == 0 {
+		t.Errorf("expected segment skipping on cluster-contiguous data; searched %d, skipped %d",
+			res.Stats.SegmentsSearched, res.Stats.SegmentsSkipped)
+	}
+}
+
+func TestFacadeMultiSearchSegmented(t *testing.T) {
+	v1 := dataset.CorelLike(300, 16, 1)
+	v2 := dataset.CorelLike(300, 24, 2)
+	c1 := NewCollectionSegmented(v1, 64)
+	c2 := NewCollectionSegmented(v2, 80) // deliberately different boundaries
+	features := []Feature{
+		c1.AsFeature(v1[0], 0.5),
+		c2.AsFeature(v2[0], 0.5),
+	}
+	res, err := MultiSearch(features, MultiOptions{K: 3, Agg: WeightedAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].ID != 0 {
+		t.Errorf("best = %d, want 0 (self query)", res.Results[0].ID)
+	}
+	// The snapshot taken by AsFeature must be immune to later writes.
+	c1.Add(v1[1])
+	c1.Delete(0)
+	res2, err := MultiSearch(features, MultiOptions{K: 3, Agg: WeightedAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Results[0].ID != 0 {
+		t.Errorf("snapshot violated: best = %d, want 0", res2.Results[0].ID)
+	}
+}
+
+// TestExclusionSurvivesAppends pins the concurrency-contract fix: an
+// exclusion bitmap sized before appends must keep working (new ids simply
+// are not excluded) instead of crashing bitmap bounds checks.
+func TestExclusionSurvivesAppends(t *testing.T) {
+	vs := dataset.CorelLike(150, 8, 77)
+	col := NewCollectionSegmented(vs, 50)
+	excl := col.NewExclusion()
+	excl.Set(0)
+	col.Add(vs[0]) // collection now larger than the bitmap
+
+	res, err := col.Search(vs[0], Options{K: 2, Criterion: Hq, Exclude: excl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id 0 is excluded; the appended duplicate (id 150) is not.
+	if res.Results[0].ID != 150 {
+		t.Fatalf("best = %d, want the un-excluded duplicate 150", res.Results[0].ID)
+	}
+	if _, err := col.SearchCompressed(vs[0], Options{K: 2, Criterion: Hq, Exclude: excl}); err != nil {
+		t.Fatalf("compressed with stale exclusion: %v", err)
+	}
+	if _, err := col.SearchMIL(vs[0], MILOptions{K: 2, Exclude: excl}); err != nil {
+		t.Fatalf("MIL with stale exclusion: %v", err)
+	}
+	if _, err := col.SearchParallel(vs[0], Options{K: 2, Criterion: Hq, Exclude: excl}, 4); err != nil {
+		t.Fatalf("parallel with stale exclusion: %v", err)
+	}
+}
