@@ -1,0 +1,160 @@
+package bond
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// plannerBenchRecord is one row of BENCH_planner.json.
+type plannerBenchRecord struct {
+	Shape         string  `json:"shape"`
+	Strategy      string  `json:"strategy"`
+	Criterion     string  `json:"criterion"`
+	NsPerQuery    float64 `json:"ns_per_query"`
+	CellsPerQuery float64 `json:"cells_scanned_per_query"`
+}
+
+type plannerBenchShape struct {
+	name      string
+	criterion Criterion
+	build     func() ([][]float64, *Collection)
+}
+
+func plannerBenchShapes() []plannerBenchShape {
+	const (
+		n       = 4000
+		dims    = 32
+		segSize = 500
+	)
+	// The uniform shape is larger: ~8 MB of exact columns versus ~1 MB of
+	// codes, so the filter paths' byte advantage is visible rather than
+	// hidden inside the cache.
+	uniform := func() ([][]float64, *Collection) {
+		rng := rand.New(rand.NewSource(21))
+		vs := make([][]float64, 4*n)
+		for i := range vs {
+			v := make([]float64, 2*dims)
+			for d := range v {
+				v[d] = rng.Float64()
+			}
+			vs[i] = v
+		}
+		return vs, NewCollectionSegmented(vs, 2*segSize)
+	}
+	clustered := func() ([][]float64, *Collection) {
+		rng := rand.New(rand.NewSource(22))
+		vs := make([][]float64, 0, n)
+		center := make([]float64, dims)
+		for i := 0; i < n; i++ {
+			if i%segSize == 0 {
+				for d := range center {
+					center[d] = rng.Float64()
+				}
+			}
+			v := make([]float64, dims)
+			for d := range v {
+				x := center[d] + 0.03*(rng.Float64()-0.5)
+				if x < 0 {
+					x = 0
+				}
+				if x > 1 {
+					x = 1
+				}
+				v[d] = x
+			}
+			vs = append(vs, v)
+		}
+		return vs, NewCollectionSegmented(vs, segSize)
+	}
+	skewed := func() ([][]float64, *Collection) {
+		rng := rand.New(rand.NewSource(23))
+		vs := make([][]float64, n)
+		for i := range vs {
+			v := make([]float64, dims)
+			for d := range v {
+				v[d] = rng.Float64() / float64(1+d)
+			}
+			vs[i] = v
+		}
+		return vs, NewCollectionSegmented(vs, segSize)
+	}
+	return []plannerBenchShape{
+		{"uniform", Eq, uniform},
+		{"cluster_contiguous", Eq, clustered},
+		{"skewed", Hq, skewed},
+	}
+}
+
+// BenchmarkPlannerVsFixed compares auto-planned queries against each
+// fixed strategy on three data shapes, and writes the measurements to
+// BENCH_planner.json. Run with:
+//
+//	go test -run xxx -bench BenchmarkPlannerVsFixed -benchtime 50x .
+func BenchmarkPlannerVsFixed(b *testing.B) {
+	// b.Run executes each sub-benchmark more than once while calibrating
+	// b.N; keyed records keep only the final (longest) run.
+	records := map[string]plannerBenchRecord{}
+	var order []string
+	for _, shape := range plannerBenchShapes() {
+		vectors, col := shape.build()
+		queries := vectors[:16]
+
+		// Warm the collection so lazily built codes and a few feedback
+		// rounds for the adaptive model are outside the timed region.
+		for _, strat := range []Strategy{StrategyCompressed, StrategyVAFile} {
+			if _, err := col.Query(QuerySpec{Query: queries[0], K: 10, Criterion: shape.criterion, Strategy: strat}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := col.Query(QuerySpec{Query: queries[i], K: 10, Criterion: shape.criterion}); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		for _, strat := range []Strategy{StrategyAuto, StrategyBOND, StrategyCompressed, StrategyVAFile} {
+			strat := strat
+			key := shape.name + "/" + strat.String()
+			order = append(order, key)
+			b.Run(key, func(b *testing.B) {
+				var cells int64
+				for i := 0; i < b.N; i++ {
+					res, err := col.Query(QuerySpec{
+						Query:     queries[i%len(queries)],
+						K:         10,
+						Criterion: shape.criterion,
+						Strategy:  strat,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cells += res.Stats.ValuesScanned
+				}
+				nsPer := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				b.ReportMetric(float64(cells)/float64(b.N), "cells/query")
+				records[key] = plannerBenchRecord{
+					Shape:         shape.name,
+					Strategy:      strat.String(),
+					Criterion:     shape.criterion.String(),
+					NsPerQuery:    nsPer,
+					CellsPerQuery: float64(cells) / float64(b.N),
+				}
+			})
+		}
+	}
+	ordered := make([]plannerBenchRecord, 0, len(order))
+	for _, key := range order {
+		if r, ok := records[key]; ok {
+			ordered = append(ordered, r)
+		}
+	}
+	out, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_planner.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

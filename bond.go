@@ -36,22 +36,39 @@
 // so the returned Progressive and Feature values may be driven after the
 // call without further locking, while writers proceed.
 //
+// # Queries and the planner
+//
+// Every query runs through a cost-based planner (package plan): a single
+// QuerySpec is turned into a per-segment plan that assigns each segment
+// an access path — plain BOND, 8-bit compressed filter-and-refine, a
+// VA-File filter, an exact scan, or the MIL reference engine — from the
+// segment's synopsis and an adaptive per-collection cost model that the
+// executor feeds back into after every query. Plan.Explain (via
+// Collection.QueryExplain) prints the chosen paths with predicted and
+// actual costs.
+//
 // # Basic use
 //
 //	col := bond.NewCollection(vectors)          // vectors: [][]float64
-//	res, err := col.Search(query, bond.Options{K: 10, Criterion: bond.Hq})
+//	res, err := col.Query(bond.QuerySpec{Query: q, K: 10, Criterion: bond.Hq})
 //
-// Supported query classes (all exact):
+// The legacy Search* entry points remain as thin wrappers over Query
+// with a forced strategy; they return identical results.
+//
+// Supported query classes (exact unless the spec sets Tolerance or
+// Deadline):
 //
 //   - histogram-intersection similarity (criteria Hq, Hh),
 //   - squared Euclidean distance (criteria Eq, Ev),
 //   - weighted Euclidean and dimensional-subspace queries,
-//   - filter-and-refine search on 8-bit compressed fragments,
+//   - filter-and-refine search on 8-bit compressed fragments (compressed
+//     and VA-File access paths),
 //   - multi-feature queries across several collections (see MultiSearch).
 //
 // Collections persist to a checksummed binary format (Save/Open) that
-// stores the segmented layout; files written by earlier flat-layout
-// versions still load.
+// stores the segmented layout and the planner's learned cost
+// coefficients; files written by earlier flat-layout versions still
+// load.
 package bond
 
 import (
@@ -61,8 +78,10 @@ import (
 	"bond/internal/cluster"
 	"bond/internal/core"
 	"bond/internal/multifeature"
+	"bond/internal/plan"
 	"bond/internal/quant"
 	"bond/internal/topk"
+	"bond/internal/vafile"
 	"bond/internal/vstore"
 )
 
@@ -99,7 +118,48 @@ type (
 	ClusterOptions = cluster.Options
 	// ClusterResult is a completed clustering.
 	ClusterResult = cluster.Result
+
+	// QuerySpec is the single query description every search reduces to:
+	// query vector, k, metric, weights/subspace, tolerance, deadline, and
+	// strategy/parallelism hints. See Collection.Query.
+	QuerySpec = plan.Spec
+	// QueryResult is a completed planned query: the exact top-k, merged
+	// work statistics, and (for filter-and-refine paths) the compressed
+	// counters.
+	QueryResult = plan.Result
+	// QueryPlan is a planned query; QueryPlan.Explain renders the chosen
+	// per-segment access paths with predicted and actual costs.
+	QueryPlan = plan.Plan
+	// Strategy forces an access path or (StrategyAuto) lets the planner
+	// choose per segment by predicted cost.
+	Strategy = plan.Strategy
+	// PlannerCoefficients is the adaptive per-collection cost-model block,
+	// persisted by Save and reloaded by Open.
+	PlannerCoefficients = plan.Coefficients
 )
+
+// Access-path strategies for QuerySpec.Strategy.
+const (
+	// StrategyAuto picks the cheapest eligible access path per segment
+	// from the collection's adaptive cost model. The default.
+	StrategyAuto = plan.Auto
+	// StrategyBOND forces plain BOND on every segment.
+	StrategyBOND = plan.ForceBOND
+	// StrategyCompressed forces 8-bit filter-and-refine on sealed
+	// segments (exact scan on the active one).
+	StrategyCompressed = plan.ForceCompressed
+	// StrategyVAFile forces the VA-File filter on sealed segments (exact
+	// scan on the active one).
+	StrategyVAFile = plan.ForceVAFile
+	// StrategyExact forces a full exact scan — the seqscan oracle.
+	StrategyExact = plan.ForceExact
+	// StrategyMIL forces the MIL relational-operator reference engine.
+	StrategyMIL = plan.ForceMIL
+)
+
+// ParseStrategy parses a strategy name (auto, bond, compressed, vafile,
+// exact, mil) as the CLIs spell it.
+func ParseStrategy(s string) (Strategy, error) { return plan.ParseStrategy(s) }
 
 // Pruning criteria (Section 4 of the paper).
 const (
@@ -140,49 +200,62 @@ const DefaultSegmentSize = vstore.DefaultSegmentSize
 type Collection struct {
 	mu    sync.RWMutex
 	store *vstore.SegStore
+	// model is the adaptive cost model the query planner predicts from;
+	// every executed query feeds observed costs back into it. It has its
+	// own lock, so concurrent readers update it safely.
+	model *plan.Model
 }
 
 // NewCollection decomposes a row-major collection using the default
 // segment size. It panics on empty or ragged input (programmer error);
 // use New plus Add for incremental builds.
 func NewCollection(vectors [][]float64) *Collection {
-	return &Collection{store: vstore.SegmentedFromVectors(vectors, DefaultSegmentSize)}
+	return &Collection{store: vstore.SegmentedFromVectors(vectors, DefaultSegmentSize), model: plan.NewModel()}
 }
 
 // NewCollectionSegmented decomposes a row-major collection with an
 // explicit segment size (segmentSize <= 0 selects the default) — useful
 // to align segment boundaries with known data locality.
 func NewCollectionSegmented(vectors [][]float64, segmentSize int) *Collection {
-	return &Collection{store: vstore.SegmentedFromVectors(vectors, segmentSize)}
+	return &Collection{store: vstore.SegmentedFromVectors(vectors, segmentSize), model: plan.NewModel()}
 }
 
 // New returns an empty collection of the given dimensionality.
 func New(dims int) *Collection {
-	return &Collection{store: vstore.NewSegmented(dims, DefaultSegmentSize)}
+	return &Collection{store: vstore.NewSegmented(dims, DefaultSegmentSize), model: plan.NewModel()}
 }
 
 // NewSegmented returns an empty collection with an explicit segment size
 // (segmentSize <= 0 selects the default).
 func NewSegmented(dims, segmentSize int) *Collection {
-	return &Collection{store: vstore.NewSegmented(dims, segmentSize)}
+	return &Collection{store: vstore.NewSegmented(dims, segmentSize), model: plan.NewModel()}
 }
 
 // Open loads a collection previously written by Save. Both the segmented
-// layout and the flat layout of earlier versions are understood.
+// layout and the flat layout of earlier versions are understood. The
+// planner's learned cost coefficients, when present in the file, are
+// restored so the reopened collection plans from its own history.
 func Open(path string) (*Collection, error) {
 	s, err := vstore.LoadAnyFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Collection{store: s}, nil
+	return &Collection{store: s, model: plan.LoadModel(s.PlannerStats())}, nil
 }
 
 // Save writes the collection to path in the checksummed segmented binary
-// format. Compressed fragments are rebuilt on demand and not persisted.
+// format, including the planner's current cost-model coefficients.
+// Compressed fragments are rebuilt on demand and not persisted.
 func (c *Collection) Save(path string) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.store.SaveFile(path)
+	return c.store.SaveFileWith(path, c.model.Marshal())
+}
+
+// PlannerStats returns a snapshot of the planner's adaptive cost-model
+// coefficients.
+func (c *Collection) PlannerStats() PlannerCoefficients {
+	return c.model.Snapshot()
 }
 
 // Dims returns the dimensionality.
@@ -272,15 +345,29 @@ func (c *Collection) CompactRatio(minRatio float64) []int {
 	return c.store.Compact(minRatio)
 }
 
-// views exposes the current segments to the search layer. Callers must
-// hold at least the read lock for the duration of the search.
-func (c *Collection) views() []core.SegmentView {
+// planSegments exposes the current segments to the query planner: the
+// engine view of each segment plus, for sealed segments, the lazily built
+// compressed access paths (column codes for the compressed filter,
+// row-major codes for the VA-File). Callers must hold at least the read
+// lock for the duration of the search.
+func (c *Collection) planSegments() []plan.Segment {
 	segs, bases := c.store.Segments(), c.store.Bases()
-	views := make([]core.SegmentView, len(segs))
+	out := make([]plan.Segment, len(segs))
 	for i, g := range segs {
-		views[i] = core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange}
+		out[i] = plan.Segment{
+			View:   core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange},
+			Sealed: g.Sealed(),
+		}
+		if g.Sealed() {
+			g := g
+			out[i].Codes = func() *vstore.QuantStore { return g.Codes(quant.NewUnit()) }
+			out[i].VA = func() *vafile.File {
+				qz, codes := g.RowCodes(quant.NewUnit())
+				return vafile.FromRowCodes(qz, g.Len(), g.Dims(), codes)
+			}
+		}
 	}
-	return views
+	return out
 }
 
 // snapshotSource fixes a segment's delete marks at snapshot time, so the
@@ -311,26 +398,75 @@ func (c *Collection) snapshotViews() []core.SegmentView {
 	return views
 }
 
+// Query plans and executes a query: the spec is turned into a Plan — an
+// ordered list of per-segment steps, each assigned an access path (plain
+// BOND, 8-bit compressed filter-and-refine, VA-File filter, exact scan,
+// or the MIL reference engine) from the segment's synopsis and the
+// collection's adaptive cost model — and the plan runs through the shared
+// engine, skipping segments whose synopses prove them hopeless. Observed
+// costs feed back into the model, so plans adapt as data and workloads
+// shift. The answer is exact unless the spec sets Tolerance or Deadline.
+//
+// All legacy Search* entry points are thin wrappers over Query.
+func (c *Collection) Query(spec QuerySpec) (QueryResult, error) {
+	res, _, err := c.queryPlanned(spec)
+	return res, err
+}
+
+// QueryExplain is Query returning the executed plan as well, with
+// per-segment predicted and actual costs filled in for Plan.Explain.
+func (c *Collection) QueryExplain(spec QuerySpec) (QueryResult, *QueryPlan, error) {
+	return c.queryPlanned(spec)
+}
+
+func (c *Collection) queryPlanned(spec QuerySpec) (QueryResult, *QueryPlan, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, err := plan.New(c.planSegments(), spec, c.model)
+	if err != nil {
+		return QueryResult{}, nil, err
+	}
+	res, err := plan.Execute(p)
+	if err != nil {
+		return QueryResult{}, p, err
+	}
+	return res, p, nil
+}
+
 // Search runs BOND and returns the exact K best matches for q, skipping
 // whole segments whose synopses prove them hopeless (reported in
 // Stats.SegmentsSkipped).
+//
+// Deprecated: use Query with a QuerySpec; Search forces StrategyBOND and
+// cannot benefit from cost-based access-path selection.
 func (c *Collection) Search(q []float64, opts Options) (Result, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return core.SearchSegments(c.views(), q, opts)
+	spec := plan.SpecFromOptions(q, opts)
+	spec.Strategy = StrategyBOND
+	res, err := c.Query(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Results: res.Results, Stats: res.Stats}, nil
 }
 
 // SearchParallel runs BOND concurrently — one goroutine per segment — and
 // merges the per-segment results; the answer is identical to Search. The
 // shards argument is kept for compatibility and only selects the
 // sequential path when < 2; the parallelism degree is the segment count.
+//
+// Deprecated: use Query with QuerySpec.Parallel ≥ 2, which fans out only
+// the segments large enough to pay for a goroutine.
 func (c *Collection) SearchParallel(q []float64, opts Options, shards int) (Result, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if shards < 2 {
-		return core.SearchSegments(c.views(), q, opts)
+	spec := plan.SpecFromOptions(q, opts)
+	spec.Strategy = StrategyBOND
+	if shards >= 2 {
+		spec.Parallel = shards
 	}
-	return core.SearchSegmentsParallel(c.views(), q, opts)
+	res, err := c.Query(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Results: res.Results, Stats: res.Stats}, nil
 }
 
 // Progressive is an incremental search whose steps the caller drives,
@@ -340,11 +476,23 @@ type Progressive = core.Progressive
 // SearchProgressive prepares an incremental search over a snapshot of the
 // collection; call Step until it returns false (or stop early) and Finish
 // for the exact results. The snapshot means concurrent writers do not
-// disturb (and are not seen by) the running search.
+// disturb (and are not seen by) the running search. The spec is validated
+// through the planner; the incremental engines then advance every segment
+// in lockstep (per-segment path choice does not apply to a search whose
+// intermediate state the caller inspects).
+//
+// Deprecated: prefer Query for one-shot searches; SearchProgressive
+// remains the entry point for caller-driven incremental retrieval.
 func (c *Collection) SearchProgressive(q []float64, opts Options) (*Progressive, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return core.NewProgressiveSegments(c.snapshotViews(), q, opts)
+	views := c.snapshotViews()
+	spec := plan.SpecFromOptions(q, opts)
+	spec.Strategy = StrategyBOND
+	if _, err := plan.New(plan.WrapViews(views), spec, c.model); err != nil {
+		return nil, err
+	}
+	return core.NewProgressiveSegments(views, q, opts)
 }
 
 // SearchCompressed runs the filter step on 8-bit fragments and refines on
@@ -352,30 +500,39 @@ func (c *Collection) SearchProgressive(q []float64, opts Options) (*Progressive,
 // once per segment when that segment is first actually searched (skipped
 // segments are never quantized), and never invalidated by appends; the
 // active segment runs an exact scan. Criteria Hq and Eq.
+//
+// Deprecated: use Query with StrategyCompressed (or StrategyAuto, which
+// picks the compressed path only where the cost model favors it).
 func (c *Collection) SearchCompressed(q []float64, opts Options) (CompressedResult, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	segs, bases := c.store.Segments(), c.store.Bases()
-	views := make([]core.CompressedSegmentView, len(segs))
-	for i, g := range segs {
-		views[i] = core.CompressedSegmentView{
-			SegmentView: core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange},
-		}
-		if g.Sealed() {
-			g := g
-			views[i].Codes = func() *vstore.QuantStore { return g.Codes(quant.NewUnit()) }
-		}
+	spec := plan.SpecFromOptions(q, opts)
+	spec.Strategy = StrategyCompressed
+	res, err := c.Query(spec)
+	if err != nil {
+		return CompressedResult{}, err
 	}
-	return core.SearchCompressedSegments(views, q, opts)
+	return res.Compressed, nil
 }
 
 // SearchMIL runs BOND (criterion Hq) through the MIL relational-operator
 // engine — the Section 6.1 reference implementation — per segment, with
 // the per-segment answers merged exactly.
+//
+// Deprecated: use Query with StrategyMIL.
 func (c *Collection) SearchMIL(q []float64, opts MILOptions) (Result, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return core.SearchMILSegments(c.views(), q, opts)
+	spec := QuerySpec{
+		Query:        q,
+		K:            opts.K,
+		Criterion:    core.Hq,
+		Step:         opts.Step,
+		BitmapSwitch: opts.BitmapSwitch,
+		Exclude:      opts.Exclude,
+		Strategy:     StrategyMIL,
+	}
+	res, err := c.Query(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Results: res.Results, Stats: res.Stats}, nil
 }
 
 // AsFeature wraps a snapshot of the collection as one component of a
@@ -388,9 +545,12 @@ func (c *Collection) AsFeature(query []float64, weight float64) Feature {
 }
 
 // MultiSearch answers a multi-feature query over several collections
-// holding the same objects (Section 8.2), using synchronized BOND.
+// holding the same objects (Section 8.2), using synchronized BOND. It is
+// routed through the plan layer like every other entry point; synchronized
+// multi-feature search advances all features in lockstep, so there is no
+// per-segment path choice to make.
 func MultiSearch(features []Feature, opts MultiOptions) (MultiResult, error) {
-	return multifeature.Search(features, opts)
+	return plan.Multi(features, opts)
 }
 
 // NewExclusion returns an empty exclusion bitmap sized to the collection,

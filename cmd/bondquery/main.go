@@ -1,13 +1,21 @@
-// Command bondquery runs k-NN queries against a stored collection.
+// Command bondquery runs k-NN queries against a stored collection through
+// the cost-based query planner.
 //
 // Usage:
 //
 //	bondquery -store corel.bond -id 17 -k 10 -criterion Hq
 //	bondquery -store skew1.bond -id 0 -k 5 -criterion Ev -stats
+//	bondquery -store corel.bond -id 17 -explain
+//	bondquery -store corel.bond -id 17 -strategy vafile
 //
 // The query vector is taken from the collection by id (the common
-// query-by-example pattern of image retrieval). Stores written in either
-// the segmented layout or the legacy flat layout are accepted.
+// query-by-example pattern of image retrieval). Every query goes through
+// the planner: -strategy=auto (the default) picks an access path per
+// segment from the collection's cost model, and the forced strategies
+// (bond, compressed, vafile, exact, mil) pin one path everywhere.
+// -explain prints the plan with per-segment predicted and actual costs.
+// Stores written in either the segmented layout or the legacy flat layout
+// are accepted.
 package main
 
 import (
@@ -26,7 +34,8 @@ func main() {
 	criterion := flag.String("criterion", "Hq", "pruning criterion: Hq, Hh, Eq, Ev")
 	step := flag.Int("step", 0, "pruning step m (0 = default)")
 	order := flag.String("order", "desc", "dimension order: desc, asc, random, natural")
-	parallel := flag.Bool("parallel", false, "search sealed segments concurrently")
+	strategy := flag.String("strategy", "auto", "access path: auto, bond, compressed, vafile, exact, mil")
+	explain := flag.Bool("explain", false, "print the plan: per-segment path, predicted and actual cost")
 	showStats := flag.Bool("stats", false, "print per-step pruning statistics")
 	flag.Parse()
 
@@ -69,21 +78,27 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown order %q", *order))
 	}
-
-	q := col.Vector(*id)
-	opts := bond.Options{K: *k, Criterion: crit, Step: *step, Order: ord}
-	var res bond.Result
-	if *parallel {
-		res, err = col.SearchParallel(q, opts, col.NumSegments())
-	} else {
-		res, err = col.Search(q, opts)
-	}
+	strat, err := bond.ParseStrategy(*strategy)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("collection %s: %d × %d in %d segments, query id %d, criterion %s\n",
-		*storePath, col.Len(), col.Dims(), col.NumSegments(), *id, crit)
+	q := col.Vector(*id)
+	spec := bond.QuerySpec{
+		Query:     q,
+		K:         *k,
+		Criterion: crit,
+		Step:      *step,
+		Order:     ord,
+		Strategy:  strat,
+	}
+	res, p, err := col.QueryExplain(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("collection %s: %d × %d in %d segments, query id %d, criterion %s, strategy %s\n",
+		*storePath, col.Len(), col.Dims(), col.NumSegments(), *id, crit, strat)
 	for rank, r := range res.Results {
 		fmt.Printf("%3d. id=%-8d score=%.6f\n", rank+1, r.ID, r.Score)
 	}
@@ -91,6 +106,9 @@ func main() {
 	fmt.Printf("values scanned: %d of %d (%.1f%% of a full scan); segments searched %d, skipped %d\n",
 		res.Stats.ValuesScanned, full, 100*float64(res.Stats.ValuesScanned)/float64(full),
 		res.Stats.SegmentsSearched, res.Stats.SegmentsSkipped)
+	if *explain {
+		fmt.Print(p.Explain())
+	}
 	if *showStats {
 		fmt.Println("pruning steps:")
 		for _, st := range res.Stats.Steps {

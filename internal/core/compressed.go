@@ -77,6 +77,25 @@ func FilterCompressed(s Source, qs *vstore.QuantStore, q []float64, opts Options
 	return ids, f.stats, nil
 }
 
+// ValidateCompressed exposes the compressed-path option check to the query
+// planner: compressed and VA-File access paths support full-space
+// unweighted Hq and Eq queries only.
+func ValidateCompressed(opts Options) error {
+	return validateCompressed(opts)
+}
+
+// SearchCompressedOne runs filter-and-refine on a single segment without
+// re-validating (callers validate once via ValidateSegments plus
+// ValidateCompressed). empty is true when no candidate was eligible.
+func SearchCompressedOne(src Source, qs *vstore.QuantStore, q []float64, opts Options) (CompressedResult, bool) {
+	f := &compressedFilter{s: src, qs: qs, q: q, opts: opts}
+	f.init()
+	if len(f.cands) == 0 {
+		return CompressedResult{}, true
+	}
+	return f.refineRun(), false
+}
+
 type compressedFilter struct {
 	s    Source
 	qs   *vstore.QuantStore
@@ -129,20 +148,44 @@ func (f *compressedFilter) run() {
 	f.stats.FinalCandidates = len(f.cands)
 }
 
+// accumulate folds one batch of code columns into the score intervals.
+// The cell bounds depend only on (code, q_d), so each column's 256
+// possible contributions are tabulated up front and the candidate loop is
+// two table loads and adds per cell — the same values in the same order
+// as computing the bounds inline, so scores are bit-identical, at a
+// fraction of the arithmetic.
 func (f *compressedFilter) accumulate(from, to int) {
 	hist := !f.opts.Criterion.Distance()
+	var tblLo, tblHi [256]float64
 	for _, d := range f.order[from:to] {
 		codes := f.qs.Codes[d]
 		qd := f.q[d]
-		for ci, id := range f.cands {
-			var lo, hi float64
-			if hist {
-				lo, hi = f.qs.Q.MinIntersectBounds(codes[id], qd)
-			} else {
-				lo, hi = f.qs.Q.SqDistBounds(codes[id], qd)
+		if len(f.cands) >= f.qs.Q.Levels {
+			for c := 0; c < f.qs.Q.Levels; c++ {
+				if hist {
+					tblLo[c], tblHi[c] = f.qs.Q.MinIntersectBounds(uint8(c), qd)
+				} else {
+					tblLo[c], tblHi[c] = f.qs.Q.SqDistBounds(uint8(c), qd)
+				}
 			}
-			f.sLo[ci] += lo
-			f.sHi[ci] += hi
+			for ci, id := range f.cands {
+				c := codes[id]
+				f.sLo[ci] += tblLo[c]
+				f.sHi[ci] += tblHi[c]
+			}
+		} else {
+			// Fewer candidates than code levels: tabulating would cost
+			// more bound evaluations than it saves.
+			for ci, id := range f.cands {
+				var lo, hi float64
+				if hist {
+					lo, hi = f.qs.Q.MinIntersectBounds(codes[id], qd)
+				} else {
+					lo, hi = f.qs.Q.SqDistBounds(codes[id], qd)
+				}
+				f.sLo[ci] += lo
+				f.sHi[ci] += hi
+			}
 		}
 		f.processedQ += qd
 		f.stats.ValuesScanned += int64(len(f.cands))

@@ -204,6 +204,64 @@ func orderViews(views []SegmentView, q []float64, opts Options) (order []int, bo
 	return order, bounds, hasBound
 }
 
+// ValidateSegments aggregates the views and validates the options against
+// the combined collection, applying option defaults in place. Planners
+// that execute segments through the per-segment primitives below must call
+// this once before running them.
+func ValidateSegments(views []SegmentView, q []float64, opts *Options) error {
+	m, err := aggregateViews(views)
+	if err != nil {
+		return err
+	}
+	return opts.validate(m, q)
+}
+
+// SegBound exposes the synopsis bound to the query planner: the best score
+// any vector inside the segment could possibly reach under the query and
+// options. ok is false when the view carries no usable synopsis.
+func SegBound(v SegmentView, q []float64, opts Options) (bound float64, ok bool) {
+	return segmentBound(v, q, opts)
+}
+
+// CannotBeat reports whether a segment whose best possible score is bound
+// has no chance against the current κ (strict, so id tie-breaks stay
+// identical to a single flat search).
+func CannotBeat(bound, kappa float64, distance bool) bool {
+	return cannotBeat(bound, kappa, distance)
+}
+
+// SearchOne runs the BOND engine over a single segment without
+// re-validating (callers validate once via ValidateSegments). empty is
+// true when the segment holds no eligible candidates.
+func SearchOne(src Source, q []float64, opts Options) (Result, bool, error) {
+	return searchOne(src, q, opts)
+}
+
+// ExactScan ranks a segment's live candidates by their exact scores in
+// natural dimension order (identical summation order to the compressed
+// refine step). It returns nil when no candidate is eligible, plus the
+// number of coefficients read.
+func ExactScan(src Source, q []float64, opts Options) ([]topk.Result, int64) {
+	return exactScanView(src, q, opts)
+}
+
+// LocalExclude projects the [base, base+n) window of a global exclusion
+// bitmap onto segment-local ids (nil when nothing is excluded).
+func LocalExclude(global *bitmap.Bitmap, base, n int) *bitmap.Bitmap {
+	return localExclude(global, base, n)
+}
+
+// MergeStats folds one segment's work statistics into an aggregate,
+// tagging its steps with the physical segment index.
+func MergeStats(dst *Stats, src Stats, segment int) {
+	mergeStats(dst, src, segment)
+}
+
+// Rebase shifts segment-local result ids to global ids.
+func Rebase(rs []topk.Result, base int) []topk.Result {
+	return shift(rs, base)
+}
+
 // SearchSegments runs BOND per segment and merges the per-segment top-k
 // lists into the exact global top-k. Before searching a segment it bounds
 // the best score any of the segment's members could reach from the

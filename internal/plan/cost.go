@@ -1,0 +1,263 @@
+package plan
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// CodeCost is the planner's cost of reading one 8-bit approximation cell,
+// in units of one exact float64 coefficient read: an eighth of the
+// bytes, matching the paper's byte ratio.
+const CodeCost = 0.125
+
+// ewmaAlpha is the feedback smoothing factor: each executed query moves a
+// coefficient a fifth of the way toward the observed value, so the model
+// adapts within a handful of queries without thrashing on one outlier.
+const ewmaAlpha = 0.2
+
+// Coefficients is the per-collection statistics block the planner predicts
+// from and the executor feeds back into — persisted with the store so a
+// reopened collection plans from its own history rather than the priors.
+type Coefficients struct {
+	// Queries counts executed queries that produced feedback.
+	Queries int64 `json:"queries"`
+	// BondFrac is the EWMA fraction of a segment's coefficients a BOND
+	// scan reads before pruning stops (paper Section 7: ~30% on skewed
+	// real data, approaching 1 on uniform data).
+	BondFrac float64 `json:"bond_frac"`
+	// ComprFilterFrac is the EWMA fraction of a segment's 8-bit cells the
+	// compressed filter reads (its pruning loop skips cells too).
+	ComprFilterFrac float64 `json:"compr_filter_frac"`
+	// ComprSurvive is the EWMA fraction of a segment's vectors surviving
+	// the compressed filter into exact refinement.
+	ComprSurvive float64 `json:"compr_survive"`
+	// VASurvive is the EWMA fraction surviving the VA-File filter.
+	VASurvive float64 `json:"va_survive"`
+
+	// Per-path EWMA wall time per coefficient-equivalent, in nanoseconds.
+	// Cell counts predict I/O volume but miss per-path CPU structure (the
+	// compressed filter pays a kfetch per pruning step, the VA-File scan
+	// is a tight table loop), so the planner ranks paths by predicted
+	// time = predicted cells × learned ns/cell. The priors are equal, so
+	// a fresh collection ranks purely by cell count until feedback
+	// arrives.
+	BondNs  float64 `json:"bond_ns_per_cell"`
+	ComprNs float64 `json:"compr_ns_per_cell"`
+	VANs    float64 `json:"va_ns_per_cell"`
+	ExactNs float64 `json:"exact_ns_per_cell"`
+}
+
+// defaultCoefficients are the priors a fresh collection plans from,
+// anchored on the paper's measurements.
+func defaultCoefficients() Coefficients {
+	return Coefficients{
+		BondFrac:        0.35,
+		ComprFilterFrac: 0.60,
+		ComprSurvive:    0.05,
+		VASurvive:       0.03,
+		BondNs:          defaultNsPerCell,
+		ComprNs:         defaultNsPerCell,
+		VANs:            defaultNsPerCell,
+		ExactNs:         defaultNsPerCell,
+	}
+}
+
+// defaultNsPerCell is the prior per-cell time; its absolute value is
+// irrelevant (only ratios rank paths), it just has to be equal across
+// paths so a fresh model ranks by cell count.
+const defaultNsPerCell = 3.0
+
+// Model is the thread-safe holder of the coefficients. One Model belongs
+// to one collection; queries read a snapshot when planning and feed
+// observations back after executing.
+type Model struct {
+	mu sync.Mutex
+	c  Coefficients
+}
+
+// NewModel returns a model at the default priors.
+func NewModel() *Model {
+	return &Model{c: defaultCoefficients()}
+}
+
+// LoadModel restores a model from a marshaled statistics block, falling
+// back to the priors when the block is empty or unreadable (an old store
+// file, or one written before the planner existed).
+func LoadModel(b []byte) *Model {
+	m := NewModel()
+	if len(b) == 0 {
+		return m
+	}
+	var c Coefficients
+	if err := json.Unmarshal(b, &c); err != nil {
+		return m
+	}
+	m.c = clampCoefficients(c)
+	return m
+}
+
+// Marshal serializes the current coefficients for persistence.
+func (m *Model) Marshal() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := json.Marshal(m.c)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Snapshot returns the current coefficients.
+func (m *Model) Snapshot() Coefficients {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c
+}
+
+func clampCoefficients(c Coefficients) Coefficients {
+	c.BondFrac = clamp01(c.BondFrac)
+	c.ComprFilterFrac = clamp01(c.ComprFilterFrac)
+	c.ComprSurvive = clamp01(c.ComprSurvive)
+	c.VASurvive = clamp01(c.VASurvive)
+	c.BondNs = clampNs(c.BondNs)
+	c.ComprNs = clampNs(c.ComprNs)
+	c.VANs = clampNs(c.VANs)
+	c.ExactNs = clampNs(c.ExactNs)
+	if c.Queries < 0 {
+		c.Queries = 0
+	}
+	return c
+}
+
+func clamp01(x float64) float64 {
+	if x < 0.001 {
+		return 0.001
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func clampNs(x float64) float64 {
+	if x != x || x < 0.05 { // NaN or implausibly fast
+		return 0.05
+	}
+	if x > 1e4 {
+		return 1e4
+	}
+	return x
+}
+
+func ewma(old, obs float64) float64 {
+	return clamp01(old + ewmaAlpha*(obs-old))
+}
+
+func ewmaNs(old, obs float64) float64 {
+	return clampNs(old + ewmaAlpha*(clampNs(obs)-old))
+}
+
+// observeBond feeds back one BOND segment scan: frac is coefficients read
+// over the segment's full size, already divided by the plan's shape
+// factor so the stored coefficient stays shape-neutral; ns is the
+// measured wall time per coefficient-equivalent (0 when unusable).
+func (m *Model) observeBond(frac, ns float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c.BondFrac = ewma(m.c.BondFrac, frac)
+	if ns > 0 {
+		m.c.BondNs = ewmaNs(m.c.BondNs, ns)
+	}
+}
+
+func (m *Model) observeCompressed(filterFrac, survive, ns float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c.ComprFilterFrac = ewma(m.c.ComprFilterFrac, filterFrac)
+	m.c.ComprSurvive = ewma(m.c.ComprSurvive, survive)
+	if ns > 0 {
+		m.c.ComprNs = ewmaNs(m.c.ComprNs, ns)
+	}
+}
+
+func (m *Model) observeVA(survive, ns float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c.VASurvive = ewma(m.c.VASurvive, survive)
+	if ns > 0 {
+		m.c.VANs = ewmaNs(m.c.VANs, ns)
+	}
+}
+
+func (m *Model) observeExact(ns float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ns > 0 {
+		m.c.ExactNs = ewmaNs(m.c.ExactNs, ns)
+	}
+}
+
+func (m *Model) countQuery() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.c.Queries++
+}
+
+// --- Predictions ----------------------------------------------------------
+//
+// All predictions are in coefficient-equivalents: the number of exact
+// float64 reads a path is expected to cost on one segment, with 8-bit
+// cell reads charged at CodeCost. The executor reports actual costs in
+// the same unit, which is what EXPLAIN prints side by side.
+
+// predictBond estimates a BOND scan over a segment of n vectors and dims
+// dimensions, scaled by the segment's shape factor (see shapeFactor).
+func (c Coefficients) predictBond(n, dims int, shape float64) float64 {
+	return float64(n) * float64(dims) * c.BondFrac * shape
+}
+
+func (c Coefficients) predictCompressed(n, dims int) float64 {
+	nd := float64(n) * float64(dims)
+	return CodeCost*nd*c.ComprFilterFrac + nd*c.ComprSurvive
+}
+
+func (c Coefficients) predictVAFile(n, dims int) float64 {
+	nd := float64(n) * float64(dims)
+	return CodeCost*nd + nd*c.VASurvive
+}
+
+func (c Coefficients) predictExact(n, dims int) float64 {
+	return float64(n) * float64(dims)
+}
+
+// shapeFactor scales the BOND cost prediction by how well branch-and-bound
+// should prune on this particular segment, derived from its synopsis
+// bound — the planner's per-segment differentiation that the global EWMA
+// cannot provide.
+//
+// For similarity criteria the bound is the best intersection any member
+// could reach: a segment whose bound is far below the query mass T(q)
+// prunes almost immediately, so the factor is bound/T(q) in (0, 1]. For
+// distance criteria the bound is the minimum possible distance to the
+// segment's bounding box: the farther the query sits from the box, the
+// faster candidates die, so the factor decays as 1/(1+bound). Segments
+// without a synopsis get factor 1 (no information, assume the average).
+func shapeFactor(bound float64, hasBound, distance bool, queryMass float64) float64 {
+	if !hasBound {
+		return 1
+	}
+	if distance {
+		return 1 / (1 + bound)
+	}
+	if queryMass <= 0 {
+		return 1
+	}
+	f := bound / queryMass
+	if f < 0.05 {
+		f = 0.05
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

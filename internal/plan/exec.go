@@ -1,0 +1,381 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bond/internal/core"
+	"bond/internal/topk"
+	"bond/internal/vafile"
+)
+
+// Result is a completed planned query. Results and Stats are the merged
+// exact answer and work statistics; Compressed carries the
+// filter-and-refine counters the legacy compressed entry point reports
+// (populated whenever compressed, VA-File, or exact-scan steps ran).
+type Result struct {
+	Results []topk.Result
+	Stats   core.Stats
+	// Compressed aggregates the filter-and-refine counters; its Results
+	// field mirrors Results so it is a complete core.CompressedResult.
+	Compressed core.CompressedResult
+	// Truncated reports that the deadline stopped execution before every
+	// planned segment ran; the answer covers the segments searched.
+	Truncated bool
+}
+
+// stepOutcome is what one executed step produced, before folding.
+type stepOutcome struct {
+	rs    []topk.Result // rebased to global ids
+	empty bool
+	err   error
+
+	bondStats    core.Stats            // PathBOND, PathMIL
+	comp         core.CompressedResult // PathCompressed
+	exactScanned int64                 // PathExact
+	vaCodes      int64                 // PathVAFile
+	vaCands      int
+	vaRefine     int64
+}
+
+// Execute runs the plan and merges the per-segment answers into the exact
+// global top-k, feeding observed costs back into the plan's model. The
+// parallel fan-out group runs first (concurrently); the sequential tail
+// then runs best-bound-first with synopsis skipping against the running
+// κ, exactly as the legacy segmented search did, so forced-strategy plans
+// return byte-identical results and statistics.
+func Execute(p *Plan) (Result, error) {
+	// Once execution finishes, drop the segment handles and the per-query
+	// bound table: Explain only needs Steps and the model snapshot, and a
+	// caller holding the plan (e.g. to log it later) must not pin the
+	// segments' columns and cached code arrays past compaction.
+	defer func() {
+		p.segs = nil
+		p.vaTbl = nil
+	}()
+	opts := p.Opts
+	dist := opts.Criterion.Distance()
+	var kappaHeap *topk.Heap
+	if dist {
+		kappaHeap = topk.NewSmallest(opts.K)
+	} else {
+		kappaHeap = topk.NewLargest(opts.K)
+	}
+
+	var res Result
+	var lists [][]topk.Result
+	executed := false
+
+	fold := func(st *Step, out stepOutcome, elapsed time.Duration) {
+		st.Executed = true
+		executed = true
+		p.feedback(st, out, elapsed)
+		switch st.Path {
+		case PathBOND, PathMIL:
+			res.Stats.SegmentsSearched++
+			core.MergeStats(&res.Stats, out.bondStats, st.Segment)
+		case PathCompressed:
+			res.Stats.SegmentsSearched++
+			core.MergeStats(&res.Stats, out.comp.FilterStats, st.Segment)
+			res.Stats.ValuesScanned += out.comp.RefineValuesScanned
+			res.Compressed.FilterCandidates += out.comp.FilterCandidates
+			core.MergeStats(&res.Compressed.FilterStats, out.comp.FilterStats, st.Segment)
+			res.Compressed.RefineValuesScanned += out.comp.RefineValuesScanned
+			res.Compressed.FilterStats.SegmentsSearched++
+		case PathExact:
+			res.Stats.SegmentsSearched++
+			res.Stats.ValuesScanned += out.exactScanned
+			res.Compressed.ExactValuesScanned += out.exactScanned
+			res.Compressed.FilterStats.SegmentsSearched++
+		case PathVAFile:
+			res.Stats.SegmentsSearched++
+			res.Stats.ValuesScanned += out.vaCodes + out.vaRefine
+			res.Compressed.FilterCandidates += out.vaCands
+			res.Compressed.FilterStats.ValuesScanned += out.vaCodes
+			res.Compressed.RefineValuesScanned += out.vaRefine
+			res.Compressed.FilterStats.SegmentsSearched++
+		}
+		lists = append(lists, out.rs)
+		for _, r := range out.rs {
+			kappaHeap.Push(r.ID, r.Score)
+		}
+	}
+
+	// Phase 1: the parallel fan-out group (no skipping — all its segments
+	// start before any κ exists — but its answers seed κ for phase 2).
+	npar := 0
+	for npar < len(p.Steps) && p.Steps[npar].Parallel {
+		npar++
+	}
+	switch {
+	case npar > 0 && p.pastDeadline():
+		p.Truncated = true
+	case npar > 0:
+		outs := make([]stepOutcome, npar)
+		var wg sync.WaitGroup
+		for i := 0; i < npar; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = p.runStep(&p.Steps[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < npar; i++ {
+			if outs[i].err != nil {
+				return Result{}, fmt.Errorf("core: segment %d: %w", p.Steps[i].Segment, outs[i].err)
+			}
+			if outs[i].empty {
+				continue
+			}
+			// Elapsed 0: per-goroutine wall time under fan-out contention
+			// would systematically inflate the learned ns/cell, so
+			// parallel steps feed back cell counts only.
+			fold(&p.Steps[i], outs[i], 0)
+		}
+	}
+
+	// Phase 2: the sequential tail, best-bound-first with skipping.
+	for i := npar; i < len(p.Steps); i++ {
+		st := &p.Steps[i]
+		if p.pastDeadline() {
+			p.Truncated = true
+			break
+		}
+		if kappa, full := kappaHeap.Threshold(); full && st.HasBound &&
+			core.CannotBeat(p.adjustBound(st.Bound, dist), kappa, dist) {
+			st.Skipped = true
+			res.Stats.SegmentsSkipped++
+			res.Compressed.FilterStats.SegmentsSkipped++
+			continue
+		}
+		start := time.Now()
+		out := p.runStep(st)
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		if out.empty {
+			continue
+		}
+		fold(st, out, time.Since(start))
+	}
+
+	if executed {
+		p.model.countQuery()
+	}
+	res.Truncated = p.Truncated
+	if len(lists) == 0 {
+		if p.Truncated {
+			return res, nil
+		}
+		return Result{}, core.ErrNoCandidates
+	}
+	res.Results = topk.Merge(opts.K, !dist, lists...)
+	res.Compressed.Results = res.Results
+	return res, nil
+}
+
+// adjustBound applies the approximation tolerance to a segment bound: a
+// segment that cannot improve κ by more than Tolerance is treated as
+// beaten. Zero tolerance keeps the strict (exact) comparison.
+func (p *Plan) adjustBound(bound float64, dist bool) float64 {
+	if p.Spec.Tolerance <= 0 {
+		return bound
+	}
+	if dist {
+		return bound + p.Spec.Tolerance
+	}
+	return bound - p.Spec.Tolerance
+}
+
+func (p *Plan) pastDeadline() bool {
+	return !p.Spec.Deadline.IsZero() && time.Now().After(p.Spec.Deadline)
+}
+
+// runStep executes one step's access path over its segment, filling the
+// step's outcome fields.
+func (p *Plan) runStep(st *Step) stepOutcome {
+	seg := p.segs[st.Segment]
+	src := seg.View.Src
+	vopts := p.Opts
+	vopts.Exclude = core.LocalExclude(p.Opts.Exclude, st.Base, st.N)
+
+	switch st.Path {
+	case PathBOND:
+		r, empty, err := core.SearchOne(src, p.Spec.Query, vopts)
+		if empty || err != nil {
+			return stepOutcome{empty: empty, err: err}
+		}
+		st.ActualCost = float64(r.Stats.ValuesScanned)
+		st.Candidates = r.Stats.FinalCandidates
+		return stepOutcome{rs: core.Rebase(r.Results, st.Base), bondStats: r.Stats}
+
+	case PathCompressed:
+		sub, empty := core.SearchCompressedOne(src, seg.Codes(), p.Spec.Query, vopts)
+		if empty {
+			return stepOutcome{empty: true}
+		}
+		st.ActualCost = CodeCost*float64(sub.FilterStats.ValuesScanned) + float64(sub.RefineValuesScanned)
+		st.Candidates = sub.FilterCandidates
+		return stepOutcome{rs: core.Rebase(sub.Results, st.Base), comp: sub}
+
+	case PathVAFile:
+		return p.runVAFile(st, seg, vopts)
+
+	case PathExact:
+		rs, scanned := core.ExactScan(src, p.Spec.Query, vopts)
+		if rs == nil {
+			return stepOutcome{empty: true}
+		}
+		st.ActualCost = float64(scanned)
+		st.Candidates = len(rs)
+		return stepOutcome{rs: core.Rebase(rs, st.Base), exactScanned: scanned}
+
+	case PathMIL:
+		milOpts := core.MILOptions{
+			K:            p.Spec.K,
+			Step:         p.Spec.Step,
+			BitmapSwitch: p.Spec.BitmapSwitch,
+			Exclude:      vopts.Exclude,
+		}
+		r, err := core.SearchMIL(src, p.Spec.Query, milOpts)
+		if err == core.ErrNoCandidates {
+			return stepOutcome{empty: true}
+		}
+		if err != nil {
+			return stepOutcome{err: err}
+		}
+		st.ActualCost = float64(r.Stats.ValuesScanned)
+		st.Candidates = r.Stats.FinalCandidates
+		return stepOutcome{rs: core.Rebase(r.Results, st.Base), bondStats: r.Stats}
+	}
+	return stepOutcome{err: fmt.Errorf("plan: unknown path %v", st.Path)}
+}
+
+// runVAFile is the VA-File access path: filter over the segment's
+// row-major codes (skipping deleted and excluded ids), then exact
+// refinement on the columns in natural dimension order — the same
+// summation order the compressed refine and exact-scan paths use, so a
+// segment answers identically whichever path the planner picks.
+func (p *Plan) runVAFile(st *Step, seg Segment, vopts core.Options) stepOutcome {
+	src := seg.View.Src
+	f := seg.VA()
+	deleted := src.DeletedBitmap()
+	excl := vopts.Exclude
+	skip := func(id int) bool {
+		if deleted.Get(id) {
+			return true
+		}
+		return excl != nil && id < excl.Len() && excl.Get(id)
+	}
+	q := p.Spec.Query
+	dist := vopts.Criterion.Distance()
+	tbl := p.vaTable(f, dist)
+
+	var ids []int
+	var fst vafileStats
+	if dist {
+		raw, s := f.FilterEuclideanLive(tbl, q, vopts.K, skip)
+		ids, fst = raw, vafileStats{codes: s.CodesScanned}
+	} else {
+		raw, s := f.FilterHistogramLive(tbl, q, vopts.K, skip)
+		ids, fst = raw, vafileStats{codes: s.CodesScanned}
+	}
+	if len(ids) == 0 {
+		return stepOutcome{empty: true}
+	}
+
+	score := make([]float64, len(ids))
+	for d := 0; d < src.Dims(); d++ {
+		col := src.Column(d)
+		qd := q[d]
+		for ci, id := range ids {
+			v := col[id]
+			if dist {
+				diff := v - qd
+				score[ci] += diff * diff
+			} else if v < qd {
+				score[ci] += v
+			} else {
+				score[ci] += qd
+			}
+		}
+	}
+	refine := int64(len(ids)) * int64(src.Dims())
+
+	k := vopts.K
+	if k > len(ids) {
+		k = len(ids)
+	}
+	var h *topk.Heap
+	if dist {
+		h = topk.NewSmallest(k)
+	} else {
+		h = topk.NewLargest(k)
+	}
+	for ci, id := range ids {
+		h.Push(id, score[ci])
+	}
+
+	st.ActualCost = CodeCost*float64(fst.codes) + float64(refine)
+	st.Candidates = len(ids)
+	return stepOutcome{
+		rs:       core.Rebase(h.Results(), st.Base),
+		vaCodes:  fst.codes,
+		vaCands:  len(ids),
+		vaRefine: refine,
+	}
+}
+
+type vafileStats struct{ codes int64 }
+
+// vaTable returns the query's shared VA-File bound table, building it on
+// the first VA step (segments share one quantization grid, so one table
+// serves them all; a segment on a different grid gets a private table).
+func (p *Plan) vaTable(f *vafile.File, dist bool) *vafile.Table {
+	build := func() *vafile.Table {
+		if dist {
+			return vafile.NewEuclideanTable(f.Quantizer(), p.Spec.Query)
+		}
+		return vafile.NewHistogramTable(f.Quantizer(), p.Spec.Query)
+	}
+	p.vaOnce.Do(func() { p.vaTbl = build() })
+	if !p.vaTbl.Fits(f) {
+		return build()
+	}
+	return p.vaTbl
+}
+
+// feedback folds a step's observed cost back into the model, normalizing
+// out the shape factor so the stored coefficients stay segment-neutral.
+// elapsed divides by the step's cost in coefficient-equivalents to give
+// the per-path time coefficient.
+func (p *Plan) feedback(st *Step, out stepOutcome, elapsed time.Duration) {
+	n := float64(st.N)
+	nd := n * float64(p.Dims)
+	if nd == 0 {
+		return
+	}
+	ns := 0.0
+	if st.ActualCost > 0 && elapsed > 0 {
+		ns = float64(elapsed.Nanoseconds()) / st.ActualCost
+	}
+	switch st.Path {
+	case PathBOND:
+		shape := st.shape
+		if shape <= 0 {
+			shape = 1
+		}
+		p.model.observeBond(float64(out.bondStats.ValuesScanned)/(nd*shape), ns)
+	case PathCompressed:
+		p.model.observeCompressed(
+			float64(out.comp.FilterStats.ValuesScanned)/nd,
+			float64(out.comp.FilterCandidates)/n,
+			ns)
+	case PathVAFile:
+		p.model.observeVA(float64(out.vaCands)/n, ns)
+	case PathExact:
+		p.model.observeExact(ns)
+	}
+}

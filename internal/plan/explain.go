@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"bond/internal/multifeature"
+)
+
+// Explain renders the plan as the EXPLAIN output the CLI prints: the
+// query shape, the model coefficients the predictions came from, one line
+// per planned segment with the chosen access path and predicted versus
+// actual cost (in coefficient-equivalents, 8-bit cells charged at 1/8),
+// and a summary. Before Execute the actual columns read "-"; after, they
+// carry the measured costs, so predicted-vs-actual drift is visible at a
+// glance.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query: k=%d criterion=%s strategy=%s segments=%d (%d slots × %d dims)\n",
+		p.Opts.K, p.Opts.Criterion, p.Spec.Strategy, len(p.Steps), p.Slots, p.Dims)
+	fmt.Fprintf(&b, "Model: bond=%.3f compr.filter=%.3f compr.survive=%.3f va.survive=%.3f queries=%d\n",
+		p.Model.BondFrac, p.Model.ComprFilterFrac, p.Model.ComprSurvive, p.Model.VASurvive, p.Model.Queries)
+	fmt.Fprintf(&b, "Cost:  ns/cell bond=%.2f compressed=%.2f vafile=%.2f exact=%.2f\n",
+		p.Model.BondNs, p.Model.ComprNs, p.Model.VANs, p.Model.ExactNs)
+	fmt.Fprintf(&b, "%4s  %-10s %8s %6s %12s %12s %12s %10s\n",
+		"seg", "path", "n", "par", "bound", "predicted", "actual", "candidates")
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		bound := "-"
+		if st.HasBound {
+			bound = fmt.Sprintf("%.4f", st.Bound)
+		}
+		par := ""
+		if st.Parallel {
+			par = "yes"
+		}
+		actual := "-"
+		cands := "-"
+		switch {
+		case st.Skipped:
+			actual = "skipped"
+			cands = "0"
+		case st.Executed:
+			actual = fmt.Sprintf("%.1f", st.ActualCost)
+			cands = fmt.Sprintf("%d", st.Candidates)
+		}
+		fmt.Fprintf(&b, "%4d  %-10s %8d %6s %12s %12.1f %12s %10s\n",
+			st.Segment, st.Path, st.N, par, bound, st.PredCost, actual, cands)
+	}
+	searched, skipped := 0, 0
+	for i := range p.Steps {
+		if p.Steps[i].Skipped {
+			skipped++
+		} else if p.Steps[i].Executed {
+			searched++
+		}
+	}
+	fmt.Fprintf(&b, "Total: predicted=%.1f actual=%.1f searched=%d skipped=%d",
+		p.PredictedCost(), p.ActualCost(), searched, skipped)
+	if p.Truncated {
+		b.WriteString(" (truncated: deadline)")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Multi routes a multi-feature query through the plan layer. Synchronized
+// multi-feature BOND advances every feature in lockstep across all their
+// segments, so there is no per-segment path choice to make; the planner's
+// contribution is validation and a uniform entry point.
+func Multi(features []multifeature.Feature, opts multifeature.Options) (multifeature.Result, error) {
+	return multifeature.Search(features, opts)
+}

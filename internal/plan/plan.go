@@ -1,0 +1,295 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bond/internal/core"
+	"bond/internal/vafile"
+)
+
+// Path is the access path a plan step assigns to one segment.
+type Path int
+
+const (
+	// PathBOND is the branch-and-bound scan over the exact columns.
+	PathBOND Path = iota
+	// PathCompressed is the 8-bit filter-and-refine scan.
+	PathCompressed
+	// PathVAFile is the VA-File filter over row-major codes plus exact
+	// refinement.
+	PathVAFile
+	// PathExact is a full exact scan (the seqscan oracle per segment).
+	PathExact
+	// PathMIL is the MIL relational-operator reference engine.
+	PathMIL
+)
+
+// String names the path as EXPLAIN prints it.
+func (p Path) String() string {
+	switch p {
+	case PathBOND:
+		return "bond"
+	case PathCompressed:
+		return "compressed"
+	case PathVAFile:
+		return "vafile"
+	case PathExact:
+		return "exact"
+	case PathMIL:
+		return "mil"
+	}
+	return fmt.Sprintf("Path(%d)", int(p))
+}
+
+// Step is one per-segment entry of a plan, in execution order. The
+// planner fills the prediction fields; the executor fills the outcome.
+type Step struct {
+	// Segment is the physical segment index (position in the store).
+	Segment int
+	// Base is the global id of the segment's local id 0; N its slot count.
+	Base, N int
+	// Sealed marks immutable segments.
+	Sealed bool
+	// Path is the chosen access path.
+	Path Path
+	// Parallel marks the step as part of the fan-out group the executor
+	// runs concurrently before the sequential tail.
+	Parallel bool
+	// Bound is the synopsis bound — the best score any member could
+	// reach; HasBound is false when the segment has no usable synopsis.
+	Bound    float64
+	HasBound bool
+	// PredCost is the predicted cost in coefficient-equivalents.
+	PredCost float64
+
+	// Executed reports that the step ran; Skipped that the synopsis
+	// dismissed the segment at run time (κ already unbeatable).
+	Executed bool
+	Skipped  bool
+	// ActualCost is the measured cost in coefficient-equivalents.
+	ActualCost float64
+	// Candidates is the number of vectors surviving the step's filter
+	// (compressed/VA paths) or final BOND candidate set.
+	Candidates int
+
+	// shape is the BOND cost scale derived from the synopsis, kept so the
+	// executor can normalize it back out of observed costs.
+	shape float64
+}
+
+// Plan is a planned query: the validated spec, the ordered per-segment
+// steps, and the model snapshot the predictions came from. Execute runs
+// it; Explain renders it.
+type Plan struct {
+	Spec Spec
+	// Opts is the validated, default-filled engine options.
+	Opts core.Options
+	// Steps is the per-segment plan in execution order (parallel group
+	// first, then sequential best-bound-first so κ tightens fast).
+	Steps []Step
+	// Dims and Slots describe the planned collection.
+	Dims, Slots int
+	// Model is the coefficient snapshot used for the predictions.
+	Model Coefficients
+	// Truncated reports that the deadline stopped execution early.
+	Truncated bool
+
+	segs  []Segment
+	model *Model
+
+	// vaTbl is the per-query VA-File bound table, built once at the first
+	// VA step and shared by every segment (the bounds depend only on the
+	// quantization grid and the query).
+	vaOnce sync.Once
+	vaTbl  *vafile.Table
+}
+
+// parallelMinSegment is the smallest segment Auto fans out when the spec
+// carries a parallelism hint — below this, goroutine overhead dominates.
+const parallelMinSegment = 2048
+
+// New plans a query over the given segments. The spec is validated (and
+// defaults filled) exactly as the legacy entry points validated options,
+// so forced-strategy plans reproduce their behavior including errors.
+// model may be nil, which plans from the default priors and discards
+// feedback.
+func New(segs []Segment, spec Spec, model *Model) (*Plan, error) {
+	views := make([]core.SegmentView, len(segs))
+	for i, s := range segs {
+		views[i] = s.View
+	}
+	opts := spec.options()
+	if err := core.ValidateSegments(views, spec.Query, &opts); err != nil {
+		return nil, err
+	}
+	if spec.Strategy == ForceCompressed || spec.Strategy == ForceVAFile {
+		if err := core.ValidateCompressed(opts); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Strategy == ForceMIL && opts.Criterion != core.Hq {
+		return nil, fmt.Errorf("plan: the MIL path ranks by Hq, not %v", opts.Criterion)
+	}
+	if model == nil {
+		model = NewModel()
+	}
+	p := &Plan{
+		Spec:  spec,
+		Opts:  opts,
+		Dims:  views[0].Src.Dims(),
+		Model: model.Snapshot(),
+		segs:  segs,
+		model: model,
+	}
+	for _, v := range views {
+		p.Slots += v.Src.Len()
+	}
+
+	dist := opts.Criterion.Distance()
+	queryMass := effectiveQueryMass(spec.Query, opts)
+	compressedOK := core.ValidateCompressed(opts) == nil
+
+	for i, s := range segs {
+		n := s.View.Src.Len()
+		if n == 0 {
+			continue
+		}
+		st := Step{Segment: i, Base: s.View.Base, N: n, Sealed: s.Sealed}
+		st.Bound, st.HasBound = core.SegBound(s.View, spec.Query, opts)
+		st.shape = shapeFactor(st.Bound, st.HasBound, dist, queryMass)
+		st.Path, st.PredCost = choosePath(p.Model, spec.Strategy, s, compressedOK, n, p.Dims, st.shape)
+		if st.Path == PathMIL {
+			// The MIL reference engine searches every segment, as the
+			// legacy SearchMIL did: no synopsis skipping.
+			st.HasBound = false
+		}
+		st.Parallel = spec.Parallel >= 2 && st.Path == PathBOND &&
+			(spec.Strategy == ForceBOND || n >= parallelMinSegment)
+		p.Steps = append(p.Steps, st)
+	}
+	p.orderSteps(dist)
+	return p, nil
+}
+
+// choosePath assigns the access path and its predicted cost for one
+// segment. Forced strategies map directly (falling back to an exact scan
+// where the path needs codes a mutable segment cannot offer, exactly as
+// the legacy compressed search treated the active segment); Auto takes
+// the cheapest eligible prediction.
+func choosePath(m Coefficients, strat Strategy, s Segment, compressedOK bool, n, dims int, shape float64) (Path, float64) {
+	canCompress := compressedOK && s.Sealed && s.Codes != nil
+	canVA := compressedOK && s.Sealed && s.VA != nil
+	switch strat {
+	case ForceBOND:
+		return PathBOND, m.predictBond(n, dims, shape)
+	case ForceExact:
+		return PathExact, m.predictExact(n, dims)
+	case ForceMIL:
+		return PathMIL, m.predictExact(n, dims)
+	case ForceCompressed:
+		if canCompress {
+			return PathCompressed, m.predictCompressed(n, dims)
+		}
+		return PathExact, m.predictExact(n, dims)
+	case ForceVAFile:
+		if canVA {
+			return PathVAFile, m.predictVAFile(n, dims)
+		}
+		return PathExact, m.predictExact(n, dims)
+	}
+	// Auto ranks by predicted wall time: cells × the learned per-path
+	// ns/cell, so a path that reads few cells slowly (the compressed
+	// filter's per-step kfetch) loses to one that reads more cells in a
+	// tight loop. With a fresh model all ns priors are equal and the
+	// ranking reduces to cell count.
+	best, cost := PathBOND, m.predictBond(n, dims, shape)
+	bestTime := cost * m.BondNs
+	if canCompress {
+		if c := m.predictCompressed(n, dims); c*m.ComprNs < bestTime {
+			best, cost, bestTime = PathCompressed, c, c*m.ComprNs
+		}
+	}
+	if canVA {
+		if c := m.predictVAFile(n, dims); c*m.VANs < bestTime {
+			best, cost, bestTime = PathVAFile, c, c*m.VANs
+		}
+	}
+	return best, cost
+}
+
+// orderSteps arranges the execution order: the parallel fan-out group
+// first (in segment order — it all runs concurrently anyway, and the
+// early answers seed κ for the sequential tail), then the sequential
+// steps with unbounded segments first (they must be searched regardless)
+// followed by bounded ones best-first, so κ tightens as fast as possible
+// and later segments can be skipped — the same discipline the legacy
+// segmented search used.
+func (p *Plan) orderSteps(dist bool) {
+	sort.SliceStable(p.Steps, func(a, b int) bool {
+		sa, sb := &p.Steps[a], &p.Steps[b]
+		if sa.Parallel != sb.Parallel {
+			return sa.Parallel
+		}
+		if sa.Parallel {
+			return sa.Segment < sb.Segment
+		}
+		if sa.HasBound != sb.HasBound {
+			return !sa.HasBound
+		}
+		if !sa.HasBound {
+			return false
+		}
+		if sa.Bound != sb.Bound {
+			if dist {
+				return sa.Bound < sb.Bound
+			}
+			return sa.Bound > sb.Bound
+		}
+		return false
+	})
+}
+
+// effectiveQueryMass is T(q) over the effective (weighted, subspaced)
+// dimensions — the yardstick the similarity shape factor compares a
+// segment's bound against.
+func effectiveQueryMass(q []float64, opts core.Options) float64 {
+	mass := 0.0
+	if len(opts.Dims) > 0 {
+		for _, d := range opts.Dims {
+			w := 1.0
+			if len(opts.Weights) > 0 {
+				w = opts.Weights[d]
+			}
+			mass += w * q[d]
+		}
+		return mass
+	}
+	for d, qd := range q {
+		w := 1.0
+		if len(opts.Weights) > 0 {
+			w = opts.Weights[d]
+		}
+		mass += w * qd
+	}
+	return mass
+}
+
+// PredictedCost sums the per-step predictions.
+func (p *Plan) PredictedCost() float64 {
+	var c float64
+	for i := range p.Steps {
+		c += p.Steps[i].PredCost
+	}
+	return c
+}
+
+// ActualCost sums the measured per-step costs (0 before Execute).
+func (p *Plan) ActualCost() float64 {
+	var c float64
+	for i := range p.Steps {
+		c += p.Steps[i].ActualCost
+	}
+	return c
+}

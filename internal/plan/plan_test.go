@@ -1,0 +1,346 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bond/internal/core"
+	"bond/internal/quant"
+	"bond/internal/vafile"
+	"bond/internal/vstore"
+)
+
+// segmentsOf lifts a segmented store into planner segments the same way
+// the collection layer does.
+func segmentsOf(s *vstore.SegStore) []Segment {
+	segs, bases := s.Segments(), s.Bases()
+	out := make([]Segment, len(segs))
+	for i, g := range segs {
+		out[i] = Segment{
+			View:   core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange},
+			Sealed: g.Sealed(),
+		}
+		if g.Sealed() {
+			g := g
+			out[i].Codes = func() *vstore.QuantStore { return g.Codes(quant.NewUnit()) }
+			out[i].VA = func() *vafile.File {
+				qz, codes := g.RowCodes(quant.NewUnit())
+				return vafile.FromRowCodes(qz, g.Len(), g.Dims(), codes)
+			}
+		}
+	}
+	return out
+}
+
+// clusterContiguous builds nSeg segments of segLen vectors each, every
+// segment a tight cluster around its own center — the layout where
+// synopsis skipping shines.
+func clusterContiguous(nSeg, segLen, dims int, seed int64) *vstore.SegStore {
+	rng := rand.New(rand.NewSource(seed))
+	var vectors [][]float64
+	for s := 0; s < nSeg; s++ {
+		center := make([]float64, dims)
+		for d := range center {
+			center[d] = rng.Float64()
+		}
+		for i := 0; i < segLen; i++ {
+			v := make([]float64, dims)
+			for d := range v {
+				x := center[d] + 0.02*(rng.Float64()-0.5)
+				if x < 0 {
+					x = 0
+				}
+				if x > 1 {
+					x = 1
+				}
+				v[d] = x
+			}
+			vectors = append(vectors, v)
+		}
+	}
+	return vstore.SegmentedFromVectors(vectors, segLen)
+}
+
+func uniformStore(n, segLen, dims int, seed int64) *vstore.SegStore {
+	rng := rand.New(rand.NewSource(seed))
+	vectors := make([][]float64, n)
+	for i := range vectors {
+		v := make([]float64, dims)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		vectors[i] = v
+	}
+	return vstore.SegmentedFromVectors(vectors, segLen)
+}
+
+// skewedStore concentrates mass on the low dimensions (Zipf-like), the
+// data shape BOND prunes best on.
+func skewedStore(n, segLen, dims int, seed int64) *vstore.SegStore {
+	rng := rand.New(rand.NewSource(seed))
+	vectors := make([][]float64, n)
+	for i := range vectors {
+		v := make([]float64, dims)
+		for d := range v {
+			v[d] = rng.Float64() / float64(1+d)
+		}
+		vectors[i] = v
+	}
+	return vstore.SegmentedFromVectors(vectors, segLen)
+}
+
+func TestForcedStrategyPaths(t *testing.T) {
+	s := uniformStore(300, 100, 8, 1)
+	s.Append(make([]float64, 8)) // unsealed active segment
+	segs := segmentsOf(s)
+	q := s.Row(5)
+
+	cases := []struct {
+		strat  Strategy
+		sealed Path
+		active Path
+	}{
+		{ForceBOND, PathBOND, PathBOND},
+		{ForceCompressed, PathCompressed, PathExact},
+		{ForceVAFile, PathVAFile, PathExact},
+		{ForceExact, PathExact, PathExact},
+		{ForceMIL, PathMIL, PathMIL},
+	}
+	for _, tc := range cases {
+		p, err := New(segs, Spec{Query: q, K: 3, Strategy: tc.strat}, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.strat, err)
+		}
+		for _, st := range p.Steps {
+			want := tc.sealed
+			if !st.Sealed {
+				want = tc.active
+			}
+			if st.Path != want {
+				t.Errorf("%v: segment %d (sealed=%v) got path %v, want %v",
+					tc.strat, st.Segment, st.Sealed, st.Path, want)
+			}
+		}
+	}
+}
+
+func TestCompressedStrategyRejectsUnsupportedOptions(t *testing.T) {
+	s := uniformStore(200, 100, 8, 2)
+	q := s.Row(0)
+	w := make([]float64, 8)
+	for d := range w {
+		w[d] = 1
+	}
+	if _, err := New(segmentsOf(s), Spec{Query: q, K: 3, Strategy: ForceCompressed, Weights: w}, nil); err == nil {
+		t.Fatal("weighted compressed plan should be rejected")
+	}
+	if _, err := New(segmentsOf(s), Spec{Query: q, K: 3, Strategy: ForceVAFile, Criterion: core.Hh}, nil); err == nil {
+		t.Fatal("Hh VA-File plan should be rejected")
+	}
+	if _, err := New(segmentsOf(s), Spec{Query: q, K: 3, Strategy: ForceMIL, Criterion: core.Eq}, nil); err == nil {
+		t.Fatal("Eq MIL plan should be rejected")
+	}
+}
+
+// TestAutoShapeFactorDifferentiates checks the planner's per-segment
+// choice: under a distance criterion, a segment whose bounding box is far
+// from the query predicts cheap BOND (branch-and-bound kills candidates
+// immediately), while the segment containing the query has no such help
+// and the filter paths win.
+func TestAutoShapeFactorDifferentiates(t *testing.T) {
+	s := clusterContiguous(4, 150, 32, 3)
+	segs := segmentsOf(s)
+	q := s.Row(0) // inside segment 0's cluster
+	p, err := New(segs, Spec{Query: q, K: 3, Criterion: core.Eq}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var home, away *Step
+	for i := range p.Steps {
+		if p.Steps[i].Segment == 0 {
+			home = &p.Steps[i]
+		} else if away == nil {
+			away = &p.Steps[i]
+		}
+	}
+	if home == nil || away == nil {
+		t.Fatal("missing steps")
+	}
+	if home.Path == PathBOND {
+		t.Errorf("home segment should prefer a filter path, got %v (pred %.1f)", home.Path, home.PredCost)
+	}
+	if away.Path != PathBOND {
+		t.Errorf("far segment should prefer BOND, got %v (pred %.1f)", away.Path, away.PredCost)
+	}
+	if away.PredCost >= home.PredCost {
+		t.Errorf("far segment predicted %.1f, home %.1f: want far < home", away.PredCost, home.PredCost)
+	}
+}
+
+func TestExecuteMatchesExactScan(t *testing.T) {
+	s := clusterContiguous(5, 120, 10, 4)
+	segs := segmentsOf(s)
+	q := s.Row(37)
+	for _, strat := range []Strategy{Auto, ForceBOND, ForceCompressed, ForceVAFile, ForceExact, ForceMIL} {
+		for _, crit := range []core.Criterion{core.Hq, core.Eq} {
+			if strat == ForceMIL && crit != core.Hq {
+				continue
+			}
+			oracle, err := New(segs, Spec{Query: q, K: 7, Criterion: crit, Strategy: ForceExact}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Execute(oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := New(segs, Spec{Query: q, K: 7, Criterion: crit, Strategy: strat}, NewModel())
+			if err != nil {
+				t.Fatalf("%v/%v: %v", strat, crit, err)
+			}
+			got, err := Execute(p)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", strat, crit, err)
+			}
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("%v/%v: %d results, want %d", strat, crit, len(got.Results), len(want.Results))
+			}
+			for i := range want.Results {
+				if got.Results[i].ID != want.Results[i].ID {
+					t.Fatalf("%v/%v rank %d: id %d, want %d", strat, crit, i,
+						got.Results[i].ID, want.Results[i].ID)
+				}
+				if diff := got.Results[i].Score - want.Results[i].Score; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%v/%v rank %d: score %v, want %v", strat, crit, i,
+						got.Results[i].Score, want.Results[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestFeedbackAdaptsModel(t *testing.T) {
+	s := uniformStore(600, 200, 12, 5)
+	segs := segmentsOf(s)
+	m := NewModel()
+	before := m.Snapshot()
+	for i := 0; i < 5; i++ {
+		p, err := New(segs, Spec{Query: s.Row(i), K: 5, Strategy: ForceBOND}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Execute(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := m.Snapshot()
+	if after.Queries != 5 {
+		t.Fatalf("queries = %d, want 5", after.Queries)
+	}
+	// Uniform data prunes poorly: the observed BOND fraction must have
+	// pulled the coefficient up from the 0.35 prior.
+	if after.BondFrac <= before.BondFrac {
+		t.Fatalf("BondFrac %v did not rise from prior %v on uniform data", after.BondFrac, before.BondFrac)
+	}
+}
+
+func TestModelPersistenceRoundTrip(t *testing.T) {
+	m := NewModel()
+	m.observeBond(0.9, 2.5)
+	m.observeCompressed(0.4, 0.2, 7.5)
+	m.countQuery()
+	got := LoadModel(m.Marshal()).Snapshot()
+	if got != m.Snapshot() {
+		t.Fatalf("round trip: got %+v, want %+v", got, m.Snapshot())
+	}
+	if LoadModel(nil).Snapshot() != defaultCoefficients() {
+		t.Fatal("empty block should load the priors")
+	}
+	if LoadModel([]byte("not json")).Snapshot() != defaultCoefficients() {
+		t.Fatal("garbage block should load the priors")
+	}
+}
+
+func TestDeadlineTruncates(t *testing.T) {
+	s := uniformStore(400, 100, 8, 6)
+	segs := segmentsOf(s)
+	p, err := New(segs, Spec{
+		Query:    s.Row(0),
+		K:        3,
+		Deadline: time.Now().Add(-time.Second),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("expired deadline should truncate")
+	}
+	if len(res.Results) != 0 {
+		t.Fatalf("no segment ran, yet %d results", len(res.Results))
+	}
+
+	// The same contract holds when every step is in the parallel group.
+	pp, err := New(segs, Spec{
+		Query:    s.Row(0),
+		K:        3,
+		Strategy: ForceBOND,
+		Parallel: 4,
+		Deadline: time.Now().Add(-time.Second),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := Execute(pp)
+	if err != nil {
+		t.Fatalf("all-parallel expired deadline should truncate, not error: %v", err)
+	}
+	if !pres.Truncated || len(pres.Results) != 0 {
+		t.Fatalf("all-parallel truncation: truncated=%v results=%d", pres.Truncated, len(pres.Results))
+	}
+}
+
+func TestToleranceSkipsMarginalSegments(t *testing.T) {
+	// Uniform data: every segment's synopsis bound clears κ, so exact
+	// skipping dismisses nothing — only the tolerance can.
+	s := uniformStore(600, 100, 8, 7)
+	segs := segmentsOf(s)
+	q := s.Row(0)
+	exact, err := New(segs, Spec{Query: q, K: 3, Strategy: ForceBOND}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(exact); err != nil {
+		t.Fatal(err)
+	}
+	loose, err := New(segs, Spec{Query: q, K: 3, Strategy: ForceBOND, Tolerance: 100}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skippedExact := countSkipped(exact)
+	skippedLoose := countSkipped(loose)
+	if skippedLoose <= skippedExact {
+		t.Fatalf("tolerance 100 skipped %d segments, exact skipped %d: want more", skippedLoose, skippedExact)
+	}
+	if len(res.Results) == 0 {
+		t.Fatal("approximate search returned nothing")
+	}
+}
+
+func countSkipped(p *Plan) int {
+	n := 0
+	for i := range p.Steps {
+		if p.Steps[i].Skipped {
+			n++
+		}
+	}
+	return n
+}

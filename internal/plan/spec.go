@@ -1,0 +1,203 @@
+// Package plan implements the cost-based query planner of the collection
+// layer: one QuerySpec in, a Plan out — an ordered list of per-segment
+// steps, each choosing an access path from the segment's synopsis and a
+// small adaptive per-collection cost model — and one executor that runs
+// the plan through the shared engine primitives of package core.
+//
+// The paper's central claim is that the decomposed storage engine itself
+// is the index; the planner is the piece that makes that operational. A
+// vertically decomposed system (the paper's Section 6 targets MonetDB)
+// routes every query through a planner that picks operators from
+// statistics. Here the statistics are the per-segment min/max synopses
+// of the segmented store plus execution feedback (coefficients read and
+// candidates surviving per strategy), so the plans adapt as data and
+// workloads shift.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bond/internal/bitmap"
+	"bond/internal/core"
+	"bond/internal/vafile"
+	"bond/internal/vstore"
+)
+
+// Strategy selects how the planner assigns access paths.
+type Strategy int
+
+const (
+	// Auto picks the cheapest eligible path per segment from the cost
+	// model — the default.
+	Auto Strategy = iota
+	// ForceBOND runs plain BOND on every segment.
+	ForceBOND
+	// ForceCompressed runs the 8-bit filter-and-refine path on every
+	// sealed segment (exact scan on the active one).
+	ForceCompressed
+	// ForceVAFile runs the VA-File filter on every sealed segment (exact
+	// scan on the active one).
+	ForceVAFile
+	// ForceExact runs a full exact scan on every segment — the seqscan
+	// oracle as an access path.
+	ForceExact
+	// ForceMIL runs the MIL relational-operator reference engine on every
+	// segment (criterion Hq).
+	ForceMIL
+)
+
+// String names the strategy as the CLI spells it.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case ForceBOND:
+		return "bond"
+	case ForceCompressed:
+		return "compressed"
+	case ForceVAFile:
+		return "vafile"
+	case ForceExact:
+		return "exact"
+	case ForceMIL:
+		return "mil"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy parses a CLI strategy name.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "auto", "":
+		return Auto, nil
+	case "bond":
+		return ForceBOND, nil
+	case "compressed":
+		return ForceCompressed, nil
+	case "vafile", "va":
+		return ForceVAFile, nil
+	case "exact", "seqscan":
+		return ForceExact, nil
+	case "mil":
+		return ForceMIL, nil
+	}
+	return Auto, fmt.Errorf("plan: unknown strategy %q (want auto, bond, compressed, vafile, exact, or mil)", s)
+}
+
+// Spec is the single query description every search entry point reduces
+// to: what to search for, how exact the answer must be, and optional
+// hints. The zero value plus Query and K is a sensible default.
+type Spec struct {
+	// Query is the query vector. Required.
+	Query []float64
+	// K is the number of neighbors. Required, ≥ 1.
+	K int
+	// Criterion selects metric and pruning rule (core.Hq default).
+	Criterion core.Criterion
+	// Order selects the dimension processing order for BOND paths.
+	Order core.Order
+	// Seed drives core.OrderRandom.
+	Seed int64
+	// Step is the pruning granularity m (0 = default).
+	Step int
+	// AdaptiveStep and AdaptiveThreshold configure the dynamic-m variant.
+	AdaptiveStep      bool
+	AdaptiveThreshold float64
+	// Weights enables weighted search; zero weights exclude dimensions.
+	Weights []float64
+	// Dims restricts the search to a dimensional subspace.
+	Dims []int
+	// Exclude removes vectors from consideration before the search starts.
+	Exclude *bitmap.Bitmap
+	// NormalizedData enables the stricter Eq constant bound.
+	NormalizedData bool
+	// DisableFutileSkip forces a pruning attempt after every step.
+	DisableFutileSkip bool
+	// SkipRangeCheck disables the data-range validation.
+	SkipRangeCheck bool
+	// BitmapSwitch configures the MIL path (0 = default).
+	BitmapSwitch float64
+
+	// Strategy forces an access path; Auto selects per segment by cost.
+	Strategy Strategy
+	// Parallel is the parallelism hint: ≥ 2 fans large segments out to
+	// one goroutine each (every segment under ForceBOND, preserving the
+	// legacy SearchParallel contract). 0 or 1 runs sequentially.
+	Parallel int
+	// Tolerance relaxes segment skipping: a segment that cannot improve
+	// the running k-th best score by more than Tolerance is skipped even
+	// though it might tie or marginally beat it. 0 keeps answers exact.
+	Tolerance float64
+	// Deadline stops the executor from starting further segments once
+	// passed (zero = none). The merged answer over the segments searched
+	// so far is returned with Plan.Truncated set.
+	Deadline time.Time
+}
+
+// SpecFromOptions lifts a legacy core.Options into a Spec — the adapter
+// the deprecated Search* wrappers go through.
+func SpecFromOptions(q []float64, opts core.Options) Spec {
+	return Spec{
+		Query:             q,
+		K:                 opts.K,
+		Criterion:         opts.Criterion,
+		Order:             opts.Order,
+		Seed:              opts.Seed,
+		Step:              opts.Step,
+		AdaptiveStep:      opts.AdaptiveStep,
+		AdaptiveThreshold: opts.AdaptiveThreshold,
+		Weights:           opts.Weights,
+		Dims:              opts.Dims,
+		Exclude:           opts.Exclude,
+		NormalizedData:    opts.NormalizedData,
+		DisableFutileSkip: opts.DisableFutileSkip,
+		SkipRangeCheck:    opts.SkipRangeCheck,
+	}
+}
+
+// options lowers the spec onto the core engine options.
+func (s Spec) options() core.Options {
+	return core.Options{
+		K:                 s.K,
+		Criterion:         s.Criterion,
+		Order:             s.Order,
+		Seed:              s.Seed,
+		Step:              s.Step,
+		AdaptiveStep:      s.AdaptiveStep,
+		AdaptiveThreshold: s.AdaptiveThreshold,
+		Weights:           s.Weights,
+		Dims:              s.Dims,
+		Exclude:           s.Exclude,
+		NormalizedData:    s.NormalizedData,
+		DisableFutileSkip: s.DisableFutileSkip,
+		SkipRangeCheck:    s.SkipRangeCheck,
+	}
+}
+
+// Segment is one physical segment as the planner sees it: the engine view
+// plus the access-path providers only sealed segments can offer. Codes
+// and VA are invoked lazily, only when the executor actually runs that
+// path on the segment, so skipped segments are never encoded.
+type Segment struct {
+	View core.SegmentView
+	// Sealed marks immutable segments, the only ones whose codes may be
+	// cached and therefore the only ones eligible for the compressed and
+	// VA-File paths.
+	Sealed bool
+	// Codes returns the segment's 8-bit column codes (nil if unavailable).
+	Codes func() *vstore.QuantStore
+	// VA returns the segment's row-major VA-File (nil if unavailable).
+	VA func() *vafile.File
+}
+
+// WrapViews lifts bare segment views into planner segments with no
+// compressed access paths — all a snapshot offers.
+func WrapViews(views []core.SegmentView) []Segment {
+	out := make([]Segment, len(views))
+	for i, v := range views {
+		out[i] = Segment{View: v}
+	}
+	return out
+}

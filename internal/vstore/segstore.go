@@ -30,6 +30,8 @@ type Segment struct {
 	sealed    bool
 	codesOnce sync.Once
 	codes     *QuantStore
+	rowOnce   sync.Once
+	rowCodes  []uint8
 }
 
 // Sealed reports whether the segment is frozen (immutable columns).
@@ -47,6 +49,26 @@ func (g *Segment) Codes(q *quant.Quantizer) *QuantStore {
 	return g.codes
 }
 
+// RowCodes returns the segment's 8-bit codes transposed into the row-major
+// layout a VA-File scans, built once from the column codes and cached for
+// every subsequent VA-File access path. The returned quantizer is the one
+// the codes were built with (the first caller's, as in Codes). Safe for
+// concurrent use; panics on an unsealed segment.
+func (g *Segment) RowCodes(q *quant.Quantizer) (*quant.Quantizer, []uint8) {
+	qs := g.Codes(q)
+	g.rowOnce.Do(func() {
+		dims := g.Dims()
+		rc := make([]uint8, g.Len()*dims)
+		for d, col := range qs.Codes {
+			for id, c := range col {
+				rc[id*dims+d] = c
+			}
+		}
+		g.rowCodes = rc
+	})
+	return qs.Q, g.rowCodes
+}
+
 // SegStore is a segmented vertically decomposed collection: a list of
 // immutable sealed segments followed by one mutable active segment.
 // Global object identifiers are positional across the segment list in
@@ -61,6 +83,12 @@ type SegStore struct {
 	segSize int
 	segs    []*Segment // invariant: segs[len-1] is the active segment
 	bases   []int      // bases[i] = global id of segs[i]'s local id 0
+
+	// plannerStats is the opaque per-collection statistics block of the
+	// cost-based query planner, persisted alongside the segments so the
+	// planner's learned coefficients survive a restart. The storage layer
+	// does not interpret it.
+	plannerStats []byte
 }
 
 // NewSegmented returns an empty segmented store. segSize <= 0 selects
@@ -343,14 +371,31 @@ func (s *SegStore) Flatten() *Store {
 // --- Persistence ----------------------------------------------------------
 
 const (
-	segMagic   = "BONDSEG1"
-	segVersion = uint32(1)
+	segMagic = "BONDSEG1"
+	// segVersion 1 is the PR 1 layout; version 2 adds the planner-stats
+	// block between the header and the segments. Both load.
+	segVersion    = uint32(2)
+	maxStatsBlock = 1 << 20
 )
 
+// PlannerStats returns the opaque planner statistics block loaded with or
+// assigned to the store (nil when absent).
+func (s *SegStore) PlannerStats() []byte { return s.plannerStats }
+
+// SetPlannerStats assigns the planner statistics block written by Save.
+func (s *SegStore) SetPlannerStats(b []byte) { s.plannerStats = b }
+
 // Save writes the segmented layout: a header (magic, version, dims,
-// segment size, segment count), each segment as a nested flat-store
-// stream, and a CRC32 trailer over everything written.
+// segment size, segment count), the planner-stats block, each segment as a
+// nested flat-store stream, and a CRC32 trailer over everything written.
 func (s *SegStore) Save(w io.Writer) error {
+	return s.SaveWith(w, s.plannerStats)
+}
+
+// SaveWith is Save with an explicit planner-stats block, so a caller
+// holding only a read lock can persist fresh statistics without mutating
+// the store.
+func (s *SegStore) SaveWith(w io.Writer, plannerStats []byte) error {
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
 	if _, err := mw.Write([]byte(segMagic)); err != nil {
@@ -361,6 +406,12 @@ func (s *SegStore) Save(w io.Writer) error {
 		if err := binary.Write(mw, binary.LittleEndian, h); err != nil {
 			return err
 		}
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint64(len(plannerStats))); err != nil {
+		return err
+	}
+	if _, err := mw.Write(plannerStats); err != nil {
+		return err
 	}
 	for _, g := range s.segs {
 		if err := g.Store.Save(mw); err != nil {
@@ -389,7 +440,7 @@ func LoadSegmented(r io.Reader) (*SegStore, error) {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 	}
-	if uint32(version) != segVersion {
+	if uint32(version) < 1 || uint32(version) > segVersion {
 		return nil, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, version)
 	}
 	dims, segSize, nsegs := int(dims64), int(segSize64), int(nsegs64)
@@ -398,6 +449,21 @@ func LoadSegmented(r io.Reader) (*SegStore, error) {
 			ErrCorrupt, dims, segSize, nsegs)
 	}
 	s := &SegStore{dims: dims, segSize: segSize}
+	if uint32(version) >= 2 {
+		var statsLen uint64
+		if err := binary.Read(tr, binary.LittleEndian, &statsLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if statsLen > maxStatsBlock {
+			return nil, fmt.Errorf("%w: implausible stats block of %d bytes", ErrCorrupt, statsLen)
+		}
+		if statsLen > 0 {
+			s.plannerStats = make([]byte, statsLen)
+			if _, err := io.ReadFull(tr, s.plannerStats); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+	}
 	for i := 0; i < nsegs; i++ {
 		st, err := Load(tr)
 		if err != nil {
@@ -425,13 +491,18 @@ func LoadSegmented(r io.Reader) (*SegStore, error) {
 
 // SaveFile writes the segmented store to path atomically.
 func (s *SegStore) SaveFile(path string) error {
+	return s.SaveFileWith(path, s.plannerStats)
+}
+
+// SaveFileWith is SaveFile with an explicit planner-stats block.
+func (s *SegStore) SaveFileWith(path string, plannerStats []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := s.Save(bw); err != nil {
+	if err := s.SaveWith(bw, plannerStats); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -270,3 +270,74 @@ func TestStoreDimRangeAfterReorganize(t *testing.T) {
 		t.Fatalf("empty range [%v, %v]", lo, hi)
 	}
 }
+
+func TestSegStorePlannerStatsPersistence(t *testing.T) {
+	_, s := segFixture(t, 120, 6, 50)
+	stats := []byte(`{"queries":7,"bond_frac":0.5}`)
+	s.SetPlannerStats(stats)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSegmented(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.PlannerStats()) != string(stats) {
+		t.Fatalf("planner stats after round trip: %q", got.PlannerStats())
+	}
+
+	// SaveWith persists an explicit block without mutating the store.
+	var buf2 bytes.Buffer
+	if err := s.SaveWith(&buf2, []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadSegmented(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2.PlannerStats()) != "other" {
+		t.Fatalf("SaveWith stats: %q", got2.PlannerStats())
+	}
+	if string(s.PlannerStats()) != string(stats) {
+		t.Fatal("SaveWith mutated the store's own stats block")
+	}
+
+	// A store without a stats block (and a legacy flat file) loads with
+	// a nil block.
+	fresh := SegmentedFromVectors(dataset.CorelLike(30, 4, 2), 10)
+	var buf3 bytes.Buffer
+	if err := fresh.Save(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	got3, err := LoadSegmented(bytes.NewReader(buf3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3.PlannerStats() != nil {
+		t.Fatalf("expected nil stats, got %q", got3.PlannerStats())
+	}
+}
+
+func TestSegmentRowCodesCachedTranspose(t *testing.T) {
+	vs := dataset.CorelLike(40, 5, 2)
+	s := SegmentedFromVectors(vs, 40)
+	g := s.Segments()[0]
+	qz, codes := g.RowCodes(quant.NewUnit())
+	if len(codes) != 40*5 {
+		t.Fatalf("row codes length %d", len(codes))
+	}
+	cols := g.Codes(quant.NewUnit())
+	for d := 0; d < 5; d++ {
+		for id := 0; id < 40; id++ {
+			if codes[id*5+d] != cols.Codes[d][id] {
+				t.Fatalf("row code (%d,%d) != column code", id, d)
+			}
+		}
+	}
+	qz2, codes2 := g.RowCodes(quant.NewUnit())
+	if &codes[0] != &codes2[0] || qz != qz2 {
+		t.Fatal("RowCodes not cached")
+	}
+}
