@@ -1,0 +1,37 @@
+package bond_test
+
+import (
+	"io"
+	"testing"
+
+	"bond/internal/hotpath"
+)
+
+// BenchmarkHotPath measures the query hot path end to end — sequential
+// Query latency and allocations, QueryBatch throughput at two batch
+// sizes, and the kernel-vs-scalar micro speedups — on the three benchmark
+// shapes, and writes the measurements to BENCH_hotpath.json (the CI perf
+// artifact). Run with:
+//
+//	go test -run xxx -bench BenchmarkHotPath -benchmem -benchtime 1x .
+func BenchmarkHotPath(b *testing.B) {
+	var records []hotpath.Record
+	for i := 0; i < b.N; i++ {
+		var err error
+		records, err = hotpath.Run(hotpath.DefaultConfig(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range records {
+		switch {
+		case r.Mode == "query":
+			b.ReportMetric(r.QPS, r.Shape+"_qps")
+		case r.Shape == "kernel":
+			b.ReportMetric(r.Speedup, r.Mode+"_speedup")
+		}
+	}
+	if err := hotpath.WriteJSON("BENCH_hotpath.json", records); err != nil {
+		b.Fatal(err)
+	}
+}

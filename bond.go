@@ -27,9 +27,10 @@
 // # Concurrency
 //
 // A Collection is safe for concurrent use: any number of readers
-// (Search, SearchParallel, SearchCompressed, SearchMIL, Len, Save, …)
-// run concurrently with each other, and writers (Add, AddBatch, Delete,
-// Compact) are serialized against them by an internal RWMutex. Every
+// (Query, QueryBatch, Search, SearchParallel, SearchCompressed,
+// SearchMIL, Len, Save, …) run concurrently with each other, and writers
+// (Add, AddBatch, Delete, Compact) are serialized against them by an
+// internal RWMutex. Every
 // search observes a consistent snapshot and returns exact results.
 // SearchProgressive and AsFeature take a snapshot under the lock (sealed
 // segments are shared structurally; the small active segment is copied),
@@ -72,7 +73,10 @@
 package bond
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"bond/internal/bitmap"
 	"bond/internal/cluster"
@@ -202,9 +206,25 @@ type Collection struct {
 	store *vstore.SegStore
 	// model is the adaptive cost model the query planner predicts from;
 	// every executed query feeds observed costs back into it. It has its
-	// own lock, so concurrent readers update it safely.
+	// own lock, so concurrent readers update it safely. It also owns the
+	// pooled plans and executor scratch the query hot path reuses.
 	model *plan.Model
+
+	// planCache is the memoized planner view of the current segments, so a
+	// steady-state query does not rebuild the segment list (and its lazy
+	// access-path providers) per query. Cache hits are a single atomic
+	// load, keeping concurrent readers off any shared mutex; planCacheMu
+	// only serializes the rebuild (queries hold just the read lock, so two
+	// could race to build). Writers invalidate by storing nil under the
+	// write lock.
+	planCacheMu sync.Mutex
+	planCache   atomic.Pointer[[]plan.Segment]
 }
+
+// unitQuantizer is the paper's 8-bit [0,1] grid, shared by every segment's
+// compressed access paths. Quantizers are immutable, so one instance
+// serves all collections without per-query allocation.
+var unitQuantizer = quant.NewUnit()
 
 // NewCollection decomposes a row-major collection using the default
 // segment size. It panics on empty or ragged input (programmer error);
@@ -293,6 +313,7 @@ func (c *Collection) NumSegments() int {
 func (c *Collection) SealActive() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.invalidatePlanCache()
 	c.store.SealActive()
 }
 
@@ -308,6 +329,7 @@ func (c *Collection) Vector(id int) []float64 {
 func (c *Collection) Add(v []float64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.invalidatePlanCache()
 	return c.store.Append(v)
 }
 
@@ -315,6 +337,7 @@ func (c *Collection) Add(v []float64) int {
 func (c *Collection) AddBatch(vectors [][]float64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.invalidatePlanCache()
 	return c.store.AppendBatch(vectors)
 }
 
@@ -323,6 +346,7 @@ func (c *Collection) AddBatch(vectors [][]float64) int {
 func (c *Collection) Delete(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.invalidatePlanCache()
 	c.store.Delete(id)
 }
 
@@ -342,15 +366,26 @@ func (c *Collection) Compact() []int {
 func (c *Collection) CompactRatio(minRatio float64) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.invalidatePlanCache()
 	return c.store.Compact(minRatio)
 }
 
 // planSegments exposes the current segments to the query planner: the
 // engine view of each segment plus, for sealed segments, the lazily built
 // compressed access paths (column codes for the compressed filter,
-// row-major codes for the VA-File). Callers must hold at least the read
-// lock for the duration of the search.
+// row-major codes for the VA-File). The list is memoized until a writer
+// changes the store, so the steady-state query path allocates nothing
+// here. Callers must hold at least the read lock for the duration of the
+// search.
 func (c *Collection) planSegments() []plan.Segment {
+	if cached := c.planCache.Load(); cached != nil {
+		return *cached
+	}
+	c.planCacheMu.Lock()
+	defer c.planCacheMu.Unlock()
+	if cached := c.planCache.Load(); cached != nil {
+		return *cached
+	}
 	segs, bases := c.store.Segments(), c.store.Bases()
 	out := make([]plan.Segment, len(segs))
 	for i, g := range segs {
@@ -360,14 +395,30 @@ func (c *Collection) planSegments() []plan.Segment {
 		}
 		if g.Sealed() {
 			g := g
-			out[i].Codes = func() *vstore.QuantStore { return g.Codes(quant.NewUnit()) }
+			out[i].Codes = func() *vstore.QuantStore { return g.Codes(unitQuantizer) }
+			// The File wrapper is memoized alongside the cached segment
+			// list, so repeated VA-File steps over the same segment reuse
+			// one wrapper instead of re-wrapping the codes per query.
+			var vaOnce sync.Once
+			var va *vafile.File
 			out[i].VA = func() *vafile.File {
-				qz, codes := g.RowCodes(quant.NewUnit())
-				return vafile.FromRowCodes(qz, g.Len(), g.Dims(), codes)
+				vaOnce.Do(func() {
+					qz, codes := g.RowCodes(unitQuantizer)
+					va = vafile.FromRowCodes(qz, g.Len(), g.Dims(), codes)
+				})
+				return va
 			}
 		}
 	}
+	c.planCache.Store(&out)
 	return out
+}
+
+// invalidatePlanCache drops the memoized planner segments; every writer
+// calls it under the write lock (invalidating on plain deletes too is
+// slightly conservative but keeps the rule trivially safe).
+func (c *Collection) invalidatePlanCache() {
+	c.planCache.Store(nil)
 }
 
 // snapshotSource fixes a segment's delete marks at snapshot time, so the
@@ -378,6 +429,10 @@ type snapshotSource struct {
 }
 
 func (s snapshotSource) DeletedBitmap() *bitmap.Bitmap { return s.deleted.Clone() }
+
+// DeletedView must shadow the embedded segment's: the snapshot pins the
+// delete marks of snapshot time, while the segment's view is live.
+func (s snapshotSource) DeletedView() *bitmap.Bitmap { return s.deleted }
 
 // snapshotViews returns segment views that remain valid after the lock is
 // released: sealed segments share columns (immutable) with delete marks
@@ -408,15 +463,116 @@ func (c *Collection) snapshotViews() []core.SegmentView {
 // shift. The answer is exact unless the spec sets Tolerance or Deadline.
 //
 // All legacy Search* entry points are thin wrappers over Query.
+//
+// The hot path is allocation-free in steady state: the plan, the engine
+// scratch (scores, candidate lists, heaps, bound tables), and the planner
+// segment list are all pooled per collection, so a repeated Query performs
+// ~2 allocations — the returned result list and its step log. Weighted and
+// subspace specs may add a few small ones.
 func (c *Collection) Query(spec QuerySpec) (QueryResult, error) {
-	res, _, err := c.queryPlanned(spec)
-	return res, err
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, err := plan.NewReusable(c.planSegments(), spec, c.model)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer p.Release()
+	return plan.Execute(p)
 }
 
 // QueryExplain is Query returning the executed plan as well, with
 // per-segment predicted and actual costs filled in for Plan.Explain.
 func (c *Collection) QueryExplain(spec QuerySpec) (QueryResult, *QueryPlan, error) {
 	return c.queryPlanned(spec)
+}
+
+// QueryBatch plans and executes many queries against one consistent
+// snapshot of the collection, amortizing the per-query setup a loop of
+// Query calls pays N times: the read lock is taken once, the planner's
+// segment list is shared, the queries fan out over a bounded worker pool
+// (one goroutine per logical CPU, each reusing one pooled plan-and-scratch
+// lane — score buffers, heaps, and VA bound tables — across all the
+// queries it drains), and the cost model is fed one batch-aggregate
+// observation per access path instead of per-step updates. Results are
+// positionally aligned with specs and identical to what Query would have
+// returned for each spec.
+//
+// Specs are independent: they may mix criteria, strategies, and k. A
+// failing spec aborts the batch, which returns the lowest-indexed
+// observed failure (wrapped with the spec's index); per-spec deadlines
+// and tolerances apply as in Query.
+func (c *Collection) QueryBatch(specs []QuerySpec) ([]QueryResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	segs := c.planSegments()
+	results := make([]QueryResult, len(specs))
+	fb := plan.NewFeedbackBatch()
+
+	runOne := func(i int) error {
+		p, err := plan.NewReusable(segs, specs[i], c.model)
+		if err != nil {
+			return err
+		}
+		defer p.Release()
+		p.UseBatchFeedback(fb)
+		results[i], err = plan.Execute(p)
+		return err
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var firstErr error
+	if workers <= 1 {
+		for i := range specs {
+			if err := runOne(i); err != nil {
+				firstErr = fmt.Errorf("bond: batch query %d: %w", i, err)
+				break
+			}
+		}
+	} else {
+		var (
+			next     atomic.Int64
+			errMu    sync.Mutex
+			wg       sync.WaitGroup
+			aborted  atomic.Bool
+			errIndex = -1
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(specs) || aborted.Load() {
+						return
+					}
+					if err := runOne(i); err != nil {
+						// Keep the lowest failing index so the reported
+						// error is deterministic under worker scheduling.
+						errMu.Lock()
+						if errIndex < 0 || i < errIndex {
+							errIndex = i
+							firstErr = fmt.Errorf("bond: batch query %d: %w", i, err)
+						}
+						errMu.Unlock()
+						aborted.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	fb.Flush(c.model)
+	return results, nil
 }
 
 func (c *Collection) queryPlanned(spec QuerySpec) (QueryResult, *QueryPlan, error) {

@@ -12,16 +12,25 @@
 //
 // Scale flags (-n, -dims, -queries, -k, -step, -seed) override both the
 // default and -full configurations.
+//
+// -qps runs the hot-path throughput suite instead (sequential Query vs
+// QueryBatch plus the kernel micro-speedups, per data shape) and writes
+// the measurements to the file named by -hotpath-out. -cpuprofile and
+// -memprofile capture pprof profiles of whatever was selected, so a
+// hot-path regression can be diagnosed without editing code.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"bond/internal/bench"
+	"bond/internal/hotpath"
 )
 
 type intList []int
@@ -55,7 +64,65 @@ func main() {
 	k := flag.Int("k", 0, "neighbors per query (0 = configuration default)")
 	step := flag.Int("step", 0, "pruning step m (0 = configuration default)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = configuration default)")
+	qps := flag.Bool("qps", false, "run the hot-path QPS/throughput suite (Query vs QueryBatch, kernel micros)")
+	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "where -qps writes its JSON measurements")
+	batch := flag.Int("batch", 8, "QueryBatch size for the -qps suite")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *qps {
+		hcfg := hotpath.DefaultConfig()
+		if *n > 0 {
+			hcfg.N = *n
+		}
+		if *dims > 0 {
+			hcfg.Dims = *dims
+		}
+		if *queries > 0 {
+			hcfg.Queries = *queries
+		}
+		if *k > 0 {
+			hcfg.K = *k
+		}
+		if *batch > 0 {
+			hcfg.Batch = *batch
+		}
+		records, err := hotpath.Run(hcfg, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if err := hotpath.WriteJSON(*hotpathOut, records); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d records to %s\n", len(records), *hotpathOut)
+		return
+	}
 
 	cfg := bench.Default()
 	if *full {

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"bond"
@@ -37,12 +39,39 @@ func main() {
 	strategy := flag.String("strategy", "auto", "access path: auto, bond, compressed, vafile, exact, mil")
 	explain := flag.Bool("explain", false, "print the plan: per-segment path, predicted and actual cost")
 	showStats := flag.Bool("stats", false, "print per-step pruning statistics")
+	repeat := flag.Int("repeat", 1, "run the query this many times (profiling hot loops)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *storePath == "" {
 		fmt.Fprintln(os.Stderr, "bondquery: -store is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	col, err := bond.Open(*storePath)
 	if err != nil {
@@ -91,6 +120,13 @@ func main() {
 		Step:      *step,
 		Order:     ord,
 		Strategy:  strat,
+	}
+	// Extra repetitions (profiling mode) run through the plain pooled
+	// Query path — the one production traffic takes.
+	for i := 1; i < *repeat; i++ {
+		if _, err := col.Query(spec); err != nil {
+			fatal(err)
+		}
 	}
 	res, p, err := col.QueryExplain(spec)
 	if err != nil {

@@ -85,10 +85,17 @@ func (b *OID) IsVoid() bool { return b.Head == nil }
 // contribution of the Section 6.1 listing, step 1.
 func MapMinConst(b *Float, q float64) *Float {
 	out := &Float{Head: b.Head, Base: b.Base, Tail: make([]float64, len(b.Tail))}
-	for i, v := range b.Tail {
-		out.Tail[i] = math.Min(v, q)
-	}
+	MapMinConstInto(out.Tail, b.Tail, q)
 	return out
+}
+
+// MapMinConstInto is the buffer-reusing physical form of MapMinConst:
+// dst[i] = min(src[i], q). dst must be at least as long as src.
+func MapMinConstInto(dst, src []float64, q float64) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = math.Min(v, q)
+	}
 }
 
 // MapSqDiffConst implements the Euclidean analogue of step 1:
@@ -171,15 +178,20 @@ func KFetch(b *Float, k int, largest bool) float64 {
 // void (a densely ascending range of virtual oids), exactly as described
 // in Section 6.1.
 func USelect(b *Float, lo, hi float64) *OID {
-	var heads []int
-	for i, v := range b.Tail {
-		if v >= lo && v <= hi {
-			heads = append(heads, b.HeadAt(i))
-		}
-	}
 	// The "result tail" is void; we return the heads as the materialized
 	// column of an [oid, void] BAT, represented tail-first after Reverse.
-	return &OID{Base: 0, Tail: heads}
+	return &OID{Base: 0, Tail: USelectInto(nil, b, lo, hi)}
+}
+
+// USelectInto is the buffer-reusing physical form of USelect: it appends
+// the qualifying heads to dst and returns the extended slice.
+func USelectInto(dst []int, b *Float, lo, hi float64) []int {
+	for i, v := range b.Tail {
+		if v >= lo && v <= hi {
+			dst = append(dst, b.HeadAt(i))
+		}
+	}
+	return dst
 }
 
 // USelectBitmap is the alternative physical implementation of uselect used
@@ -187,16 +199,24 @@ func USelect(b *Float, lo, hi float64) *OID {
 // their bits in a bitmap of domain size n. Only valid for void-headed
 // inputs (positional correspondence). It panics otherwise.
 func USelectBitmap(b *Float, lo, hi float64, n int) *bitmap.Bitmap {
+	bm := bitmap.New(n)
+	USelectBitmapInto(bm, b, lo, hi)
+	return bm
+}
+
+// USelectBitmapInto is USelectBitmap reusing a caller-provided result
+// bitmap, which must already be sized to the domain and all-clear (the
+// caller's Reuse or New provides that; not clearing here avoids a second
+// O(n/64) zeroing pass per pruning step).
+func USelectBitmapInto(bm *bitmap.Bitmap, b *Float, lo, hi float64) {
 	if !b.IsVoid() {
 		panic("bat: USelectBitmap requires a void head")
 	}
-	bm := bitmap.New(n)
 	for i, v := range b.Tail {
 		if v >= lo && v <= hi {
 			bm.Set(b.Base + i)
 		}
 	}
-	return bm
 }
 
 // JoinFloat implements C.reverse.join(Hi) for a candidate oid list C and a
@@ -205,18 +225,26 @@ func USelectBitmap(b *Float, lo, hi float64, n int) *bitmap.Bitmap {
 // subsequent MultiAdds over reduced tables stay positional. It panics if
 // hi's head is not void or an oid is out of range.
 func JoinFloat(c *OID, hi *Float) *Float {
+	out := &Float{Base: 0, Tail: make([]float64, len(c.Tail))}
+	JoinFloatInto(out.Tail, c, hi)
+	return out
+}
+
+// JoinFloatInto is the buffer-reusing physical form of JoinFloat: the
+// gathered tail values are written into dst, which must be at least as
+// long as c.
+func JoinFloatInto(dst []float64, c *OID, hi *Float) {
 	if !hi.IsVoid() {
 		panic("bat: JoinFloat requires a void-headed dimension table")
 	}
-	out := &Float{Base: 0, Tail: make([]float64, len(c.Tail))}
+	dst = dst[:len(c.Tail)]
 	for i, oid := range c.Tail {
 		idx := oid - hi.Base
 		if idx < 0 || idx >= len(hi.Tail) {
 			panic(fmt.Sprintf("bat: oid %d outside table range", oid))
 		}
-		out.Tail[i] = hi.Tail[idx]
+		dst[i] = hi.Tail[idx]
 	}
-	return out
 }
 
 // GatherFloat positionally gathers values of a void-headed BAT at the
@@ -229,15 +257,20 @@ func GatherFloat(hi *Float, oids []int) *Float {
 // set in the bitmap, rebasing the result onto a void head. The input must
 // be void-headed.
 func SelectFloat(b *Float, bm *bitmap.Bitmap) *Float {
+	return &Float{Base: 0, Tail: SelectFloatInto(make([]float64, 0, bm.Count()), b, bm)}
+}
+
+// SelectFloatInto is the buffer-reusing physical form of SelectFloat: it
+// appends the selected tail values to dst and returns the extended slice.
+func SelectFloatInto(dst []float64, b *Float, bm *bitmap.Bitmap) []float64 {
 	if !b.IsVoid() {
 		panic("bat: SelectFloat requires a void head")
 	}
-	out := &Float{Base: 0, Tail: make([]float64, 0, bm.Count())}
 	bm.ForEach(func(oid int) {
 		idx := oid - b.Base
 		if idx >= 0 && idx < len(b.Tail) {
-			out.Tail = append(out.Tail, b.Tail[idx])
+			dst = append(dst, b.Tail[idx])
 		}
 	})
-	return out
+	return dst
 }

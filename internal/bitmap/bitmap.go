@@ -126,6 +126,32 @@ func (b *Bitmap) Reset() {
 	}
 }
 
+// Reuse resizes b to n bits, all clear, reusing the word buffer when it is
+// large enough — the pooled counterpart of New. It panics if n < 0.
+func (b *Bitmap) Reuse(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative size %d", n))
+	}
+	words := (n + wordBits - 1) / wordBits
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// SetAll sets every bit.
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.clearTail()
+}
+
 // ForEach calls fn for every set bit in increasing order.
 func (b *Bitmap) ForEach(fn func(i int)) {
 	for wi, w := range b.words {
@@ -140,9 +166,22 @@ func (b *Bitmap) ForEach(fn func(i int)) {
 
 // Slice returns the indexes of all set bits in increasing order.
 func (b *Bitmap) Slice() []int {
-	out := make([]int, 0, b.Count())
-	b.ForEach(func(i int) { out = append(out, i) })
-	return out
+	return b.AppendSlice(make([]int, 0, b.Count()))
+}
+
+// AppendSlice appends the indexes of all set bits, in increasing order, to
+// dst and returns the extended slice — the allocation-free counterpart of
+// Slice for callers bringing their own buffer.
+func (b *Bitmap) AppendSlice(dst []int) []int {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			dst = append(dst, base+tz)
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // FromSlice builds a bitmap of size n with the given bits set.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"bond/internal/kernel"
 	"bond/internal/metric"
 	"bond/internal/topk"
 	"bond/internal/vstore"
@@ -88,7 +89,14 @@ func ValidateCompressed(opts Options) error {
 // re-validating (callers validate once via ValidateSegments plus
 // ValidateCompressed). empty is true when no candidate was eligible.
 func SearchCompressedOne(src Source, qs *vstore.QuantStore, q []float64, opts Options) (CompressedResult, bool) {
-	f := &compressedFilter{s: src, qs: qs, q: q, opts: opts}
+	return SearchCompressedOneScratch(src, qs, q, opts, nil)
+}
+
+// SearchCompressedOneScratch is SearchCompressedOne running on pooled
+// scratch buffers (nil allocates privately). The result list aliases the
+// scratch and is valid until its next search.
+func SearchCompressedOneScratch(src Source, qs *vstore.QuantStore, q []float64, opts Options, sc *Scratch) (CompressedResult, bool) {
+	f := &compressedFilter{s: src, qs: qs, q: q, opts: opts, sc: sc}
 	f.init()
 	if len(f.cands) == 0 {
 		return CompressedResult{}, true
@@ -108,12 +116,20 @@ type compressedFilter struct {
 	sLo, sHi   []float64
 	processedQ float64
 	stats      Stats
+
+	sc *Scratch
 }
 
 func (f *compressedFilter) init() {
-	f.order = buildOrder(f.q, nil, nil, f.opts.Order, f.opts.Seed, f.opts.Criterion.Distance())
-	deleted := f.s.DeletedBitmap()
-	f.cands = make([]int, 0, f.s.Len())
+	if f.sc == nil {
+		f.sc = &Scratch{}
+	}
+	sc := f.sc
+	sc.order = buildOrderInto(grow(sc.order, f.s.Dims()),
+		f.q, nil, nil, f.opts.Order, f.opts.Seed, f.opts.Criterion.Distance())
+	f.order = sc.order
+	deleted := deletedOf(f.s)
+	cands := grow(sc.cands, f.s.Len())
 	for id := 0; id < f.s.Len(); id++ {
 		if deleted.Get(id) {
 			continue
@@ -121,14 +137,18 @@ func (f *compressedFilter) init() {
 		if excludedID(f.opts.Exclude, id) {
 			continue
 		}
-		f.cands = append(f.cands, id)
+		cands = append(cands, id)
 	}
+	sc.cands = cands
+	f.cands = cands
 	f.k = f.opts.K
 	if f.k > len(f.cands) {
 		f.k = len(f.cands)
 	}
-	f.sLo = make([]float64, len(f.cands))
-	f.sHi = make([]float64, len(f.cands))
+	sc.sLo = zeroed(sc.sLo, len(f.cands))
+	sc.sHi = zeroed(sc.sHi, len(f.cands))
+	f.sLo, f.sHi = sc.sLo, sc.sHi
+	f.stats.Steps = sc.steps[:0]
 }
 
 func (f *compressedFilter) run() {
@@ -168,11 +188,7 @@ func (f *compressedFilter) accumulate(from, to int) {
 					tblLo[c], tblHi[c] = f.qs.Q.SqDistBounds(uint8(c), qd)
 				}
 			}
-			for ci, id := range f.cands {
-				c := codes[id]
-				f.sLo[ci] += tblLo[c]
-				f.sHi[ci] += tblHi[c]
-			}
+			kernel.AccCodeBounds(f.sLo, f.sHi, codes, f.cands, &tblLo, &tblHi)
 		} else {
 			// Fewer candidates than code levels: tabulating would cost
 			// more bound evaluations than it saves.
@@ -198,7 +214,8 @@ func (f *compressedFilter) accumulate(from, to int) {
 func (f *compressedFilter) pruneStep(processed int) {
 	stat := StepStat{DimsProcessed: processed}
 	before := len(f.cands)
-	keep := make([]bool, before)
+	keep := grow(f.sc.keep, before)[:before]
+	f.sc.keep = keep
 
 	if !f.opts.Criterion.Distance() {
 		tail := metric.NewHistTail(f.qTail(processed))
@@ -206,20 +223,20 @@ func (f *compressedFilter) pruneStep(processed int) {
 		if !f.opts.DisableFutileSkip && f.processedQ <= tq {
 			stat.Skipped = true
 			stat.Candidates = before
-			f.stats.Steps = append(f.stats.Steps, stat)
+			f.appendStep(stat)
 			return
 		}
-		kappa := topk.KthLargest(f.sLo, f.k)
+		kappa := topk.KthLargestWith(f.sc.kthHeap(), f.sLo, f.k)
 		for ci := range keep {
 			keep[ci] = f.sHi[ci]+tq >= kappa
 		}
 	} else {
-		tail := metric.NewEucTail(f.qTail(processed))
+		tail := f.sc.euc.Reset(f.qTail(processed))
 		bound := tail.EqUpper()
 		if f.opts.NormalizedData {
 			bound = tail.EqUpperNormalized()
 		}
-		kappa := topk.KthSmallest(f.sHi, f.k) + bound
+		kappa := topk.KthSmallestWith(f.sc.kthHeap(), f.sHi, f.k) + bound
 		for ci := range keep {
 			keep[ci] = f.sLo[ci] <= kappa
 		}
@@ -241,18 +258,26 @@ func (f *compressedFilter) pruneStep(processed int) {
 
 	stat.Candidates = out
 	stat.Pruned = before - out
-	f.stats.Steps = append(f.stats.Steps, stat)
+	f.appendStep(stat)
 	if out <= f.k && f.stats.DimsUntilK == 0 {
 		f.stats.DimsUntilK = processed
 	}
 }
 
+// appendStep logs one pruning iteration, keeping the scratch-backed step
+// buffer's growth for reuse.
+func (f *compressedFilter) appendStep(stat StepStat) {
+	f.stats.Steps = append(f.stats.Steps, stat)
+	f.sc.steps = f.stats.Steps
+}
+
 func (f *compressedFilter) qTail(processed int) []float64 {
 	rem := f.order[processed:]
-	out := make([]float64, len(rem))
-	for i, d := range rem {
-		out[i] = f.q[d]
+	out := grow(f.sc.qtail, len(rem))
+	for _, d := range rem {
+		out = append(out, f.q[d])
 	}
+	f.sc.qtail = out
 	return out
 }
 
@@ -263,14 +288,15 @@ func (f *compressedFilter) finalPrune() {
 		return
 	}
 	var kappa float64
-	keep := make([]bool, len(f.cands))
+	keep := grow(f.sc.keep, len(f.cands))[:len(f.cands)]
+	f.sc.keep = keep
 	if !f.opts.Criterion.Distance() {
-		kappa = topk.KthLargest(f.sLo, f.k)
+		kappa = topk.KthLargestWith(f.sc.kthHeap(), f.sLo, f.k)
 		for ci := range keep {
 			keep[ci] = f.sHi[ci] >= kappa
 		}
 	} else {
-		kappa = topk.KthSmallest(f.sHi, f.k)
+		kappa = topk.KthSmallestWith(f.sc.kthHeap(), f.sHi, f.k)
 		for ci := range keep {
 			keep[ci] = f.sLo[ci] <= kappa
 		}
@@ -286,7 +312,7 @@ func (f *compressedFilter) finalPrune() {
 }
 
 // refine computes exact scores for the filter survivors from the exact
-// columns and returns the true top-k.
+// columns and returns the true top-k (scratch-backed result list).
 func (f *compressedFilter) refine() CompressedResult {
 	f.finalPrune()
 	res := CompressedResult{
@@ -294,32 +320,23 @@ func (f *compressedFilter) refine() CompressedResult {
 		FilterStats:      f.stats,
 	}
 	dist := f.opts.Criterion.Distance()
-	exact := make([]float64, len(f.cands))
+	exact := zeroed(f.sc.aux, len(f.cands))
+	f.sc.aux = exact
 	for d := 0; d < f.s.Dims(); d++ {
 		col := f.s.Column(d)
 		qd := f.q[d]
-		for ci, id := range f.cands {
-			v := col[id]
-			if dist {
-				diff := v - qd
-				exact[ci] += diff * diff
-			} else if v < qd {
-				exact[ci] += v
-			} else {
-				exact[ci] += qd
-			}
+		if dist {
+			kernel.AccSqDist(exact, col, f.cands, qd)
+		} else {
+			kernel.AccMinQ(exact, col, f.cands, qd)
 		}
 		res.RefineValuesScanned += int64(len(f.cands))
 	}
-	var h *topk.Heap
-	if dist {
-		h = topk.NewSmallest(f.k)
-	} else {
-		h = topk.NewLargest(f.k)
-	}
+	h := f.sc.outHeap(f.k, !dist)
 	for ci, id := range f.cands {
 		h.Push(id, exact[ci])
 	}
-	res.Results = h.Results()
+	f.sc.results = h.AppendResults(f.sc.results[:0])
+	res.Results = f.sc.results
 	return res
 }

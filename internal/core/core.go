@@ -245,18 +245,29 @@ var (
 )
 
 func (o *Options) validate(s meta, q []float64) error {
+	lo, hi := 0.0, 0.0
+	if s.Len() > 0 {
+		lo, hi = s.ValueRange()
+	}
+	return o.validateShape(s.Dims(), s.Len(), lo, hi, q)
+}
+
+// validateShape is validate over an explicit collection shape — the form
+// the segment planner calls so the aggregate description need not be
+// boxed into the meta interface on the query hot path.
+func (o *Options) validateShape(dims, slots int, lo, hi float64, q []float64) error {
 	if o.K < 1 {
 		return ErrBadK
 	}
-	if len(q) != s.Dims() {
-		return fmt.Errorf("%w: query %d, store %d", ErrQueryMismatch, len(q), s.Dims())
+	if len(q) != dims {
+		return fmt.Errorf("%w: query %d, store %d", ErrQueryMismatch, len(q), dims)
 	}
 	if len(o.Weights) > 0 {
 		if o.Criterion == Hh {
 			return ErrWeightMetric
 		}
-		if len(o.Weights) != s.Dims() {
-			return fmt.Errorf("%w: weights %d, store %d", ErrWeightMismatch, len(o.Weights), s.Dims())
+		if len(o.Weights) != dims {
+			return fmt.Errorf("%w: weights %d, store %d", ErrWeightMismatch, len(o.Weights), dims)
 		}
 		for _, w := range o.Weights {
 			if w < 0 {
@@ -267,7 +278,7 @@ func (o *Options) validate(s meta, q []float64) error {
 	if len(o.Dims) > 0 {
 		seen := make(map[int]bool, len(o.Dims))
 		for _, d := range o.Dims {
-			if d < 0 || d >= s.Dims() || seen[d] {
+			if d < 0 || d >= dims || seen[d] {
 				return fmt.Errorf("%w: dim %d", ErrBadDims, d)
 			}
 			seen[d] = true
@@ -285,8 +296,7 @@ func (o *Options) validate(s meta, q []float64) error {
 	if o.AdaptiveThreshold < 0 || o.AdaptiveThreshold > 1 {
 		return fmt.Errorf("core: AdaptiveThreshold must be in [0,1], got %v", o.AdaptiveThreshold)
 	}
-	if !o.SkipRangeCheck && s.Len() > 0 {
-		lo, hi := s.ValueRange()
+	if !o.SkipRangeCheck && slots > 0 {
 		if o.Criterion.Distance() {
 			// Lemma 1 / Eq. 10 place adversarial mass at coordinate 1 and
 			// floor candidates at 0: data must lie in the unit hyper-box.

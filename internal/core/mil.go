@@ -41,6 +41,16 @@ var ErrMILOptions = errors.New("core: invalid MIL options")
 // implementation of uselect and the later ones the positional-join
 // reduction. Results are identical to Search with criterion Hq.
 func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
+	return SearchMILScratch(s, q, opts, nil)
+}
+
+// SearchMILScratch is SearchMIL running the operator pipeline on pooled
+// buffers (nil allocates privately): the score column, candidate bitmap,
+// uselect result, and the positional-phase id/score columns are all reused
+// — operator-at-a-time execution with recycled BAT heaps, as MonetDB
+// itself keeps intermediate heaps around. The result list aliases the
+// scratch and is valid until its next search.
+func SearchMILScratch(s Source, q []float64, opts MILOptions, sc *Scratch) (Result, error) {
 	if opts.K < 1 {
 		return Result{}, ErrMILOptions
 	}
@@ -59,14 +69,23 @@ func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 	if opts.BitmapSwitch < 0 || opts.BitmapSwitch > 1 {
 		return Result{}, ErrMILOptions
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
 
 	n := s.Len()
-	order := buildOrder(q, nil, nil, OrderQueryDesc, 0, false)
+	sc.order = buildOrderInto(grow(sc.order, s.Dims()), q, nil, nil, OrderQueryDesc, 0, false)
+	order := sc.order
 
 	// The bitmap doubles as delete-mark carrier and predicate filter
 	// (Sections 6.1–6.2): start from live ∧ ¬excluded.
-	bm := bitmap.NewFull(n)
-	bm.AndNot(s.DeletedBitmap())
+	if sc.milBM == nil {
+		sc.milBM = bitmap.New(0)
+	}
+	bm := sc.milBM
+	bm.Reuse(n)
+	bm.SetAll()
+	bm.AndNot(deletedOf(s))
 	if opts.Exclude != nil {
 		// The exclusion bitmap may be smaller than the collection (sized
 		// before concurrent appends); out-of-range ids are not excluded.
@@ -85,6 +104,11 @@ func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 	}
 
 	var stats Stats
+	stats.Steps = sc.steps[:0]
+	logStep := func(stat StepStat) {
+		stats.Steps = append(stats.Steps, stat)
+		sc.steps = stats.Steps
+	}
 	var processedQ float64
 	tailQ := func(processed int) float64 {
 		t := 0.0
@@ -95,10 +119,11 @@ func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 	}
 
 	// --- Bitmap phase: scores kept full-length, candidates as set bits. ---
-	smin := bat.NewFloatVoid(0, make([]float64, n))
+	sc.milScore = zeroed(sc.milScore, n)
+	smin := bat.NewFloatVoid(0, sc.milScore)
 	var (
-		c     *bat.OID   // materialized candidates (nil while in bitmap phase)
-		sminC *bat.Float // scores aligned with c
+		candIDs    []int     // materialized candidates (nil while in bitmap phase)
+		candScores []float64 // scores aligned with candIDs
 	)
 	total := len(order)
 	processed := 0
@@ -110,18 +135,20 @@ func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 		for _, d := range order[processed:next] {
 			hi := bat.NewFloatVoid(0, s.Column(d))
 			qd := q[d]
-			if c == nil {
+			if candIDs == nil {
 				// [min](Hi, const Qi) evaluated for candidate positions only.
 				bm.ForEach(func(id int) {
 					smin.Tail[id] += math.Min(hi.Tail[id], qd)
 				})
 				stats.ValuesScanned += int64(bm.Count())
 			} else {
-				// Hi reduced to the candidate set by a positional join.
-				hiC := bat.JoinFloat(c, hi)
-				di := bat.MapMinConst(hiC, qd)
-				bat.AddInto(sminC, di)
-				stats.ValuesScanned += int64(c.Len())
+				// Hi reduced to the candidate set by a positional join into
+				// the recycled gather column, then [min] and [+] in place.
+				sc.milGather = grow(sc.milGather, len(candIDs))[:len(candIDs)]
+				bat.JoinFloatInto(sc.milGather, &bat.OID{Tail: candIDs}, hi)
+				bat.MapMinConstInto(sc.milGather, sc.milGather, qd)
+				bat.AddInto(&bat.Float{Tail: candScores}, &bat.Float{Tail: sc.milGather})
+				stats.ValuesScanned += int64(len(candIDs))
 			}
 			processedQ += qd
 		}
@@ -131,8 +158,8 @@ func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 		}
 
 		count := bm.Count()
-		if c != nil {
-			count = c.Len()
+		if candIDs != nil {
+			count = len(candIDs)
 		}
 		if count <= k {
 			continue
@@ -143,44 +170,55 @@ func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 		if processedQ <= tq {
 			stat.Skipped = true
 			stat.Candidates = count
-			stats.Steps = append(stats.Steps, stat)
+			logStep(stat)
 			continue
 		}
 
-		if c == nil {
+		if candIDs == nil {
 			// kfetch over the candidate scores, then bitmap uselect.
-			scores := bat.SelectFloat(smin, bm)
-			sk := bat.KFetch(scores, k, true)
+			sc.milVals = bat.SelectFloatInto(grow(sc.milVals, bm.Count()), smin, bm)
+			sk := topk.KthLargestWith(sc.kthHeap(), sc.milVals, k)
 			maxbound := sk - tq
-			sel := bat.USelectBitmap(smin, maxbound, math.Inf(1), n)
-			bm.And(sel)
+			if sc.milSel == nil {
+				sc.milSel = bitmap.New(0)
+			}
+			sc.milSel.Reuse(n)
+			bat.USelectBitmapInto(sc.milSel, smin, maxbound, math.Inf(1))
+			bm.And(sc.milSel)
 			stat.Candidates = bm.Count()
 			stat.Pruned = count - stat.Candidates
 			// Switch to positional joins once selectivity is high enough.
 			if float64(bm.Count()) < opts.BitmapSwitch*float64(n) {
-				c = bat.NewOIDVoid(0, bm.Slice())
-				sminC = bat.JoinFloat(c, smin)
+				sc.milIDs = bm.AppendSlice(grow(sc.milIDs, bm.Count()))
+				candIDs = sc.milIDs
+				sc.milVals = bat.SelectFloatInto(grow(sc.milVals, len(candIDs)), smin, bm)
+				candScores = sc.milVals
 			}
 		} else {
-			sk := bat.KFetch(sminC, k, true)
+			sk := topk.KthLargestWith(sc.kthHeap(), candScores, k)
 			maxbound := sk - tq
-			sel := bat.USelect(sminC, maxbound, math.Inf(1))
-			// sel holds positions into the candidate array (void heads).
-			newIDs := make([]int, len(sel.Tail))
-			newScores := make([]float64, len(sel.Tail))
-			for i, pos := range sel.Tail {
-				newIDs[i] = c.Tail[pos]
-				newScores[i] = sminC.Tail[pos]
+			// uselect over the candidate scores yields positions into the
+			// candidate array (void heads); gather the surviving ids and
+			// scores into the ping-pong buffers.
+			sel := bat.USelectInto(grow(sc.milIDs2, len(candIDs)),
+				&bat.Float{Tail: candScores}, maxbound, math.Inf(1))
+			sc.milIDs2 = sel
+			newScores := grow(sc.milVals2, len(sel))[:len(sel)]
+			sc.milVals2 = newScores
+			for i, pos := range sel {
+				newScores[i] = candScores[pos]
+				sel[i] = candIDs[pos]
 			}
-			c = bat.NewOIDVoid(0, newIDs)
-			sminC = bat.NewFloatVoid(0, newScores)
-			stat.Candidates = c.Len()
+			sc.milIDs, sc.milIDs2 = sc.milIDs2, sc.milIDs
+			sc.milVals, sc.milVals2 = sc.milVals2, sc.milVals
+			candIDs, candScores = sel, newScores
+			stat.Candidates = len(candIDs)
 			stat.Pruned = count - stat.Candidates
 		}
-		stats.Steps = append(stats.Steps, stat)
+		logStep(stat)
 		cur := bm.Count()
-		if c != nil {
-			cur = c.Len()
+		if candIDs != nil {
+			cur = len(candIDs)
 		}
 		if cur <= k && stats.DimsUntilK == 0 {
 			stats.DimsUntilK = processed
@@ -189,15 +227,16 @@ func SearchMIL(s Source, q []float64, opts MILOptions) (Result, error) {
 
 	// Final ranking.
 	stats.SegmentsSearched = 1
-	h := topk.NewLargest(k)
-	if c == nil {
+	h := sc.outHeap(k, true)
+	if candIDs == nil {
 		bm.ForEach(func(id int) { h.Push(id, smin.Tail[id]) })
 		stats.FinalCandidates = bm.Count()
 	} else {
-		for i, id := range c.Tail {
-			h.Push(id, sminC.Tail[i])
+		for i, id := range candIDs {
+			h.Push(id, candScores[i])
 		}
-		stats.FinalCandidates = c.Len()
+		stats.FinalCandidates = len(candIDs)
 	}
-	return Result{Results: h.Results(), Stats: stats}, nil
+	sc.results = h.AppendResults(sc.results[:0])
+	return Result{Results: sc.results, Stats: stats}, nil
 }

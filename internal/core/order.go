@@ -2,7 +2,7 @@ package core
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // buildOrder returns the processing order over the effective dimensions:
@@ -20,13 +20,19 @@ import (
 // exactly the dimensions that can separate candidates first and reduces to
 // the same ordering when query values exceed ½.)
 func buildOrder(q, weights []float64, dims []int, order Order, seed int64, distance bool) []int {
-	var eff []int
+	return buildOrderInto(nil, q, weights, dims, order, seed, distance)
+}
+
+// buildOrderInto is buildOrder appending into a caller-provided buffer
+// (allocation-free when dst has the capacity, except for OrderRandom's
+// seeded generator).
+func buildOrderInto(dst []int, q, weights []float64, dims []int, order Order, seed int64, distance bool) []int {
+	eff := dst[:0]
 	if len(dims) > 0 {
-		eff = append([]int(nil), dims...)
+		eff = append(eff, dims...)
 	} else {
-		eff = make([]int, len(q))
-		for i := range eff {
-			eff[i] = i
+		for i := range q {
+			eff = append(eff, i)
 		}
 	}
 	if len(weights) > 0 {
@@ -53,11 +59,21 @@ func buildOrder(q, weights []float64, dims []int, order Order, seed int64, dista
 		return weights[d] * m * m
 	}
 
+	cmpDesc := func(a, b int) int {
+		ka, kb := key(a), key(b)
+		switch {
+		case ka > kb:
+			return -1
+		case ka < kb:
+			return 1
+		}
+		return 0
+	}
 	switch order {
 	case OrderQueryDesc:
-		sort.SliceStable(eff, func(i, j int) bool { return key(eff[i]) > key(eff[j]) })
+		slices.SortStableFunc(eff, cmpDesc)
 	case OrderQueryAsc:
-		sort.SliceStable(eff, func(i, j int) bool { return key(eff[i]) < key(eff[j]) })
+		slices.SortStableFunc(eff, func(a, b int) int { return cmpDesc(b, a) })
 	case OrderRandom:
 		rng := rand.New(rand.NewSource(seed))
 		rng.Shuffle(len(eff), func(i, j int) { eff[i], eff[j] = eff[j], eff[i] })

@@ -29,6 +29,7 @@ func (v rangeView) Len() int                       { return v.hi - v.lo }
 func (v rangeView) Column(d int) []float64         { return v.src.Column(d)[v.lo:v.hi] }
 func (v rangeView) Totals() []float64              { return v.src.Totals()[v.lo:v.hi] }
 func (v rangeView) DeletedBitmap() *bitmap.Bitmap  { return v.deleted.Clone() }
+func (v rangeView) DeletedView() *bitmap.Bitmap    { return v.deleted }
 func (v rangeView) ValueRange() (float64, float64) { return v.src.ValueRange() }
 
 // SearchParallel runs BOND across contiguous shards of a flat collection

@@ -58,7 +58,7 @@ func newProgressive(views []SegmentView, q []float64, opts Options) (*Progressiv
 		}
 		vopts := opts
 		vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
-		e, err := newEngine(v.Src, q, vopts)
+		e, err := newEngine(v.Src, q, vopts, nil)
 		if err == ErrNoCandidates {
 			continue
 		}

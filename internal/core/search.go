@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bond/internal/kernel"
 	"bond/internal/metric"
 	"bond/internal/topk"
 )
@@ -18,7 +19,7 @@ func Search(s Source, q []float64, opts Options) (Result, error) {
 	if err := opts.validate(s, q); err != nil {
 		return Result{}, err
 	}
-	e, err := newEngine(s, q, opts)
+	e, err := newEngine(s, q, opts, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -30,7 +31,8 @@ func Search(s Source, q []float64, opts Options) (Result, error) {
 
 // engine holds the state of one search: the candidate ids, their partial
 // scores S⁻, and (for per-vector criteria) their remaining masses T(v⁺).
-// The three slices stay index-aligned through every compaction.
+// The three slices stay index-aligned through every compaction and are
+// backed by the engine's Scratch.
 type engine struct {
 	s       Source
 	q       []float64
@@ -48,10 +50,18 @@ type engine struct {
 
 	processedQ float64 // T(q⁻) over processed dimensions (futility test)
 	stats      Stats
+
+	sc *Scratch
 }
 
-func newEngine(s Source, q []float64, opts Options) (*engine, error) {
-	e := &engine{s: s, q: q, opts: opts}
+// newEngine initializes the engine inside sc (nil allocates privately), so
+// a pooled Scratch makes successive per-segment searches allocation-free.
+func newEngine(s Source, q []float64, opts Options, sc *Scratch) (*engine, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	e := &sc.eng
+	*e = engine{s: s, q: q, opts: opts, sc: sc}
 
 	e.weights = opts.Weights
 	if len(e.weights) == 0 && len(opts.Dims) > 0 && opts.Criterion.Distance() {
@@ -61,7 +71,9 @@ func newEngine(s Source, q []float64, opts Options) (*engine, error) {
 			e.weights[d] = 1
 		}
 	}
-	e.order = buildOrder(q, e.weights, opts.Dims, opts.Order, opts.Seed, opts.Criterion.Distance())
+	sc.order = buildOrderInto(grow(sc.order, s.Dims()),
+		q, e.weights, opts.Dims, opts.Order, opts.Seed, opts.Criterion.Distance())
+	e.order = sc.order
 	if len(e.weights) > 0 {
 		for d, w := range e.weights {
 			if w == 0 {
@@ -70,8 +82,8 @@ func newEngine(s Source, q []float64, opts Options) (*engine, error) {
 		}
 	}
 
-	deleted := s.DeletedBitmap()
-	e.cands = make([]int, 0, s.Len())
+	deleted := deletedOf(s)
+	cands := grow(sc.cands, s.Len())
 	for id := 0; id < s.Len(); id++ {
 		if deleted.Get(id) {
 			continue
@@ -79,8 +91,10 @@ func newEngine(s Source, q []float64, opts Options) (*engine, error) {
 		if excludedID(opts.Exclude, id) {
 			continue
 		}
-		e.cands = append(e.cands, id)
+		cands = append(cands, id)
 	}
+	sc.cands = cands
+	e.cands = cands
 	if len(e.cands) == 0 {
 		return nil, ErrNoCandidates
 	}
@@ -89,15 +103,18 @@ func newEngine(s Source, q []float64, opts Options) (*engine, error) {
 		e.k = len(e.cands)
 	}
 
-	e.score = make([]float64, len(e.cands))
+	sc.score = zeroed(sc.score, len(e.cands))
+	e.score = sc.score
 	e.needTails = opts.Criterion == Hh || opts.Criterion == Ev
 	if e.needTails {
 		totals := s.Totals()
-		e.tails = make([]float64, len(e.cands))
+		sc.tails = zeroed(sc.tails, len(e.cands))
+		e.tails = sc.tails
 		for i, id := range e.cands {
 			e.tails[i] = totals[id]
 		}
 	}
+	e.stats.Steps = sc.steps[:0]
 	return e, nil
 }
 
@@ -143,93 +160,80 @@ func (e *engine) stepOnce(processed, step int) (int, int) {
 	return next, step
 }
 
+// accBlock is the candidate-block width of the accumulation loop: a block
+// of partial scores, tails, and candidate ids (≈48 KB) stays resident in
+// L1/L2 while the step's m columns stream past it, instead of the whole
+// score array being re-fetched once per column.
+const accBlock = 2048
+
 // accumulate folds columns order[from:to] into the partial scores, and
 // maintains the remaining masses for per-vector criteria. The inner loops
-// are specialized per metric to keep the hot path branch-free.
+// are the package kernel gathers — unrolled, bounds-check-free, and
+// branch-free — dispatched once per (block, column) pair; every score slot
+// receives exactly one addition per column in the same order as the scalar
+// loops this replaced, so scores are bit-identical.
 func (e *engine) accumulate(from, to int) {
-	for _, d := range e.order[from:to] {
-		col := e.s.Column(d)
-		qd := e.q[d]
-		switch {
-		case !e.opts.Criterion.Distance() && len(e.weights) > 0:
-			// Weighted histogram intersection (Section 8.2): w·min(h, q).
-			// processedQ tracks the weighted query mass so the futility
-			// test compares like with like.
-			w := e.weights[d]
-			for ci, id := range e.cands {
-				v := col[id]
-				if v < qd {
-					e.score[ci] += w * v
-				} else {
-					e.score[ci] += w * qd
-				}
-			}
-			e.processedQ += w*qd - qd // the shared line below adds plain qd
-		case !e.opts.Criterion.Distance():
-			if e.needTails {
-				for ci, id := range e.cands {
-					v := col[id]
-					if v < qd {
-						e.score[ci] += v
-					} else {
-						e.score[ci] += qd
-					}
-					e.tails[ci] -= v
-				}
-			} else {
-				for ci, id := range e.cands {
-					v := col[id]
-					if v < qd {
-						e.score[ci] += v
-					} else {
-						e.score[ci] += qd
-					}
-				}
-			}
-		case len(e.weights) > 0:
-			w := e.weights[d]
-			if e.needTails {
-				for ci, id := range e.cands {
-					v := col[id]
-					diff := v - qd
-					e.score[ci] += w * diff * diff
-					e.tails[ci] -= v
-				}
-			} else {
-				for ci, id := range e.cands {
-					diff := col[id] - qd
-					e.score[ci] += w * diff * diff
-				}
-			}
-		default:
-			if e.needTails {
-				for ci, id := range e.cands {
-					v := col[id]
-					diff := v - qd
-					e.score[ci] += diff * diff
-					e.tails[ci] -= v
-				}
-			} else {
-				for ci, id := range e.cands {
-					diff := col[id] - qd
-					e.score[ci] += diff * diff
-				}
+	dims := e.order[from:to]
+	hist := !e.opts.Criterion.Distance()
+	weighted := len(e.weights) > 0
+
+	// Per-column bookkeeping, hoisted out of the candidate loops. For
+	// weighted histogram intersection processedQ tracks the weighted query
+	// mass so the futility test compares like with like.
+	for _, d := range dims {
+		if hist && weighted {
+			e.processedQ += e.weights[d] * e.q[d]
+		} else {
+			e.processedQ += e.q[d]
+		}
+	}
+	e.stats.ValuesScanned += int64(len(dims)) * int64(len(e.cands))
+
+	for start := 0; start < len(e.cands); start += accBlock {
+		end := start + accBlock
+		if end > len(e.cands) {
+			end = len(e.cands)
+		}
+		cb := e.cands[start:end]
+		sb := e.score[start:end]
+		var tb []float64
+		if e.needTails {
+			tb = e.tails[start:end]
+		}
+		for _, d := range dims {
+			col := e.s.Column(d)
+			qd := e.q[d]
+			switch {
+			case hist && weighted:
+				// Weighted histogram intersection (Section 8.2): w·min(h, q).
+				kernel.AccWMinQ(sb, col, cb, qd, e.weights[d])
+			case hist && e.needTails:
+				kernel.AccMinQTails(sb, tb, col, cb, qd)
+			case hist:
+				kernel.AccMinQ(sb, col, cb, qd)
+			case weighted && e.needTails:
+				kernel.AccWSqDistTails(sb, tb, col, cb, qd, e.weights[d])
+			case weighted:
+				kernel.AccWSqDist(sb, col, cb, qd, e.weights[d])
+			case e.needTails:
+				kernel.AccSqDistTails(sb, tb, col, cb, qd)
+			default:
+				kernel.AccSqDist(sb, col, cb, qd)
 			}
 		}
-		e.processedQ += qd
-		e.stats.ValuesScanned += int64(len(e.cands))
 	}
 }
 
 // qTail gathers the query values of the unprocessed dimensions, appending
-// the permanent zero-weight residents for weighted bounds.
+// the permanent zero-weight residents for weighted bounds. The returned
+// slice is scratch-backed.
 func (e *engine) qTail(processed int, withZeros bool) []float64 {
 	rem := e.order[processed:]
 	n := len(rem)
 	if withZeros {
 		n += len(e.zeroDims)
 	}
-	out := make([]float64, 0, n)
+	out := grow(e.sc.qtail, n)
 	for _, d := range rem {
 		out = append(out, e.q[d])
 	}
@@ -238,19 +242,21 @@ func (e *engine) qTail(processed int, withZeros bool) []float64 {
 			out = append(out, e.q[d])
 		}
 	}
+	e.sc.qtail = out
 	return out
 }
 
 // wTail gathers the weights matching qTail(processed, true).
 func (e *engine) wTail(processed int) []float64 {
 	rem := e.order[processed:]
-	out := make([]float64, 0, len(rem)+len(e.zeroDims))
+	out := grow(e.sc.wtail, len(rem)+len(e.zeroDims))
 	for _, d := range rem {
 		out = append(out, e.weights[d])
 	}
 	for range e.zeroDims {
 		out = append(out, 0)
 	}
+	e.sc.wtail = out
 	return out
 }
 
@@ -260,8 +266,12 @@ func (e *engine) wTail(processed int) []float64 {
 func (e *engine) pruneStep(processed int) {
 	stat := StepStat{DimsProcessed: processed}
 	before := len(e.cands)
+	sc := e.sc
 
-	keep := make([]bool, before)
+	// Every branch assigns keep[ci] for all ci before compact reads it, so
+	// stale scratch values never survive.
+	keep := grow(sc.keep, before)[:before]
+	sc.keep = keep
 	switch e.opts.Criterion {
 	case Hq:
 		var tq float64
@@ -281,10 +291,10 @@ func (e *engine) pruneStep(processed int) {
 		if !e.opts.DisableFutileSkip && e.processedQ <= tq {
 			stat.Skipped = true
 			stat.Candidates = before
-			e.stats.Steps = append(e.stats.Steps, stat)
+			e.appendStep(stat)
 			return
 		}
-		kappa := topk.KthLargest(e.score, e.k) // κmin over Smin = S⁻
+		kappa := topk.KthLargestWith(sc.kthHeap(), e.score, e.k) // κmin over Smin = S⁻
 		for ci := range keep {
 			keep[ci] = e.score[ci]+tq >= kappa
 		}
@@ -294,7 +304,8 @@ func (e *engine) pruneStep(processed int) {
 		// overestimate of the subspace tail: the upper bound stays valid
 		// but the Eq. 8 lower bound would not, so it falls back to zero.
 		subspace := len(e.opts.Dims) > 0
-		smin := make([]float64, before)
+		smin := zeroed(sc.aux, before)
+		sc.aux = smin
 		for ci := range smin {
 			lo := 0.0
 			if !subspace {
@@ -302,16 +313,16 @@ func (e *engine) pruneStep(processed int) {
 			}
 			smin[ci] = e.score[ci] + lo
 		}
-		kappa := topk.KthLargest(smin, e.k)
+		kappa := topk.KthLargestWith(sc.kthHeap(), smin, e.k)
 		for ci := range keep {
 			keep[ci] = e.score[ci]+tail.HhUpper(e.tails[ci]) >= kappa
 		}
 	case Eq:
 		var bound float64
 		if len(e.weights) > 0 {
-			bound = metric.NewWeightedTail(e.qTail(processed, true), e.wTail(processed)).UpperConst()
+			bound = sc.wt.Reset(e.qTail(processed, true), e.wTail(processed)).UpperConst()
 		} else {
-			tail := metric.NewEucTail(e.qTail(processed, false))
+			tail := sc.euc.Reset(e.qTail(processed, false))
 			if e.opts.NormalizedData {
 				bound = tail.EqUpperNormalized()
 			} else {
@@ -319,28 +330,30 @@ func (e *engine) pruneStep(processed int) {
 			}
 		}
 		// Smin = S⁻; Smax = S⁻ + bound: κmax = (k-th smallest S⁻) + bound.
-		kappa := topk.KthSmallest(e.score, e.k) + bound
+		kappa := topk.KthSmallestWith(sc.kthHeap(), e.score, e.k) + bound
 		for ci := range keep {
 			keep[ci] = e.score[ci] <= kappa
 		}
 	case Ev:
 		if len(e.weights) > 0 {
-			tail := metric.NewWeightedTail(e.qTail(processed, true), e.wTail(processed))
-			smax := make([]float64, before)
+			tail := sc.wt.Reset(e.qTail(processed, true), e.wTail(processed))
+			smax := zeroed(sc.aux, before)
+			sc.aux = smax
 			for ci := range smax {
 				smax[ci] = e.score[ci] + tail.Upper(e.tails[ci])
 			}
-			kappa := topk.KthSmallest(smax, e.k)
+			kappa := topk.KthSmallestWith(sc.kthHeap(), smax, e.k)
 			for ci := range keep {
 				keep[ci] = e.score[ci]+tail.Lower(e.tails[ci]) <= kappa
 			}
 		} else {
-			tail := metric.NewEucTail(e.qTail(processed, false))
-			smax := make([]float64, before)
+			tail := sc.euc.Reset(e.qTail(processed, false))
+			smax := zeroed(sc.aux, before)
+			sc.aux = smax
 			for ci := range smax {
 				smax[ci] = e.score[ci] + tail.EvUpper(e.tails[ci])
 			}
-			kappa := topk.KthSmallest(smax, e.k)
+			kappa := topk.KthSmallestWith(sc.kthHeap(), smax, e.k)
 			for ci := range keep {
 				keep[ci] = e.score[ci]+tail.EvLower(e.tails[ci]) <= kappa
 			}
@@ -350,10 +363,17 @@ func (e *engine) pruneStep(processed int) {
 	e.compact(keep)
 	stat.Candidates = len(e.cands)
 	stat.Pruned = before - len(e.cands)
-	e.stats.Steps = append(e.stats.Steps, stat)
+	e.appendStep(stat)
 	if len(e.cands) <= e.k && e.stats.DimsUntilK == 0 {
 		e.stats.DimsUntilK = processed
 	}
+}
+
+// appendStep logs one pruning iteration, keeping the scratch-backed step
+// buffer's growth for reuse.
+func (e *engine) appendStep(stat StepStat) {
+	e.stats.Steps = append(e.stats.Steps, stat)
+	e.sc.steps = e.stats.Steps
 }
 
 // compact removes pruned candidates from the aligned slices in place.
@@ -377,16 +397,13 @@ func (e *engine) compact(keep []bool) {
 	}
 }
 
-// finish ranks the surviving candidates by their now-exact scores.
+// finish ranks the surviving candidates by their now-exact scores. The
+// result list is scratch-backed: valid until the Scratch's next search.
 func (e *engine) finish() Result {
-	var h *topk.Heap
-	if e.opts.Criterion.Distance() {
-		h = topk.NewSmallest(e.k)
-	} else {
-		h = topk.NewLargest(e.k)
-	}
+	h := e.sc.outHeap(e.k, !e.opts.Criterion.Distance())
 	for ci, id := range e.cands {
 		h.Push(id, e.score[ci])
 	}
-	return Result{Results: h.Results(), Stats: e.stats}
+	e.sc.results = h.AppendResults(e.sc.results[:0])
+	return Result{Results: e.sc.results, Stats: e.stats}
 }

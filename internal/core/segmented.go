@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bond/internal/bitmap"
+	"bond/internal/kernel"
 	"bond/internal/topk"
 	"bond/internal/vstore"
 )
@@ -99,40 +100,54 @@ func segmentBound(v SegmentView, q []float64, opts Options) (bound float64, ok b
 	dist := opts.Criterion.Distance()
 	// Effective dimensions mirror buildOrder: Dims restricts, zero weights
 	// drop out (their best-case contribution is 0 for both metrics).
-	eff := opts.Dims
-	if len(eff) == 0 {
-		eff = make([]int, len(q))
-		for d := range eff {
-			eff[d] = d
-		}
-	}
-	for _, d := range eff {
-		w := 1.0
-		if len(opts.Weights) > 0 {
-			w = opts.Weights[d]
-			if w == 0 {
-				continue
+	// Iterating the two shapes separately keeps the full-space case — once
+	// per segment on the query hot path — allocation-free.
+	if len(opts.Dims) > 0 {
+		for _, d := range opts.Dims {
+			b, live := dimBound(v, q, opts, d, dist)
+			if !live {
+				return 0, false
 			}
+			bound += b
 		}
-		lo, hi := v.DimRange(d)
-		if math.IsInf(lo, 1) { // no data observed for this dimension
+		return bound, true
+	}
+	for d := range q {
+		b, live := dimBound(v, q, opts, d, dist)
+		if !live {
 			return 0, false
 		}
-		if dist {
-			// Best case: the closest point of [lo, hi] to q_d.
-			gap := 0.0
-			if q[d] < lo {
-				gap = lo - q[d]
-			} else if q[d] > hi {
-				gap = q[d] - hi
-			}
-			bound += w * gap * gap
-		} else {
-			// Best case of min(h, q): capped by the segment's largest value.
-			bound += w * math.Min(q[d], hi)
-		}
+		bound += b
 	}
 	return bound, true
+}
+
+// dimBound is one dimension's best-case contribution to a segment bound;
+// live is false when the synopsis has no data for the dimension.
+func dimBound(v SegmentView, q []float64, opts Options, d int, dist bool) (b float64, live bool) {
+	w := 1.0
+	if len(opts.Weights) > 0 {
+		w = opts.Weights[d]
+		if w == 0 {
+			return 0, true
+		}
+	}
+	lo, hi := v.DimRange(d)
+	if math.IsInf(lo, 1) { // no data observed for this dimension
+		return 0, false
+	}
+	if dist {
+		// Best case: the closest point of [lo, hi] to q_d.
+		gap := 0.0
+		if q[d] < lo {
+			gap = lo - q[d]
+		} else if q[d] > hi {
+			gap = q[d] - hi
+		}
+		return w * gap * gap, true
+	}
+	// Best case of min(h, q): capped by the segment's largest value.
+	return w * math.Min(q[d], hi), true
 }
 
 // cannotBeat reports whether a segment whose best possible score is bound
@@ -147,9 +162,10 @@ func cannotBeat(bound, kappa float64, distance bool) bool {
 }
 
 // searchOne runs the engine over a single segment without re-validating.
-// empty is true when the segment holds no eligible candidates.
-func searchOne(src Source, q []float64, opts Options) (Result, bool, error) {
-	e, err := newEngine(src, q, opts)
+// empty is true when the segment holds no eligible candidates. With a
+// non-nil scratch the result list is scratch-backed.
+func searchOne(src Source, q []float64, opts Options, sc *Scratch) (Result, bool, error) {
+	e, err := newEngine(src, q, opts, sc)
 	if err == ErrNoCandidates {
 		return Result{}, true, nil
 	}
@@ -213,7 +229,11 @@ func ValidateSegments(views []SegmentView, q []float64, opts *Options) error {
 	if err != nil {
 		return err
 	}
-	return opts.validate(m, q)
+	lo, hi := 0.0, 0.0
+	if m.n > 0 {
+		lo, hi = m.lo, m.hi
+	}
+	return opts.validateShape(m.dims, m.n, lo, hi, q)
 }
 
 // SegBound exposes the synopsis bound to the query planner: the best score
@@ -234,7 +254,14 @@ func CannotBeat(bound, kappa float64, distance bool) bool {
 // re-validating (callers validate once via ValidateSegments). empty is
 // true when the segment holds no eligible candidates.
 func SearchOne(src Source, q []float64, opts Options) (Result, bool, error) {
-	return searchOne(src, q, opts)
+	return searchOne(src, q, opts, nil)
+}
+
+// SearchOneScratch is SearchOne running on pooled scratch buffers (nil
+// allocates privately). The result list and step log alias the scratch and
+// are valid until its next search.
+func SearchOneScratch(src Source, q []float64, opts Options, sc *Scratch) (Result, bool, error) {
+	return searchOne(src, q, opts, sc)
 }
 
 // ExactScan ranks a segment's live candidates by their exact scores in
@@ -242,7 +269,13 @@ func SearchOne(src Source, q []float64, opts Options) (Result, bool, error) {
 // refine step). It returns nil when no candidate is eligible, plus the
 // number of coefficients read.
 func ExactScan(src Source, q []float64, opts Options) ([]topk.Result, int64) {
-	return exactScanView(src, q, opts)
+	return exactScanView(src, q, opts, nil)
+}
+
+// ExactScanScratch is ExactScan running on pooled scratch buffers (nil
+// allocates privately); the result list aliases the scratch.
+func ExactScanScratch(src Source, q []float64, opts Options, sc *Scratch) ([]topk.Result, int64) {
+	return exactScanView(src, q, opts, sc)
 }
 
 // LocalExclude projects the [base, base+n) window of a global exclusion
@@ -260,6 +293,19 @@ func MergeStats(dst *Stats, src Stats, segment int) {
 // Rebase shifts segment-local result ids to global ids.
 func Rebase(rs []topk.Result, base int) []topk.Result {
 	return shift(rs, base)
+}
+
+// RebaseInPlace shifts segment-local result ids to global ids by mutating
+// the list — the allocation-free Rebase for scratch-backed lists that are
+// consumed before their scratch is reused.
+func RebaseInPlace(rs []topk.Result, base int) []topk.Result {
+	if base == 0 {
+		return rs
+	}
+	for i := range rs {
+		rs[i].ID += base
+	}
+	return rs
 }
 
 // SearchSegments runs BOND per segment and merges the per-segment top-k
@@ -298,7 +344,7 @@ func SearchSegments(views []SegmentView, q []float64, opts Options) (Result, err
 		}
 		vopts := opts
 		vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
-		res, empty, err := searchOne(v.Src, q, vopts)
+		res, empty, err := searchOne(v.Src, q, vopts, nil)
 		if err != nil {
 			return Result{}, err
 		}
@@ -349,7 +395,7 @@ func SearchSegmentsParallel(views []SegmentView, q []float64, opts Options) (Res
 			defer wg.Done()
 			vopts := opts
 			vopts.Exclude = localExclude(opts.Exclude, v.Base, v.Src.Len())
-			res, empty, err := searchOne(v.Src, q, vopts)
+			res, empty, err := searchOne(v.Src, q, vopts, nil)
 			if err == nil && !empty {
 				res.Results = shift(res.Results, v.Base)
 			}
@@ -442,7 +488,7 @@ func SearchCompressedSegments(views []CompressedSegmentView, q []float64, opts O
 			merged.RefineValuesScanned += sub.RefineValuesScanned
 			rs = sub.Results
 		} else {
-			exact, scanned := exactScanView(v.Src, q, vopts)
+			exact, scanned := exactScanView(v.Src, q, vopts, nil)
 			if exact == nil {
 				continue
 			}
@@ -473,9 +519,13 @@ func (f *compressedFilter) refineRun() CompressedResult {
 // accumulating dimensions in natural (storage) order — the same summation
 // order the compressed refine step uses, so a segment answers identically
 // whether it is encoded or not. Returns nil when no candidate is eligible.
-func exactScanView(src Source, q []float64, opts Options) ([]topk.Result, int64) {
-	deleted := src.DeletedBitmap()
-	cands := make([]int, 0, src.Len())
+// With a non-nil scratch the result list is scratch-backed.
+func exactScanView(src Source, q []float64, opts Options, sc *Scratch) ([]topk.Result, int64) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	deleted := deletedOf(src)
+	cands := grow(sc.cands, src.Len())
 	for id := 0; id < src.Len(); id++ {
 		if deleted.Get(id) {
 			continue
@@ -485,40 +535,32 @@ func exactScanView(src Source, q []float64, opts Options) ([]topk.Result, int64)
 		}
 		cands = append(cands, id)
 	}
+	sc.cands = cands
 	if len(cands) == 0 {
 		return nil, 0
 	}
 	dist := opts.Criterion.Distance()
-	score := make([]float64, len(cands))
+	score := zeroed(sc.score, len(cands))
+	sc.score = score
 	for d := 0; d < src.Dims(); d++ {
 		col := src.Column(d)
 		qd := q[d]
-		for ci, id := range cands {
-			v := col[id]
-			if dist {
-				diff := v - qd
-				score[ci] += diff * diff
-			} else if v < qd {
-				score[ci] += v
-			} else {
-				score[ci] += qd
-			}
+		if dist {
+			kernel.AccSqDist(score, col, cands, qd)
+		} else {
+			kernel.AccMinQ(score, col, cands, qd)
 		}
 	}
 	k := opts.K
 	if k > len(cands) {
 		k = len(cands)
 	}
-	var h *topk.Heap
-	if dist {
-		h = topk.NewSmallest(k)
-	} else {
-		h = topk.NewLargest(k)
-	}
+	h := sc.outHeap(k, !dist)
 	for ci, id := range cands {
 		h.Push(id, score[ci])
 	}
-	return h.Results(), int64(len(cands)) * int64(src.Dims())
+	sc.results = h.AppendResults(sc.results[:0])
+	return sc.results, int64(len(cands)) * int64(src.Dims())
 }
 
 // SearchMILSegments runs the MIL reference engine per segment and merges

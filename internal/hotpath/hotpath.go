@@ -1,0 +1,385 @@
+// Package hotpath measures the query hot path end to end: per-query
+// latency and allocations for planned queries, sequential-vs-batched
+// throughput (QueryBatch's reason to exist), and the micro-level speedup
+// of the package kernel loops over the scalar loops they replaced. The
+// measurements are shared by cmd/bondbench's -qps mode and by the root
+// BenchmarkHotPath smoke benchmark, both of which write them to
+// BENCH_hotpath.json so the performance trajectory is tracked per PR.
+package hotpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"bond"
+	"bond/internal/kernel"
+)
+
+// Config scales the measurement.
+type Config struct {
+	// N is the per-shape collection size (the uniform shape uses 4N·2Dims
+	// like the planner benchmark, so the filter paths' byte advantage is
+	// visible outside the cache).
+	N int
+	// Dims is the dimensionality.
+	Dims int
+	// SegSize is the segment size.
+	SegSize int
+	// Queries is the measured workload size per shape.
+	Queries int
+	// K is the number of neighbors.
+	K int
+	// Batch is the QueryBatch size compared against sequential Query (the
+	// full workload is always measured too).
+	Batch int
+}
+
+// DefaultConfig is sized for a seconds-scale smoke run.
+func DefaultConfig() Config {
+	return Config{N: 4000, Dims: 32, SegSize: 500, Queries: 64, K: 10, Batch: 8}
+}
+
+// Record is one BENCH_hotpath.json row: a query-path measurement on one
+// data shape, or (with Shape "kernel") one kernel-vs-scalar micro ratio.
+type Record struct {
+	Shape string `json:"shape"`
+	// Mode: "query" (sequential Collection.Query), "batchN"
+	// (Collection.QueryBatch with N specs per call), or the kernel name
+	// for micro records.
+	Mode          string  `json:"mode"`
+	Criterion     string  `json:"criterion,omitempty"`
+	NsPerQuery    float64 `json:"ns_per_query,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_query,omitempty"`
+	QPS           float64 `json:"qps,omitempty"`
+	CellsPerQuery float64 `json:"cells_scanned_per_query,omitempty"`
+	// Kernel micro fields: ns per call for the kernel and for the scalar
+	// reference loop, and their ratio (scalar / kernel; > 1 is a speedup).
+	KernelNs float64 `json:"kernel_ns,omitempty"`
+	ScalarNs float64 `json:"scalar_ns,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
+}
+
+// shape builds one benchmark collection plus its query workload.
+type shape struct {
+	name      string
+	criterion bond.Criterion
+	col       *bond.Collection
+	queries   [][]float64
+}
+
+func buildShapes(cfg Config) []shape {
+	uniform := func() shape {
+		rng := rand.New(rand.NewSource(21))
+		vs := make([][]float64, 4*cfg.N)
+		for i := range vs {
+			v := make([]float64, 2*cfg.Dims)
+			for d := range v {
+				v[d] = rng.Float64()
+			}
+			vs[i] = v
+		}
+		return shape{"uniform", bond.Eq, bond.NewCollectionSegmented(vs, 2*cfg.SegSize), vs}
+	}
+	clustered := func() shape {
+		rng := rand.New(rand.NewSource(22))
+		vs := make([][]float64, 0, cfg.N)
+		center := make([]float64, cfg.Dims)
+		for i := 0; i < cfg.N; i++ {
+			if i%cfg.SegSize == 0 {
+				for d := range center {
+					center[d] = rng.Float64()
+				}
+			}
+			v := make([]float64, cfg.Dims)
+			for d := range v {
+				x := center[d] + 0.03*(rng.Float64()-0.5)
+				if x < 0 {
+					x = 0
+				}
+				if x > 1 {
+					x = 1
+				}
+				v[d] = x
+			}
+			vs = append(vs, v)
+		}
+		return shape{"cluster_contiguous", bond.Eq, bond.NewCollectionSegmented(vs, cfg.SegSize), vs}
+	}
+	skewed := func() shape {
+		rng := rand.New(rand.NewSource(23))
+		vs := make([][]float64, cfg.N)
+		for i := range vs {
+			v := make([]float64, cfg.Dims)
+			for d := range v {
+				v[d] = rng.Float64() / float64(1+d)
+			}
+			vs[i] = v
+		}
+		return shape{"skewed", bond.Hq, bond.NewCollectionSegmented(vs, cfg.SegSize), vs}
+	}
+	return []shape{uniform(), clustered(), skewed()}
+}
+
+// Run measures every shape and the kernel micros, streaming a
+// human-readable table to w (nil discards it).
+func Run(cfg Config, w io.Writer) ([]Record, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	var records []Record
+	for _, sh := range buildShapes(cfg) {
+		specs := make([]bond.QuerySpec, cfg.Queries)
+		for i := range specs {
+			specs[i] = bond.QuerySpec{
+				Query:     sh.queries[i%len(sh.queries)],
+				K:         cfg.K,
+				Criterion: sh.criterion,
+			}
+		}
+		// Warm the lazy codes, the adaptive model, and the scratch pools.
+		warm := specs
+		if len(warm) > 8 {
+			warm = warm[:8]
+		}
+		if _, err := sh.col.QueryBatch(warm); err != nil {
+			return nil, err
+		}
+		for _, spec := range warm {
+			if _, err := sh.col.Query(spec); err != nil {
+				return nil, err
+			}
+		}
+
+		seq, err := measureSequential(sh, specs)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, seq)
+		fmt.Fprintf(w, "%-20s %-8s %10.0f ns/query  %6.2f allocs/query  %9.0f qps  %10.0f cells/query\n",
+			sh.name, seq.Mode, seq.NsPerQuery, seq.AllocsPerOp, seq.QPS, seq.CellsPerQuery)
+
+		for _, batch := range []int{cfg.Batch, cfg.Queries} {
+			if batch < 2 || batch > len(specs) {
+				continue
+			}
+			rec, err := measureBatch(sh, specs, batch)
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, rec)
+			fmt.Fprintf(w, "%-20s %-8s %10.0f ns/query  %6.2f allocs/query  %9.0f qps\n",
+				sh.name, rec.Mode, rec.NsPerQuery, rec.AllocsPerOp, rec.QPS)
+		}
+	}
+
+	for _, rec := range kernelMicros() {
+		records = append(records, rec)
+		fmt.Fprintf(w, "%-20s %-16s kernel %7.1f ns  scalar %7.1f ns  speedup %.2fx\n",
+			rec.Shape, rec.Mode, rec.KernelNs, rec.ScalarNs, rec.Speedup)
+	}
+	return records, nil
+}
+
+// measure runs fn over `queries` queries and reports wall time and
+// allocation deltas per query.
+func measure(queries int, fn func() (int64, error)) (Record, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	cells, err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Record{}, err
+	}
+	q := float64(queries)
+	return Record{
+		NsPerQuery:    float64(elapsed.Nanoseconds()) / q,
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / q,
+		QPS:           q / elapsed.Seconds(),
+		CellsPerQuery: float64(cells) / q,
+	}, nil
+}
+
+func measureSequential(sh shape, specs []bond.QuerySpec) (Record, error) {
+	rec, err := measure(len(specs), func() (int64, error) {
+		var cells int64
+		for _, spec := range specs {
+			res, err := sh.col.Query(spec)
+			if err != nil {
+				return 0, err
+			}
+			cells += res.Stats.ValuesScanned
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return rec, err
+	}
+	rec.Shape, rec.Mode, rec.Criterion = sh.name, "query", sh.criterion.String()
+	return rec, nil
+}
+
+func measureBatch(sh shape, specs []bond.QuerySpec, batch int) (Record, error) {
+	rec, err := measure(len(specs), func() (int64, error) {
+		var cells int64
+		for i := 0; i < len(specs); i += batch {
+			end := i + batch
+			if end > len(specs) {
+				end = len(specs)
+			}
+			rs, err := sh.col.QueryBatch(specs[i:end])
+			if err != nil {
+				return 0, err
+			}
+			for _, r := range rs {
+				cells += r.Stats.ValuesScanned
+			}
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return rec, err
+	}
+	rec.Shape, rec.Mode, rec.Criterion = sh.name, fmt.Sprintf("batch%d", batch), sh.criterion.String()
+	rec.CellsPerQuery = 0 // identical to sequential; omit from the row
+	return rec, nil
+}
+
+// kernelMicros times each headline kernel against the scalar loop it
+// replaced, on the same data. The scalar references are verbatim copies of
+// the pre-kernel inner loops.
+func kernelMicros() []Record {
+	const n = 4096
+	rng := rand.New(rand.NewSource(1))
+	col := make([]float64, n)
+	score := make([]float64, n)
+	cands := make([]int, n)
+	for i := range col {
+		col[i] = rng.Float64()
+		cands[i] = i
+	}
+	qd := 0.5
+
+	// Interleaved min-of-rounds timing: the two loops alternate inside one
+	// process and each keeps its best round, so frequency drift and noisy
+	// neighbors (this often runs on small shared VMs) cancel out instead
+	// of biasing one side.
+	time1 := func(fn func()) float64 {
+		const reps = 400
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		return float64(time.Since(start).Nanoseconds()) / reps
+	}
+	micro := func(name string, kernelFn, scalarFn func()) Record {
+		kernelFn()
+		scalarFn() // warm both
+		k, s := math.Inf(1), math.Inf(1)
+		for round := 0; round < 6; round++ {
+			k = math.Min(k, time1(kernelFn))
+			s = math.Min(s, time1(scalarFn))
+		}
+		return Record{Shape: "kernel", Mode: name, KernelNs: k, ScalarNs: s, Speedup: s / k}
+	}
+
+	recs := []Record{
+		micro("AccSqDist",
+			func() { kernel.AccSqDist(score, col, cands, qd) },
+			func() {
+				for ci, id := range cands {
+					d := col[id] - qd
+					score[ci] += d * d
+				}
+			}),
+		micro("AccMinQ",
+			func() { kernel.AccMinQ(score, col, cands, qd) },
+			func() {
+				for ci, id := range cands {
+					v := col[id]
+					if v < qd {
+						score[ci] += v
+					} else {
+						score[ci] += qd
+					}
+				}
+			}),
+	}
+
+	const denseRows, denseDims = 512, 166
+	dense := make([][]float64, denseRows)
+	for i := range dense {
+		v := make([]float64, denseDims)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		dense[i] = v
+	}
+	dq := dense[0]
+	var sink float64
+	recs = append(recs, micro("SqDistDense",
+		func() {
+			for _, v := range dense {
+				sink += kernel.SqDist(v, dq)
+			}
+		},
+		func() {
+			for _, v := range dense {
+				s := 0.0
+				for d, x := range v {
+					diff := x - dq[d]
+					s += diff * diff
+				}
+				sink += s
+			}
+		}))
+
+	const dims = 64
+	tbl := make([]float64, dims*256)
+	for i := range tbl {
+		tbl[i] = rng.Float64()
+	}
+	row := make([]uint8, dims)
+	for d := range row {
+		row[d] = uint8(rng.Intn(256))
+	}
+	recs = append(recs, micro("VARowSum",
+		func() {
+			for r := 0; r+dims <= n; r += dims {
+				sink += kernel.VARowSum(tbl, row)
+			}
+		},
+		func() {
+			for r := 0; r+dims <= n; r += dims {
+				var l0, l1 float64
+				d := 0
+				for ; d+1 < dims; d += 2 {
+					l0 += tbl[d*256+int(row[d])]
+					l1 += tbl[(d+1)*256+int(row[d+1])]
+				}
+				if d < dims {
+					l0 += tbl[d*256+int(row[d])]
+				}
+				sink += l0 + l1
+			}
+		}))
+	_ = sink
+	return recs
+}
+
+// WriteJSON writes the records to path as indented JSON.
+func WriteJSON(path string, records []Record) error {
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,149 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The micro-benchmarks pit each kernel against the scalar loop it replaced
+// (the exact code that used to live in internal/core and internal/vafile).
+// Run with:
+//
+//	go test -bench . -benchmem ./internal/kernel
+//
+// internal/bench.HotPath times the same pairs programmatically and records
+// the speedups in BENCH_hotpath.json.
+
+const benchN = 4096
+
+func benchSetup() (col, score []float64, cands []int, qd float64) {
+	rng := rand.New(rand.NewSource(1))
+	col = make([]float64, benchN)
+	score = make([]float64, benchN)
+	cands = make([]int, benchN)
+	for i := range col {
+		col[i] = rng.Float64()
+		cands[i] = i
+	}
+	return col, score, cands, 0.5
+}
+
+func BenchmarkAccSqDistKernel(b *testing.B) {
+	col, score, cands, qd := benchSetup()
+	b.SetBytes(benchN * 8)
+	for i := 0; i < b.N; i++ {
+		AccSqDist(score, col, cands, qd)
+	}
+}
+
+func BenchmarkAccSqDistScalar(b *testing.B) {
+	col, score, cands, qd := benchSetup()
+	b.SetBytes(benchN * 8)
+	for i := 0; i < b.N; i++ {
+		for ci, id := range cands {
+			d := col[id] - qd
+			score[ci] += d * d
+		}
+	}
+}
+
+func BenchmarkAccMinQKernel(b *testing.B) {
+	col, score, cands, qd := benchSetup()
+	b.SetBytes(benchN * 8)
+	for i := 0; i < b.N; i++ {
+		AccMinQ(score, col, cands, qd)
+	}
+}
+
+func BenchmarkAccMinQScalar(b *testing.B) {
+	col, score, cands, qd := benchSetup()
+	b.SetBytes(benchN * 8)
+	for i := 0; i < b.N; i++ {
+		// The pre-kernel engine loop: a data-dependent branch per cell.
+		for ci, id := range cands {
+			v := col[id]
+			if v < qd {
+				score[ci] += v
+			} else {
+				score[ci] += qd
+			}
+		}
+	}
+}
+
+func BenchmarkSqDistKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	v, q := make([]float64, 166), make([]float64, 166)
+	for i := range v {
+		v[i], q[i] = rng.Float64(), rng.Float64()
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += SqDist(v, q)
+	}
+	_ = sink
+}
+
+func BenchmarkSqDistScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	v, q := make([]float64, 166), make([]float64, 166)
+	for i := range v {
+		v[i], q[i] = rng.Float64(), rng.Float64()
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		s := 0.0
+		for d, x := range v {
+			diff := x - q[d]
+			s += diff * diff
+		}
+		sink += s
+	}
+	_ = sink
+}
+
+func BenchmarkVARowSumKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const dims = 64
+	tbl := make([]float64, dims*256)
+	for i := range tbl {
+		tbl[i] = rng.Float64()
+	}
+	row := make([]uint8, dims)
+	for d := range row {
+		row[d] = uint8(rng.Intn(256))
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += VARowSum(tbl, row)
+	}
+	_ = sink
+}
+
+func BenchmarkVARowSumScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const dims = 64
+	tbl := make([]float64, dims*256)
+	for i := range tbl {
+		tbl[i] = rng.Float64()
+	}
+	row := make([]uint8, dims)
+	for d := range row {
+		row[d] = uint8(rng.Intn(256))
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		// The pre-kernel vafile loop: two interleaved accumulators.
+		var l0, l1 float64
+		d := 0
+		for ; d+1 < dims; d += 2 {
+			l0 += tbl[d*256+int(row[d])]
+			l1 += tbl[(d+1)*256+int(row[d+1])]
+		}
+		if d < dims {
+			l0 += tbl[d*256+int(row[d])]
+		}
+		sink += l0 + l1
+	}
+	_ = sink
+}

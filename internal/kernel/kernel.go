@@ -1,0 +1,303 @@
+// Package kernel provides the allocation-free inner loops of the search
+// engine: distance and similarity accumulation over decomposed columns,
+// 8-bit code-table lookups, and VA-File row sums.
+//
+// Every kernel is written for the Go compiler's strengths: a 4× unrolled
+// main loop with a scalar tail, slice re-slicing up front so bounds checks
+// hoist out of the loop body, and branch-free min selection via the
+// intrinsified min builtin instead of a data-dependent branch that
+// mispredicts ~50% of the time on random data. The gather kernels
+// accumulate into per-candidate slots, so each slot receives exactly one
+// addition per column in the same order as the scalar loops they replace —
+// scores are bit-identical, which is what keeps every access path's answer
+// byte-equal to the sequential-scan oracle. The dense kernels (whole-vector
+// distances) use four independent accumulators for instruction-level
+// parallelism; their sums can differ from a left-to-right fold in the last
+// ulp, which is inside the tolerance every consumer already grants.
+//
+// None of the kernels allocate.
+package kernel
+
+// AccSqDist folds one column into partial squared-Euclidean scores:
+// score[i] += (col[cands[i]] − qd)² for every candidate. len(score) must be
+// at least len(cands).
+func AccSqDist(score []float64, col []float64, cands []int, qd float64) {
+	score = score[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		c0, c1, c2, c3 := cands[i], cands[i+1], cands[i+2], cands[i+3]
+		d0 := col[c0] - qd
+		d1 := col[c1] - qd
+		d2 := col[c2] - qd
+		d3 := col[c3] - qd
+		score[i] += d0 * d0
+		score[i+1] += d1 * d1
+		score[i+2] += d2 * d2
+		score[i+3] += d3 * d3
+	}
+	for ; i < len(cands); i++ {
+		d := col[cands[i]] - qd
+		score[i] += d * d
+	}
+}
+
+// AccSqDistTails is AccSqDist plus remaining-mass maintenance:
+// tails[i] -= col[cands[i]]. len(score) and len(tails) must be at least
+// len(cands).
+func AccSqDistTails(score, tails []float64, col []float64, cands []int, qd float64) {
+	score = score[:len(cands)]
+	tails = tails[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		v0, v1, v2, v3 := col[cands[i]], col[cands[i+1]], col[cands[i+2]], col[cands[i+3]]
+		d0 := v0 - qd
+		d1 := v1 - qd
+		d2 := v2 - qd
+		d3 := v3 - qd
+		score[i] += d0 * d0
+		score[i+1] += d1 * d1
+		score[i+2] += d2 * d2
+		score[i+3] += d3 * d3
+		tails[i] -= v0
+		tails[i+1] -= v1
+		tails[i+2] -= v2
+		tails[i+3] -= v3
+	}
+	for ; i < len(cands); i++ {
+		v := col[cands[i]]
+		d := v - qd
+		score[i] += d * d
+		tails[i] -= v
+	}
+}
+
+// AccWSqDist is the weighted variant: score[i] += w·(col[cands[i]] − qd)².
+func AccWSqDist(score []float64, col []float64, cands []int, qd, w float64) {
+	score = score[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		d0 := col[cands[i]] - qd
+		d1 := col[cands[i+1]] - qd
+		d2 := col[cands[i+2]] - qd
+		d3 := col[cands[i+3]] - qd
+		score[i] += w * d0 * d0
+		score[i+1] += w * d1 * d1
+		score[i+2] += w * d2 * d2
+		score[i+3] += w * d3 * d3
+	}
+	for ; i < len(cands); i++ {
+		d := col[cands[i]] - qd
+		score[i] += w * d * d
+	}
+}
+
+// AccWSqDistTails is AccWSqDist plus remaining-mass maintenance.
+func AccWSqDistTails(score, tails []float64, col []float64, cands []int, qd, w float64) {
+	score = score[:len(cands)]
+	tails = tails[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		v0, v1, v2, v3 := col[cands[i]], col[cands[i+1]], col[cands[i+2]], col[cands[i+3]]
+		d0 := v0 - qd
+		d1 := v1 - qd
+		d2 := v2 - qd
+		d3 := v3 - qd
+		score[i] += w * d0 * d0
+		score[i+1] += w * d1 * d1
+		score[i+2] += w * d2 * d2
+		score[i+3] += w * d3 * d3
+		tails[i] -= v0
+		tails[i+1] -= v1
+		tails[i+2] -= v2
+		tails[i+3] -= v3
+	}
+	for ; i < len(cands); i++ {
+		v := col[cands[i]]
+		d := v - qd
+		score[i] += w * d * d
+		tails[i] -= v
+	}
+}
+
+// AccMinQ folds one column into partial histogram-intersection scores:
+// score[i] += min(col[cands[i]], qd). The min builtin is intrinsified, so
+// on random data this replaces a mispredicting branch.
+func AccMinQ(score []float64, col []float64, cands []int, qd float64) {
+	score = score[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		score[i] += min(col[cands[i]], qd)
+		score[i+1] += min(col[cands[i+1]], qd)
+		score[i+2] += min(col[cands[i+2]], qd)
+		score[i+3] += min(col[cands[i+3]], qd)
+	}
+	for ; i < len(cands); i++ {
+		score[i] += min(col[cands[i]], qd)
+	}
+}
+
+// AccMinQTails is AccMinQ plus remaining-mass maintenance.
+func AccMinQTails(score, tails []float64, col []float64, cands []int, qd float64) {
+	score = score[:len(cands)]
+	tails = tails[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		v0, v1, v2, v3 := col[cands[i]], col[cands[i+1]], col[cands[i+2]], col[cands[i+3]]
+		score[i] += min(v0, qd)
+		score[i+1] += min(v1, qd)
+		score[i+2] += min(v2, qd)
+		score[i+3] += min(v3, qd)
+		tails[i] -= v0
+		tails[i+1] -= v1
+		tails[i+2] -= v2
+		tails[i+3] -= v3
+	}
+	for ; i < len(cands); i++ {
+		v := col[cands[i]]
+		score[i] += min(v, qd)
+		tails[i] -= v
+	}
+}
+
+// AccWMinQ is the weighted histogram variant: score[i] += w·min(v, qd).
+func AccWMinQ(score []float64, col []float64, cands []int, qd, w float64) {
+	score = score[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		score[i] += w * min(col[cands[i]], qd)
+		score[i+1] += w * min(col[cands[i+1]], qd)
+		score[i+2] += w * min(col[cands[i+2]], qd)
+		score[i+3] += w * min(col[cands[i+3]], qd)
+	}
+	for ; i < len(cands); i++ {
+		score[i] += w * min(col[cands[i]], qd)
+	}
+}
+
+// AccCodeBounds folds one 8-bit code column into the score intervals of a
+// compressed filter: per candidate, two table loads and two adds. The 256-
+// entry tables live in L1 for the whole column. len(sLo) and len(sHi) must
+// be at least len(cands).
+func AccCodeBounds(sLo, sHi []float64, codes []uint8, cands []int, tLo, tHi *[256]float64) {
+	sLo = sLo[:len(cands)]
+	sHi = sHi[:len(cands)]
+	i := 0
+	for ; i+4 <= len(cands); i += 4 {
+		c0, c1, c2, c3 := codes[cands[i]], codes[cands[i+1]], codes[cands[i+2]], codes[cands[i+3]]
+		sLo[i] += tLo[c0]
+		sLo[i+1] += tLo[c1]
+		sLo[i+2] += tLo[c2]
+		sLo[i+3] += tLo[c3]
+		sHi[i] += tHi[c0]
+		sHi[i+1] += tHi[c1]
+		sHi[i+2] += tHi[c2]
+		sHi[i+3] += tHi[c3]
+	}
+	for ; i < len(cands); i++ {
+		c := codes[cands[i]]
+		sLo[i] += tLo[c]
+		sHi[i] += tHi[c]
+	}
+}
+
+// VARowSum sums a VA-File bound table over one row-major code row:
+// Σ_d tbl[d·256 + row[d]]. tbl must hold len(row)·256 entries (it panics
+// otherwise); four independent accumulators hide the load latency.
+func VARowSum(tbl []float64, row []uint8) float64 {
+	if len(tbl) < len(row)*256 {
+		panic("kernel: VA bound table shorter than 256 entries per dimension")
+	}
+	var s0, s1, s2, s3 float64
+	d := 0
+	for ; d+4 <= len(row); d += 4 {
+		s0 += tbl[d*256+int(row[d])]
+		s1 += tbl[(d+1)*256+int(row[d+1])]
+		s2 += tbl[(d+2)*256+int(row[d+2])]
+		s3 += tbl[(d+3)*256+int(row[d+3])]
+	}
+	for ; d < len(row); d++ {
+		s0 += tbl[d*256+int(row[d])]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SqDist returns the dense squared Euclidean distance Σ (v_i − q_i)² with
+// four independent accumulators. len(q) must be at least len(v).
+func SqDist(v, q []float64) float64 {
+	q = q[:len(v)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		d0 := v[i] - q[i]
+		d1 := v[i+1] - q[i+1]
+		d2 := v[i+2] - q[i+2]
+		d3 := v[i+3] - q[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(v); i++ {
+		d := v[i] - q[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// MinSum returns the dense histogram intersection Σ min(h_i, q_i), branch-
+// free. len(q) must be at least len(h).
+func MinSum(h, q []float64) float64 {
+	q = q[:len(h)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(h); i += 4 {
+		s0 += min(h[i], q[i])
+		s1 += min(h[i+1], q[i+1])
+		s2 += min(h[i+2], q[i+2])
+		s3 += min(h[i+3], q[i+3])
+	}
+	for ; i < len(h); i++ {
+		s0 += min(h[i], q[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// WSqDist returns the dense weighted squared Euclidean distance
+// Σ w_i (v_i − q_i)². len(q) and len(w) must be at least len(v).
+func WSqDist(v, q, w []float64) float64 {
+	q = q[:len(v)]
+	w = w[:len(v)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		d0 := v[i] - q[i]
+		d1 := v[i+1] - q[i+1]
+		d2 := v[i+2] - q[i+2]
+		d3 := v[i+3] - q[i+3]
+		s0 += w[i] * d0 * d0
+		s1 += w[i+1] * d1 * d1
+		s2 += w[i+2] * d2 * d2
+		s3 += w[i+3] * d3 * d3
+	}
+	for ; i < len(v); i++ {
+		d := v[i] - q[i]
+		s0 += w[i] * d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Sum returns Σ x_i with four independent accumulators.
+func Sum(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i]
+		s1 += x[i+1]
+		s2 += x[i+2]
+		s3 += x[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

@@ -2,6 +2,7 @@ package metric
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -47,15 +48,42 @@ type EucTail struct {
 // NewEucTail prepares Euclidean tail bounds for the remaining query values
 // qTail (the query coefficients of the not-yet-processed dimensions).
 func NewEucTail(qTail []float64) *EucTail {
-	r := len(qTail)
-	t := &EucTail{
-		qs: append([]float64(nil), qTail...),
-		r:  r,
-		p1: make([]float64, r+1),
-		p2: make([]float64, r+1),
-		s1: make([]float64, r+1),
+	return new(EucTail).Reset(qTail)
+}
+
+// growF64 returns s resized to n entries, zeroed, reusing its backing array
+// when the capacity allows.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(t.qs)))
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Reset re-prepares the tail bounds for new remaining query values in
+// place, reusing every internal buffer — the pooled counterpart of
+// NewEucTail for per-pruning-step use on the query hot path. It returns t.
+func (t *EucTail) Reset(qTail []float64) *EucTail {
+	r := len(qTail)
+	t.qs = append(t.qs[:0], qTail...)
+	t.r = r
+	t.p1 = growF64(t.p1, r+1)
+	t.p2 = growF64(t.p2, r+1)
+	t.s1 = growF64(t.s1, r+1)
+	t.sumMaxSq = 0
+	slices.SortFunc(t.qs, func(a, b float64) int {
+		switch {
+		case a > b:
+			return -1
+		case a < b:
+			return 1
+		}
+		return 0
+	})
 	for i, q := range t.qs {
 		t.p1[i+1] = t.p1[i] + q
 		t.p2[i+1] = t.p2[i] + q*q
@@ -83,7 +111,7 @@ func NewEucTail(qTail []float64) *EucTail {
 	// Deficit breakpoints: removing mass from q⁺ down to total t keeps the
 	// c largest coordinates positive while λ = (p1[c]−t)/c ∈ [qs[c], qs[c−1});
 	// the boundary λ = qs[c] corresponds to t = p1[c] − c·qs[c].
-	t.deficitBP = make([]float64, r+1)
+	t.deficitBP = growF64(t.deficitBP, r+1)
 	for c := 1; c <= r; c++ {
 		qc := 0.0
 		if c < r {
@@ -98,7 +126,7 @@ func NewEucTail(qTail []float64) *EucTail {
 	// Surplus breakpoints: adding mass clamps the c largest coordinates at 1
 	// while λ = (t−c−(T−p1[c]))/(r−c) ∈ [1−qs[c−1], 1−qs[c]); the boundary
 	// λ = 1−qs[c] corresponds to t = c + (T−p1[c]) + (r−c)(1−qs[c]).
-	t.surplusBP = make([]float64, r+1)
+	t.surplusBP = growF64(t.surplusBP, r+1)
 	for c := 0; c < r; c++ {
 		t.surplusBP[c] = float64(c) + (t.tq - t.p1[c]) + float64(r-c)*(1-t.qs[c])
 	}

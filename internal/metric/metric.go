@@ -25,6 +25,8 @@ package metric
 import (
 	"fmt"
 	"math"
+
+	"bond/internal/kernel"
 )
 
 // HistIntersect returns the histogram intersection Σ min(h_i, q_i)
@@ -33,11 +35,7 @@ func HistIntersect(h, q []float64) float64 {
 	if len(h) != len(q) {
 		panic(fmt.Sprintf("metric: length mismatch %d vs %d", len(h), len(q)))
 	}
-	s := 0.0
-	for i, hi := range h {
-		s += math.Min(hi, q[i])
-	}
-	return s
+	return kernel.MinSum(h, q)
 }
 
 // SqEuclidean returns the squared Euclidean distance Σ (v_i − q_i)²
@@ -46,12 +44,7 @@ func SqEuclidean(v, q []float64) float64 {
 	if len(v) != len(q) {
 		panic(fmt.Sprintf("metric: length mismatch %d vs %d", len(v), len(q)))
 	}
-	s := 0.0
-	for i, vi := range v {
-		d := vi - q[i]
-		s += d * d
-	}
-	return s
+	return kernel.SqDist(v, q)
 }
 
 // WeightedSqEuclidean returns Σ w_i (v_i − q_i)² (Definition 3). It panics
@@ -60,12 +53,7 @@ func WeightedSqEuclidean(v, q, w []float64) float64 {
 	if len(v) != len(q) || len(v) != len(w) {
 		panic(fmt.Sprintf("metric: length mismatch v=%d q=%d w=%d", len(v), len(q), len(w)))
 	}
-	s := 0.0
-	for i, vi := range v {
-		d := vi - q[i]
-		s += w[i] * d * d
-	}
-	return s
+	return kernel.WSqDist(v, q, w)
 }
 
 // EuclideanSim converts a squared Euclidean distance into the similarity of
@@ -79,11 +67,7 @@ func EuclideanSim(sqDist float64, n int) float64 {
 
 // Sum returns T(x) = Σ x_i.
 func Sum(x []float64) float64 {
-	s := 0.0
-	for _, v := range x {
-		s += v
-	}
-	return s
+	return kernel.Sum(x)
 }
 
 // IsNormalized reports whether T(x) is within eps of 1, the precondition on

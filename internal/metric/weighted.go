@@ -3,7 +3,7 @@ package metric
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // WeightedTail provides tail bounds for the weighted squared Euclidean
@@ -48,10 +48,17 @@ type WeightedTail struct {
 // zero weights express "dimension does not matter" (subspace queries).
 // It panics on length mismatch or negative weights.
 func NewWeightedTail(qTail, wTail []float64) *WeightedTail {
+	return new(WeightedTail).Reset(qTail, wTail)
+}
+
+// Reset re-prepares the bounds for new tail values in place, reusing the
+// internal buffers — the pooled counterpart of NewWeightedTail for
+// per-pruning-step use on the query hot path. It returns t.
+func (t *WeightedTail) Reset(qTail, wTail []float64) *WeightedTail {
 	if len(qTail) != len(wTail) {
 		panic(fmt.Sprintf("metric: tail length mismatch q=%d w=%d", len(qTail), len(wTail)))
 	}
-	t := &WeightedTail{r: len(qTail)}
+	*t = WeightedTail{r: len(qTail), gains: t.gains[:0], gpfx: t.gpfx[:0]}
 	for i, q := range qTail {
 		w := wTail[i]
 		if w < 0 {
@@ -71,8 +78,16 @@ func NewWeightedTail(qTail, wTail []float64) *WeightedTail {
 			t.gains = append(t.gains, g)
 		}
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(t.gains)))
-	t.gpfx = make([]float64, len(t.gains)+1)
+	slices.SortFunc(t.gains, func(a, b float64) int {
+		switch {
+		case a > b:
+			return -1
+		case a < b:
+			return 1
+		}
+		return 0
+	})
+	t.gpfx = growF64(t.gpfx, len(t.gains)+1)
 	for i, g := range t.gains {
 		t.gpfx[i+1] = t.gpfx[i] + g
 	}

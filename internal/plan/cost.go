@@ -2,6 +2,7 @@ package plan
 
 import (
 	"encoding/json"
+	"runtime"
 	"sync"
 )
 
@@ -69,10 +70,165 @@ const defaultNsPerCell = 3.0
 
 // Model is the thread-safe holder of the coefficients. One Model belongs
 // to one collection; queries read a snapshot when planning and feed
-// observations back after executing.
+// observations back after executing. It also owns the collection's pools
+// of reusable plans and executor scratch lanes — a small free list rather
+// than a sync.Pool, so the buffers survive garbage collections and the
+// steady-state allocation count stays deterministic.
 type Model struct {
 	mu sync.Mutex
 	c  Coefficients
+
+	poolMu    sync.Mutex
+	plans     []*Plan
+	scratches []*execScratch
+}
+
+// poolCap bounds each free list; lanes beyond it (a burst of concurrent
+// queries wider than any since) are dropped to the garbage collector. It
+// scales with the logical CPU count so QueryBatch's GOMAXPROCS-wide
+// worker pool can park every lane between batches on large hosts.
+func poolCap() int {
+	if n := runtime.GOMAXPROCS(0); n > 16 {
+		return n
+	}
+	return 16
+}
+
+func (m *Model) acquirePlan() *Plan {
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	if n := len(m.plans); n > 0 {
+		p := m.plans[n-1]
+		m.plans = m.plans[:n-1]
+		return p
+	}
+	return &Plan{pooled: true}
+}
+
+func (m *Model) releasePlan(p *Plan) {
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	if len(m.plans) < poolCap() {
+		m.plans = append(m.plans, p)
+	}
+}
+
+func (m *Model) acquireScratch() *execScratch {
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	if n := len(m.scratches); n > 0 {
+		sc := m.scratches[n-1]
+		m.scratches = m.scratches[:n-1]
+		// A pooled lane may carry a bound table built for another query;
+		// make sure no step trusts it before this execution rebuilds it.
+		sc.vaBuilt = false
+		return sc
+	}
+	return &execScratch{}
+}
+
+func (m *Model) releaseScratch(sc *execScratch) {
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	if len(m.scratches) < poolCap() {
+		m.scratches = append(m.scratches, sc)
+	}
+}
+
+// observer is the feedback sink the executor reports into: the model
+// directly, or a FeedbackBatch that aggregates a whole QueryBatch first.
+type observer interface {
+	observeBond(frac, ns float64)
+	observeCompressed(filterFrac, survive, ns float64)
+	observeVA(survive, ns float64)
+	observeExact(ns float64)
+	countQuery()
+}
+
+// FeedbackBatch accumulates execution feedback across the queries of one
+// batch and applies it to the model as a single aggregate observation per
+// path — one EWMA step moved by the batch mean instead of Q small steps,
+// so a batch adapts the model like one representative query would, at a
+// fraction of the lock traffic.
+type FeedbackBatch struct {
+	mu      sync.Mutex
+	queries int64
+	sums    [4]pathSums // indexed by feedback slot below
+}
+
+type pathSums struct {
+	a, b, ns float64 // path-specific fraction sums plus ns-per-cell sum
+	n, nsN   int64
+}
+
+const (
+	fbBond = iota
+	fbCompr
+	fbVA
+	fbExact
+)
+
+// NewFeedbackBatch returns an empty accumulator.
+func NewFeedbackBatch() *FeedbackBatch { return &FeedbackBatch{} }
+
+func (f *FeedbackBatch) add(slot int, a, b, ns float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := &f.sums[slot]
+	s.a += a
+	s.b += b
+	s.n++
+	if ns > 0 {
+		s.ns += ns
+		s.nsN++
+	}
+}
+
+func (f *FeedbackBatch) observeBond(frac, ns float64)  { f.add(fbBond, frac, 0, ns) }
+func (f *FeedbackBatch) observeVA(survive, ns float64) { f.add(fbVA, survive, 0, ns) }
+func (f *FeedbackBatch) observeExact(ns float64)       { f.add(fbExact, 0, 0, ns) }
+func (f *FeedbackBatch) countQuery() {
+	f.mu.Lock()
+	f.queries++
+	f.mu.Unlock()
+}
+
+func (f *FeedbackBatch) observeCompressed(filterFrac, survive, ns float64) {
+	f.add(fbCompr, filterFrac, survive, ns)
+}
+
+// Flush applies the accumulated batch means to the model. A path that saw
+// no steps leaves its coefficients untouched.
+func (f *FeedbackBatch) Flush(m *Model) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mean := func(s *pathSums) (a, b, ns float64, ok bool) {
+		if s.n == 0 {
+			return 0, 0, 0, false
+		}
+		a, b = s.a/float64(s.n), s.b/float64(s.n)
+		if s.nsN > 0 {
+			ns = s.ns / float64(s.nsN)
+		}
+		return a, b, ns, true
+	}
+	if a, _, ns, ok := mean(&f.sums[fbBond]); ok {
+		m.observeBond(a, ns)
+	}
+	if a, b, ns, ok := mean(&f.sums[fbCompr]); ok {
+		m.observeCompressed(a, b, ns)
+	}
+	if a, _, ns, ok := mean(&f.sums[fbVA]); ok {
+		m.observeVA(a, ns)
+	}
+	if _, _, ns, ok := mean(&f.sums[fbExact]); ok && ns > 0 {
+		m.observeExact(ns)
+	}
+	m.mu.Lock()
+	m.c.Queries += f.queries
+	m.mu.Unlock()
+	f.queries = 0
+	f.sums = [4]pathSums{}
 }
 
 // NewModel returns a model at the default priors.

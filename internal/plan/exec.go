@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bond/internal/core"
+	"bond/internal/kernel"
 	"bond/internal/topk"
 	"bond/internal/vafile"
 )
@@ -25,7 +26,9 @@ type Result struct {
 	Truncated bool
 }
 
-// stepOutcome is what one executed step produced, before folding.
+// stepOutcome is what one executed step produced, before folding. Its
+// result list aliases the scratch that ran the step and is consumed by
+// fold before the scratch runs another step.
 type stepOutcome struct {
 	rs    []topk.Result // rebased to global ids
 	empty bool
@@ -39,6 +42,36 @@ type stepOutcome struct {
 	vaRefine     int64
 }
 
+// execScratch bundles the per-query reusable state of one executor lane:
+// the engine scratch every access path runs on, the VA-File filter
+// scratch with the per-query bound table, the global κ heap, the merged
+// step logs, and the parallel fan-out staging. The model keeps a free
+// list of these, so steady-state queries allocate nothing here.
+type execScratch struct {
+	core core.Scratch
+
+	va      vafile.Scratch
+	vaTbl   *vafile.Table
+	vaBuilt bool          // vaTbl holds this query's bounds
+	vaScore []float64     // VA refinement scores
+	vaOut   *topk.Heap    // VA refinement ranking heap
+	vaRes   []topk.Result // VA refinement result staging
+
+	kappa     *topk.Heap
+	steps     []core.StepStat // merged Stats.Steps staging
+	compSteps []core.StepStat // merged Compressed.FilterStats.Steps staging
+
+	outs []parOutcome // parallel fan-out staging
+}
+
+// parOutcome is one parallel step's outcome with its measured wall time
+// and the scratch lane that produced it (released after folding).
+type parOutcome struct {
+	out     stepOutcome
+	elapsed time.Duration
+	lane    *execScratch
+}
+
 // Execute runs the plan and merges the per-segment answers into the exact
 // global top-k, feeding observed costs back into the plan's model. The
 // parallel fan-out group runs first (concurrently); the sequential tail
@@ -46,41 +79,51 @@ type stepOutcome struct {
 // κ, exactly as the legacy segmented search did, so forced-strategy plans
 // return byte-identical results and statistics.
 func Execute(p *Plan) (Result, error) {
-	// Once execution finishes, drop the segment handles and the per-query
-	// bound table: Explain only needs Steps and the model snapshot, and a
-	// caller holding the plan (e.g. to log it later) must not pin the
-	// segments' columns and cached code arrays past compaction.
-	defer func() {
-		p.segs = nil
-		p.vaTbl = nil
-	}()
+	sc := p.model.acquireScratch()
+	defer p.model.releaseScratch(sc)
+	return p.execute(sc)
+}
+
+func (p *Plan) execute(sc *execScratch) (Result, error) {
+	// Once execution finishes, drop the segment handles: Explain only
+	// needs Steps and the model snapshot, and a caller holding the plan
+	// (e.g. to log it later) must not pin the segments' columns and cached
+	// code arrays past compaction.
+	defer func() { p.segs = nil }()
+	sc.vaBuilt = false
+	sc.steps = sc.steps[:0]
+	sc.compSteps = sc.compSteps[:0]
+
 	opts := p.Opts
 	dist := opts.Criterion.Distance()
-	var kappaHeap *topk.Heap
-	if dist {
-		kappaHeap = topk.NewSmallest(opts.K)
-	} else {
-		kappaHeap = topk.NewLargest(opts.K)
+	if sc.kappa == nil {
+		sc.kappa = topk.NewLargest(opts.K)
 	}
+	kappaHeap := sc.kappa
+	kappaHeap.Reset(opts.K, !dist)
 
 	var res Result
-	var lists [][]topk.Result
 	executed := false
+	folded := 0
 
 	fold := func(st *Step, out stepOutcome, elapsed time.Duration) {
 		st.Executed = true
 		executed = true
+		folded++
 		p.feedback(st, out, elapsed)
 		switch st.Path {
 		case PathBOND, PathMIL:
 			res.Stats.SegmentsSearched++
-			core.MergeStats(&res.Stats, out.bondStats, st.Segment)
+			mergeCounters(&res.Stats, out.bondStats)
+			sc.steps = appendSteps(sc.steps, out.bondStats.Steps, st.Segment)
 		case PathCompressed:
 			res.Stats.SegmentsSearched++
-			core.MergeStats(&res.Stats, out.comp.FilterStats, st.Segment)
+			mergeCounters(&res.Stats, out.comp.FilterStats)
 			res.Stats.ValuesScanned += out.comp.RefineValuesScanned
+			sc.steps = appendSteps(sc.steps, out.comp.FilterStats.Steps, st.Segment)
 			res.Compressed.FilterCandidates += out.comp.FilterCandidates
-			core.MergeStats(&res.Compressed.FilterStats, out.comp.FilterStats, st.Segment)
+			mergeCounters(&res.Compressed.FilterStats, out.comp.FilterStats)
+			sc.compSteps = appendSteps(sc.compSteps, out.comp.FilterStats.Steps, st.Segment)
 			res.Compressed.RefineValuesScanned += out.comp.RefineValuesScanned
 			res.Compressed.FilterStats.SegmentsSearched++
 		case PathExact:
@@ -96,7 +139,6 @@ func Execute(p *Plan) (Result, error) {
 			res.Compressed.RefineValuesScanned += out.vaRefine
 			res.Compressed.FilterStats.SegmentsSearched++
 		}
-		lists = append(lists, out.rs)
 		for _, r := range out.rs {
 			kappaHeap.Push(r.ID, r.Score)
 		}
@@ -112,27 +154,51 @@ func Execute(p *Plan) (Result, error) {
 	case npar > 0 && p.pastDeadline():
 		p.Truncated = true
 	case npar > 0:
-		outs := make([]stepOutcome, npar)
+		outs := grow(sc.outs, npar)[:npar]
+		sc.outs = outs
 		var wg sync.WaitGroup
 		for i := 0; i < npar; i++ {
+			// Each goroutine runs on its own scratch lane; the first one
+			// reuses this query's lane.
+			lane := sc
+			if i > 0 {
+				lane = p.model.acquireScratch()
+			}
+			outs[i].lane = lane
 			wg.Add(1)
-			go func(i int) {
+			go func(i int, lane *execScratch) {
 				defer wg.Done()
-				outs[i] = p.runStep(&p.Steps[i])
-			}(i)
+				// Per-step wall time is measured inside the goroutine so
+				// parallel plans feed the learned ns-per-cell too; fan-out
+				// contention inflates it somewhat, which the model's EWMA
+				// and clamping absorb.
+				start := time.Now()
+				outs[i].out = p.runStep(&p.Steps[i], lane)
+				outs[i].elapsed = time.Since(start)
+			}(i, lane)
 		}
 		wg.Wait()
+		var ferr error
 		for i := 0; i < npar; i++ {
-			if outs[i].err != nil {
-				return Result{}, fmt.Errorf("core: segment %d: %w", p.Steps[i].Segment, outs[i].err)
+			o := &outs[i]
+			switch {
+			case o.out.err != nil:
+				if ferr == nil {
+					ferr = fmt.Errorf("core: segment %d: %w", p.Steps[i].Segment, o.out.err)
+				}
+			case !o.out.empty && ferr == nil:
+				// Fold (which consumes the lane-aliased results) before the
+				// lane can be released or reused.
+				fold(&p.Steps[i], o.out, o.elapsed)
 			}
-			if outs[i].empty {
-				continue
+			if o.lane != sc {
+				p.model.releaseScratch(o.lane)
 			}
-			// Elapsed 0: per-goroutine wall time under fan-out contention
-			// would systematically inflate the learned ns/cell, so
-			// parallel steps feed back cell counts only.
-			fold(&p.Steps[i], outs[i], 0)
+			o.lane = nil
+			o.out = stepOutcome{}
+		}
+		if ferr != nil {
+			return Result{}, ferr
 		}
 	}
 
@@ -151,7 +217,7 @@ func Execute(p *Plan) (Result, error) {
 			continue
 		}
 		start := time.Now()
-		out := p.runStep(st)
+		out := p.runStep(st, sc)
 		if out.err != nil {
 			return Result{}, out.err
 		}
@@ -161,19 +227,59 @@ func Execute(p *Plan) (Result, error) {
 		fold(st, out, time.Since(start))
 	}
 
-	if executed {
-		p.model.countQuery()
-	}
+	p.countQuery(executed)
 	res.Truncated = p.Truncated
-	if len(lists) == 0 {
+	if folded == 0 {
 		if p.Truncated {
 			return res, nil
 		}
 		return Result{}, core.ErrNoCandidates
 	}
-	res.Results = topk.Merge(opts.K, !dist, lists...)
+	// The κ heap saw every per-segment result and its retained set is a
+	// pure function of the offered results (score-then-id tie-break), so it
+	// IS the exact merged top-k — no per-segment lists to merge. The copies
+	// below are the only per-query allocations of a steady-state Query: the
+	// returned result list and one backing array for the returned step logs
+	// (everything else the caller receives is by value).
+	res.Results = kappaHeap.Results()
 	res.Compressed.Results = res.Results
+	if n1, n2 := len(sc.steps), len(sc.compSteps); n1+n2 > 0 {
+		buf := make([]core.StepStat, n1+n2)
+		copy(buf, sc.steps)
+		copy(buf[n1:], sc.compSteps)
+		res.Stats.Steps = buf[:n1:n1]
+		res.Compressed.FilterStats.Steps = buf[n1:]
+	}
 	return res, nil
+}
+
+// mergeCounters folds a segment's scalar work counters into an aggregate
+// (the step logs are staged separately in the executor scratch).
+func mergeCounters(dst *core.Stats, src core.Stats) {
+	dst.ValuesScanned += src.ValuesScanned
+	dst.FinalCandidates += src.FinalCandidates
+	if src.DimsUntilK > dst.DimsUntilK {
+		dst.DimsUntilK = src.DimsUntilK
+	}
+}
+
+// appendSteps copies a segment's pruning-step log into the staging buffer,
+// tagging each entry with the physical segment index.
+func appendSteps(dst []core.StepStat, src []core.StepStat, segment int) []core.StepStat {
+	for _, st := range src {
+		st.Segment = segment
+		dst = append(dst, st)
+	}
+	return dst
+}
+
+// grow returns s with length 0 and capacity at least n, reusing the
+// backing array when possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, 0, n)
+	}
+	return s[:0]
 }
 
 // adjustBound applies the approximation tolerance to a segment bound: a
@@ -193,9 +299,9 @@ func (p *Plan) pastDeadline() bool {
 	return !p.Spec.Deadline.IsZero() && time.Now().After(p.Spec.Deadline)
 }
 
-// runStep executes one step's access path over its segment, filling the
-// step's outcome fields.
-func (p *Plan) runStep(st *Step) stepOutcome {
+// runStep executes one step's access path over its segment on the given
+// scratch lane, filling the step's outcome fields.
+func (p *Plan) runStep(st *Step, sc *execScratch) stepOutcome {
 	seg := p.segs[st.Segment]
 	src := seg.View.Src
 	vopts := p.Opts
@@ -203,34 +309,35 @@ func (p *Plan) runStep(st *Step) stepOutcome {
 
 	switch st.Path {
 	case PathBOND:
-		r, empty, err := core.SearchOne(src, p.Spec.Query, vopts)
+		r, empty, err := core.SearchOneScratch(src, p.Spec.Query, vopts, &sc.core)
 		if empty || err != nil {
 			return stepOutcome{empty: empty, err: err}
 		}
 		st.ActualCost = float64(r.Stats.ValuesScanned)
 		st.Candidates = r.Stats.FinalCandidates
-		return stepOutcome{rs: core.Rebase(r.Results, st.Base), bondStats: r.Stats}
+		return stepOutcome{rs: core.RebaseInPlace(r.Results, st.Base), bondStats: r.Stats}
 
 	case PathCompressed:
-		sub, empty := core.SearchCompressedOne(src, seg.Codes(), p.Spec.Query, vopts)
+		sub, empty := core.SearchCompressedOneScratch(src, seg.Codes(), p.Spec.Query, vopts, &sc.core)
 		if empty {
 			return stepOutcome{empty: true}
 		}
 		st.ActualCost = CodeCost*float64(sub.FilterStats.ValuesScanned) + float64(sub.RefineValuesScanned)
 		st.Candidates = sub.FilterCandidates
-		return stepOutcome{rs: core.Rebase(sub.Results, st.Base), comp: sub}
+		sub.Results = core.RebaseInPlace(sub.Results, st.Base)
+		return stepOutcome{rs: sub.Results, comp: sub}
 
 	case PathVAFile:
-		return p.runVAFile(st, seg, vopts)
+		return p.runVAFile(st, seg, vopts, sc)
 
 	case PathExact:
-		rs, scanned := core.ExactScan(src, p.Spec.Query, vopts)
+		rs, scanned := core.ExactScanScratch(src, p.Spec.Query, vopts, &sc.core)
 		if rs == nil {
 			return stepOutcome{empty: true}
 		}
 		st.ActualCost = float64(scanned)
 		st.Candidates = len(rs)
-		return stepOutcome{rs: core.Rebase(rs, st.Base), exactScanned: scanned}
+		return stepOutcome{rs: core.RebaseInPlace(rs, st.Base), exactScanned: scanned}
 
 	case PathMIL:
 		milOpts := core.MILOptions{
@@ -239,7 +346,7 @@ func (p *Plan) runStep(st *Step) stepOutcome {
 			BitmapSwitch: p.Spec.BitmapSwitch,
 			Exclude:      vopts.Exclude,
 		}
-		r, err := core.SearchMIL(src, p.Spec.Query, milOpts)
+		r, err := core.SearchMILScratch(src, p.Spec.Query, milOpts, &sc.core)
 		if err == core.ErrNoCandidates {
 			return stepOutcome{empty: true}
 		}
@@ -248,7 +355,7 @@ func (p *Plan) runStep(st *Step) stepOutcome {
 		}
 		st.ActualCost = float64(r.Stats.ValuesScanned)
 		st.Candidates = r.Stats.FinalCandidates
-		return stepOutcome{rs: core.Rebase(r.Results, st.Base), bondStats: r.Stats}
+		return stepOutcome{rs: core.RebaseInPlace(r.Results, st.Base), bondStats: r.Stats}
 	}
 	return stepOutcome{err: fmt.Errorf("plan: unknown path %v", st.Path)}
 }
@@ -258,10 +365,10 @@ func (p *Plan) runStep(st *Step) stepOutcome {
 // refinement on the columns in natural dimension order — the same
 // summation order the compressed refine and exact-scan paths use, so a
 // segment answers identically whichever path the planner picks.
-func (p *Plan) runVAFile(st *Step, seg Segment, vopts core.Options) stepOutcome {
+func (p *Plan) runVAFile(st *Step, seg Segment, vopts core.Options, sc *execScratch) stepOutcome {
 	src := seg.View.Src
 	f := seg.VA()
-	deleted := src.DeletedBitmap()
+	deleted := core.DeletedView(src)
 	excl := vopts.Exclude
 	skip := func(id int) bool {
 		if deleted.Get(id) {
@@ -271,35 +378,29 @@ func (p *Plan) runVAFile(st *Step, seg Segment, vopts core.Options) stepOutcome 
 	}
 	q := p.Spec.Query
 	dist := vopts.Criterion.Distance()
-	tbl := p.vaTable(f, dist)
+	tbl := p.vaTable(f, dist, sc)
 
 	var ids []int
 	var fst vafileStats
 	if dist {
-		raw, s := f.FilterEuclideanLive(tbl, q, vopts.K, skip)
+		raw, s := f.FilterEuclideanLiveScratch(tbl, q, vopts.K, skip, &sc.va)
 		ids, fst = raw, vafileStats{codes: s.CodesScanned}
 	} else {
-		raw, s := f.FilterHistogramLive(tbl, q, vopts.K, skip)
+		raw, s := f.FilterHistogramLiveScratch(tbl, q, vopts.K, skip, &sc.va)
 		ids, fst = raw, vafileStats{codes: s.CodesScanned}
 	}
 	if len(ids) == 0 {
 		return stepOutcome{empty: true}
 	}
 
-	score := make([]float64, len(ids))
+	score := zeroedFloats(sc.vaScore, len(ids))
+	sc.vaScore = score
 	for d := 0; d < src.Dims(); d++ {
 		col := src.Column(d)
-		qd := q[d]
-		for ci, id := range ids {
-			v := col[id]
-			if dist {
-				diff := v - qd
-				score[ci] += diff * diff
-			} else if v < qd {
-				score[ci] += v
-			} else {
-				score[ci] += qd
-			}
+		if dist {
+			kernel.AccSqDist(score, col, ids, q[d])
+		} else {
+			kernel.AccMinQ(score, col, ids, q[d])
 		}
 	}
 	refine := int64(len(ids)) * int64(src.Dims())
@@ -308,49 +409,70 @@ func (p *Plan) runVAFile(st *Step, seg Segment, vopts core.Options) stepOutcome 
 	if k > len(ids) {
 		k = len(ids)
 	}
-	var h *topk.Heap
-	if dist {
-		h = topk.NewSmallest(k)
-	} else {
-		h = topk.NewLargest(k)
+	if sc.vaOut == nil {
+		sc.vaOut = topk.NewLargest(k)
 	}
+	h := sc.vaOut
+	h.Reset(k, !dist)
 	for ci, id := range ids {
 		h.Push(id, score[ci])
 	}
+	sc.vaRes = h.AppendResults(sc.vaRes[:0])
 
 	st.ActualCost = CodeCost*float64(fst.codes) + float64(refine)
 	st.Candidates = len(ids)
 	return stepOutcome{
-		rs:       core.Rebase(h.Results(), st.Base),
+		rs:       core.RebaseInPlace(sc.vaRes, st.Base),
 		vaCodes:  fst.codes,
 		vaCands:  len(ids),
 		vaRefine: refine,
 	}
 }
 
+// zeroedFloats returns s resized to exactly n zero values, reusing the
+// backing array when possible.
+func zeroedFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 type vafileStats struct{ codes int64 }
 
-// vaTable returns the query's shared VA-File bound table, building it on
-// the first VA step (segments share one quantization grid, so one table
-// serves them all; a segment on a different grid gets a private table).
-func (p *Plan) vaTable(f *vafile.File, dist bool) *vafile.Table {
-	build := func() *vafile.Table {
+// vaTable returns the query's shared VA-File bound table, (re)built into
+// the scratch on the first VA step of the execution (segments share one
+// quantization grid, so one table serves them all; a segment on a
+// different grid gets a private table).
+func (p *Plan) vaTable(f *vafile.File, dist bool, sc *execScratch) *vafile.Table {
+	if !sc.vaBuilt {
+		if sc.vaTbl == nil {
+			sc.vaTbl = &vafile.Table{}
+		}
+		if dist {
+			sc.vaTbl.BuildEuclidean(f.Quantizer(), p.Spec.Query)
+		} else {
+			sc.vaTbl.BuildHistogram(f.Quantizer(), p.Spec.Query)
+		}
+		sc.vaBuilt = true
+	}
+	if !sc.vaTbl.Fits(f) {
 		if dist {
 			return vafile.NewEuclideanTable(f.Quantizer(), p.Spec.Query)
 		}
 		return vafile.NewHistogramTable(f.Quantizer(), p.Spec.Query)
 	}
-	p.vaOnce.Do(func() { p.vaTbl = build() })
-	if !p.vaTbl.Fits(f) {
-		return build()
-	}
-	return p.vaTbl
+	return sc.vaTbl
 }
 
-// feedback folds a step's observed cost back into the model, normalizing
-// out the shape factor so the stored coefficients stay segment-neutral.
-// elapsed divides by the step's cost in coefficient-equivalents to give
-// the per-path time coefficient.
+// feedback folds a step's observed cost back into the model (or the
+// query's batch accumulator), normalizing out the shape factor so the
+// stored coefficients stay segment-neutral. elapsed divides by the step's
+// cost in coefficient-equivalents to give the per-path time coefficient.
 func (p *Plan) feedback(st *Step, out stepOutcome, elapsed time.Duration) {
 	n := float64(st.N)
 	nd := n * float64(p.Dims)
@@ -361,21 +483,38 @@ func (p *Plan) feedback(st *Step, out stepOutcome, elapsed time.Duration) {
 	if st.ActualCost > 0 && elapsed > 0 {
 		ns = float64(elapsed.Nanoseconds()) / st.ActualCost
 	}
+	sink := observer(p.model)
+	if p.fb != nil {
+		sink = p.fb
+	}
 	switch st.Path {
 	case PathBOND:
 		shape := st.shape
 		if shape <= 0 {
 			shape = 1
 		}
-		p.model.observeBond(float64(out.bondStats.ValuesScanned)/(nd*shape), ns)
+		sink.observeBond(float64(out.bondStats.ValuesScanned)/(nd*shape), ns)
 	case PathCompressed:
-		p.model.observeCompressed(
+		sink.observeCompressed(
 			float64(out.comp.FilterStats.ValuesScanned)/nd,
 			float64(out.comp.FilterCandidates)/n,
 			ns)
 	case PathVAFile:
-		p.model.observeVA(float64(out.vaCands)/n, ns)
+		sink.observeVA(float64(out.vaCands)/n, ns)
 	case PathExact:
-		p.model.observeExact(ns)
+		sink.observeExact(ns)
 	}
+}
+
+// countQuery attributes one executed query to the model or the batch
+// accumulator.
+func (p *Plan) countQuery(executed bool) {
+	if !executed {
+		return
+	}
+	if p.fb != nil {
+		p.fb.countQuery()
+		return
+	}
+	p.model.countQuery()
 }

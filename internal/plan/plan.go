@@ -2,11 +2,9 @@ package plan
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"slices"
 
 	"bond/internal/core"
-	"bond/internal/vafile"
 )
 
 // Path is the access path a plan step assigns to one segment.
@@ -99,11 +97,17 @@ type Plan struct {
 	segs  []Segment
 	model *Model
 
-	// vaTbl is the per-query VA-File bound table, built once at the first
-	// VA step and shared by every segment (the bounds depend only on the
-	// quantization grid and the query).
-	vaOnce sync.Once
-	vaTbl  *vafile.Table
+	// views is the validation staging buffer, kept for reuse on pooled
+	// plans.
+	views []core.SegmentView
+
+	// fb, when set, receives execution feedback instead of the model —
+	// the batch executor aggregates it and applies one EWMA step per path.
+	fb *FeedbackBatch
+
+	// pooled marks a plan owned by the model's free list (Release returns
+	// it there).
+	pooled bool
 }
 
 // parallelMinSegment is the smallest segment Auto fans out when the spec
@@ -116,32 +120,85 @@ const parallelMinSegment = 2048
 // model may be nil, which plans from the default priors and discards
 // feedback.
 func New(segs []Segment, spec Spec, model *Model) (*Plan, error) {
-	views := make([]core.SegmentView, len(segs))
-	for i, s := range segs {
-		views[i] = s.View
+	p := &Plan{}
+	if err := p.init(segs, spec, model); err != nil {
+		return nil, err
 	}
+	return p, nil
+}
+
+// NewReusable is New planning into a pooled Plan owned by the model: when
+// the caller is done (after Execute, and after copying anything it wants
+// to keep), Release returns the plan to the pool. This is the hot-path
+// variant Collection.Query uses so planning itself allocates nothing in
+// steady state; callers that hand the plan out (EXPLAIN) use New instead.
+func NewReusable(segs []Segment, spec Spec, model *Model) (*Plan, error) {
+	if model == nil {
+		return New(segs, spec, model)
+	}
+	p := model.acquirePlan()
+	if err := p.init(segs, spec, model); err != nil {
+		model.releasePlan(p)
+		return nil, err
+	}
+	return p, nil
+}
+
+// UseBatchFeedback redirects the plan's execution feedback into a batch
+// accumulator (see FeedbackBatch); nil restores direct model feedback.
+func (p *Plan) UseBatchFeedback(fb *FeedbackBatch) { p.fb = fb }
+
+// Release returns a plan obtained from NewReusable to its model's pool,
+// dropping every reference it holds. It is a no-op for plans made by New.
+func (p *Plan) Release() {
+	if !p.pooled {
+		return
+	}
+	m := p.model
+	*p = Plan{
+		Steps:  p.Steps[:0],
+		views:  p.views[:0],
+		pooled: true,
+	}
+	m.releasePlan(p)
+}
+
+// init (re)plans into p, reusing its step and view buffers.
+func (p *Plan) init(segs []Segment, spec Spec, model *Model) error {
+	views := p.views[:0]
+	if cap(views) < len(segs) {
+		views = make([]core.SegmentView, 0, len(segs))
+	}
+	for _, s := range segs {
+		views = append(views, s.View)
+	}
+	p.views = views
 	opts := spec.options()
 	if err := core.ValidateSegments(views, spec.Query, &opts); err != nil {
-		return nil, err
+		return err
 	}
 	if spec.Strategy == ForceCompressed || spec.Strategy == ForceVAFile {
 		if err := core.ValidateCompressed(opts); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if spec.Strategy == ForceMIL && opts.Criterion != core.Hq {
-		return nil, fmt.Errorf("plan: the MIL path ranks by Hq, not %v", opts.Criterion)
+		return fmt.Errorf("plan: the MIL path ranks by Hq, not %v", opts.Criterion)
 	}
 	if model == nil {
 		model = NewModel()
 	}
-	p := &Plan{
-		Spec:  spec,
-		Opts:  opts,
-		Dims:  views[0].Src.Dims(),
-		Model: model.Snapshot(),
-		segs:  segs,
-		model: model,
+	pooled := p.pooled
+	*p = Plan{
+		Spec:   spec,
+		Opts:   opts,
+		Steps:  p.Steps[:0],
+		Dims:   views[0].Src.Dims(),
+		Model:  model.Snapshot(),
+		segs:   segs,
+		model:  model,
+		views:  views,
+		pooled: pooled,
 	}
 	for _, v := range views {
 		p.Slots += v.Src.Len()
@@ -170,7 +227,7 @@ func New(segs []Segment, spec Spec, model *Model) (*Plan, error) {
 		p.Steps = append(p.Steps, st)
 	}
 	p.orderSteps(dist)
-	return p, nil
+	return nil
 }
 
 // choosePath assigns the access path and its predicted cost for one
@@ -227,8 +284,7 @@ func choosePath(m Coefficients, strat Strategy, s Segment, compressedOK bool, n,
 // and later segments can be skipped — the same discipline the legacy
 // segmented search used.
 func (p *Plan) orderSteps(dist bool) {
-	sort.SliceStable(p.Steps, func(a, b int) bool {
-		sa, sb := &p.Steps[a], &p.Steps[b]
+	less := func(sa, sb *Step) bool {
 		if sa.Parallel != sb.Parallel {
 			return sa.Parallel
 		}
@@ -248,6 +304,17 @@ func (p *Plan) orderSteps(dist bool) {
 			return sa.Bound > sb.Bound
 		}
 		return false
+	}
+	// slices.SortStableFunc rather than sort.SliceStable: the generic sort
+	// needs no reflection and no per-call allocation.
+	slices.SortStableFunc(p.Steps, func(a, b Step) int {
+		switch {
+		case less(&a, &b):
+			return -1
+		case less(&b, &a):
+			return 1
+		}
+		return 0
 	})
 }
 

@@ -8,6 +8,7 @@ package topk
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -70,6 +71,19 @@ func NewSmallest(k int) *Heap {
 		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
 	}
 	return &Heap{k: k, largest: false, items: make([]Result, 0, k)}
+}
+
+// Reset reinitializes the heap in place for a new selection of the k best
+// under the given mode, reusing the retained-items buffer — the pooled
+// counterpart of NewLargest/NewSmallest. It panics if k < 1.
+func (h *Heap) Reset(k int, largest bool) {
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k must be >= 1, got %d", k))
+	}
+	h.k = k
+	h.largest = largest
+	h.items = h.items[:0]
+	h.overflow = false
 }
 
 // K returns the heap's configured capacity.
@@ -148,14 +162,38 @@ func (h *Heap) WouldAccept(score float64) bool {
 // for a "largest" heap, increasing score for a "smallest" heap. The heap is
 // not modified.
 func (h *Heap) Results() []Result {
-	out := make([]Result, len(h.items))
-	copy(out, h.items)
+	return h.AppendResults(make([]Result, 0, len(h.items)))
+}
+
+// AppendResults appends the retained results, sorted best-first, to dst and
+// returns the extended slice — the allocation-free counterpart of Results
+// for callers bringing their own buffer. The heap is not modified.
+func (h *Heap) AppendResults(dst []Result) []Result {
+	start := len(dst)
+	dst = append(dst, h.items...)
+	out := dst[start:]
 	if h.largest {
-		sort.Sort(ByScoreDesc(out))
+		slices.SortFunc(out, func(a, b Result) int {
+			if a.Score != b.Score {
+				if a.Score > b.Score {
+					return -1
+				}
+				return 1
+			}
+			return a.ID - b.ID
+		})
 	} else {
-		sort.Sort(ByScoreAsc(out))
+		slices.SortFunc(out, func(a, b Result) int {
+			if a.Score != b.Score {
+				if a.Score < b.Score {
+					return -1
+				}
+				return 1
+			}
+			return a.ID - b.ID
+		})
 	}
-	return out
+	return dst
 }
 
 // siftUp restores the heap property after appending at index i.
@@ -194,6 +232,12 @@ func (h *Heap) siftDown(i int) {
 // the paper's kfetch kernel (O(n log k)). If k exceeds len(xs) it returns
 // the minimum of xs. It panics if xs is empty or k < 1.
 func KthLargest(xs []float64, k int) float64 {
+	return KthLargestWith(NewLargest(max(k, 1)), xs, k)
+}
+
+// KthLargestWith is KthLargest reusing a caller-provided heap (pooled
+// kfetch); the heap's previous contents and mode are discarded.
+func KthLargestWith(h *Heap, xs []float64, k int) float64 {
 	if len(xs) == 0 {
 		panic("topk: KthLargest on empty slice")
 	}
@@ -203,7 +247,7 @@ func KthLargest(xs []float64, k int) float64 {
 	if k > len(xs) {
 		k = len(xs)
 	}
-	h := NewLargest(k)
+	h.Reset(k, true)
 	for i, x := range xs {
 		h.Push(i, x)
 	}
@@ -215,6 +259,12 @@ func KthLargest(xs []float64, k int) float64 {
 // If k exceeds len(xs) it returns the maximum of xs. It panics if xs is
 // empty or k < 1.
 func KthSmallest(xs []float64, k int) float64 {
+	return KthSmallestWith(NewSmallest(max(k, 1)), xs, k)
+}
+
+// KthSmallestWith is KthSmallest reusing a caller-provided heap (pooled
+// kfetch); the heap's previous contents and mode are discarded.
+func KthSmallestWith(h *Heap, xs []float64, k int) float64 {
 	if len(xs) == 0 {
 		panic("topk: KthSmallest on empty slice")
 	}
@@ -224,7 +274,7 @@ func KthSmallest(xs []float64, k int) float64 {
 	if k > len(xs) {
 		k = len(xs)
 	}
-	h := NewSmallest(k)
+	h.Reset(k, false)
 	for i, x := range xs {
 		h.Push(i, x)
 	}

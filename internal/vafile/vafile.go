@@ -16,6 +16,7 @@ package vafile
 import (
 	"fmt"
 
+	"bond/internal/kernel"
 	"bond/internal/quant"
 	"bond/internal/topk"
 	"bond/internal/vstore"
@@ -173,7 +174,14 @@ type Table struct {
 // lower bound is the squared distance to the nearer cell edge (zero
 // inside the cell), the upper bound to the farther edge.
 func NewEuclideanTable(qz *quant.Quantizer, q []float64) *Table {
-	t := newTable(qz, len(q))
+	return new(Table).BuildEuclidean(qz, q)
+}
+
+// BuildEuclidean rebuilds t as the squared-distance bound table for q in
+// place, reusing the bound arrays — the pooled counterpart of
+// NewEuclideanTable for per-query use on the hot path. It returns t.
+func (t *Table) BuildEuclidean(qz *quant.Quantizer, q []float64) *Table {
+	t.reset(qz, len(q))
 	for d, qd := range q {
 		row := d * 256
 		for c := 0; c < qz.Levels; c++ {
@@ -205,7 +213,13 @@ func NewEuclideanTable(qz *quant.Quantizer, q []float64) *Table {
 
 // NewHistogramTable builds the min-intersection bound table for q.
 func NewHistogramTable(qz *quant.Quantizer, q []float64) *Table {
-	t := newTable(qz, len(q))
+	return new(Table).BuildHistogram(qz, q)
+}
+
+// BuildHistogram rebuilds t as the min-intersection bound table for q in
+// place, reusing the bound arrays. It returns t.
+func (t *Table) BuildHistogram(qz *quant.Quantizer, q []float64) *Table {
+	t.reset(qz, len(q))
 	for d, qd := range q {
 		row := d * 256
 		for c := 0; c < qz.Levels; c++ {
@@ -224,10 +238,16 @@ func NewHistogramTable(qz *quant.Quantizer, q []float64) *Table {
 	return t
 }
 
-func newTable(qz *quant.Quantizer, dims int) *Table {
-	return &Table{
-		dims: dims, levels: qz.Levels, qlo: qz.Lo, qhi: qz.Hi,
-		lo: make([]float64, dims*256), hi: make([]float64, dims*256),
+func (t *Table) reset(qz *quant.Quantizer, dims int) {
+	t.dims, t.levels, t.qlo, t.qhi = dims, qz.Levels, qz.Lo, qz.Hi
+	// Entries above qz.Levels are left stale on reuse; Encode clamps every
+	// code below Levels, so the filter scans never read them.
+	if cap(t.lo) < dims*256 {
+		t.lo = make([]float64, dims*256)
+		t.hi = make([]float64, dims*256)
+	} else {
+		t.lo = t.lo[:dims*256]
+		t.hi = t.hi[:dims*256]
 	}
 }
 
@@ -255,58 +275,71 @@ func (t *Table) Fits(f *File) bool {
 // yields exactly the candidates a two-full-pass filter would: no true
 // neighbor is ever dropped.
 func (f *File) FilterEuclideanLive(tbl *Table, q []float64, k int, skip func(id int) bool) (ids []int, st Stats) {
+	return f.FilterEuclideanLiveScratch(tbl, q, k, skip, nil)
+}
+
+// Scratch holds the reusable buffers of a live filter scan: the running-κ
+// heap, the recorded candidate rows with their selective bounds, and the
+// final candidate id list. A zero Scratch is ready to use; passing the
+// same Scratch to successive filter calls makes them allocation-free. The
+// id slice a filter returns aliases the scratch and is valid only until
+// the next call that uses it.
+type Scratch struct {
+	heap   *topk.Heap
+	cands  []int
+	bounds []float64
+	ids    []int
+}
+
+func (sc *Scratch) reset(k int, largest bool) {
+	if sc.heap == nil {
+		sc.heap = topk.NewLargest(k)
+	}
+	sc.heap.Reset(k, largest)
+	sc.cands = sc.cands[:0]
+	sc.bounds = sc.bounds[:0]
+	sc.ids = sc.ids[:0]
+}
+
+// FilterEuclideanLiveScratch is FilterEuclideanLive with caller-provided
+// scratch buffers (nil behaves like FilterEuclideanLive). The returned ids
+// alias the scratch.
+func (f *File) FilterEuclideanLiveScratch(tbl *Table, q []float64, k int, skip func(id int) bool, sc *Scratch) (ids []int, st Stats) {
 	f.checkQuery(q, k)
 	if !tbl.Fits(f) {
 		panic("vafile: bound table does not fit this file")
 	}
-	tlo, thi := tbl.lo, tbl.hi
-	h := topk.NewSmallest(k)
-	var cands []int
-	var lbs []float64
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.reset(k, false)
+	h := sc.heap
 	for id := 0; id < f.n; id++ {
 		if skip != nil && skip(id) {
 			continue
 		}
-		base := id * f.dims
-		var l0, l1 float64
-		d := 0
-		for ; d+1 < f.dims; d += 2 {
-			l0 += tlo[d*256+int(f.codes[base+d])]
-			l1 += tlo[(d+1)*256+int(f.codes[base+d+1])]
-		}
-		if d < f.dims {
-			l0 += tlo[d*256+int(f.codes[base+d])]
-		}
-		lb := l0 + l1
+		row := f.codes[id*f.dims : (id+1)*f.dims]
+		lb := kernel.VARowSum(tbl.lo, row)
 		st.CodesScanned += int64(f.dims)
 		if kth, full := h.Threshold(); full && lb > kth {
 			continue
 		}
-		var u0, u1 float64
-		d = 0
-		for ; d+1 < f.dims; d += 2 {
-			u0 += thi[d*256+int(f.codes[base+d])]
-			u1 += thi[(d+1)*256+int(f.codes[base+d+1])]
-		}
-		if d < f.dims {
-			u0 += thi[d*256+int(f.codes[base+d])]
-		}
 		st.CodesScanned += int64(f.dims)
-		h.Push(id, u0+u1)
-		cands = append(cands, id)
-		lbs = append(lbs, lb)
+		h.Push(id, kernel.VARowSum(tbl.hi, row))
+		sc.cands = append(sc.cands, id)
+		sc.bounds = append(sc.bounds, lb)
 	}
-	if len(cands) == 0 {
+	if len(sc.cands) == 0 {
 		return nil, st
 	}
 	kappa, full := h.Threshold()
-	for i, id := range cands {
-		if !full || lbs[i] <= kappa {
-			ids = append(ids, id)
+	for i, id := range sc.cands {
+		if !full || sc.bounds[i] <= kappa {
+			sc.ids = append(sc.ids, id)
 		}
 	}
-	st.Candidates = len(ids)
-	return ids, st
+	st.Candidates = len(sc.ids)
+	return sc.ids, st
 }
 
 // FilterHistogramLive is the histogram-intersection analogue of
@@ -315,58 +348,48 @@ func (f *File) FilterEuclideanLive(tbl *Table, q []float64, k int, skip func(id 
 // the κ heap (k largest lower bounds) only when the row's upper bound
 // still clears the running κ.
 func (f *File) FilterHistogramLive(tbl *Table, q []float64, k int, skip func(id int) bool) (ids []int, st Stats) {
+	return f.FilterHistogramLiveScratch(tbl, q, k, skip, nil)
+}
+
+// FilterHistogramLiveScratch is FilterHistogramLive with caller-provided
+// scratch buffers (nil behaves like FilterHistogramLive). The returned ids
+// alias the scratch.
+func (f *File) FilterHistogramLiveScratch(tbl *Table, q []float64, k int, skip func(id int) bool, sc *Scratch) (ids []int, st Stats) {
 	f.checkQuery(q, k)
 	if !tbl.Fits(f) {
 		panic("vafile: bound table does not fit this file")
 	}
-	tlo, thi := tbl.lo, tbl.hi
-	h := topk.NewLargest(k)
-	var cands []int
-	var ubs []float64
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.reset(k, true)
+	h := sc.heap
 	for id := 0; id < f.n; id++ {
 		if skip != nil && skip(id) {
 			continue
 		}
-		base := id * f.dims
-		var u0, u1 float64
-		d := 0
-		for ; d+1 < f.dims; d += 2 {
-			u0 += thi[d*256+int(f.codes[base+d])]
-			u1 += thi[(d+1)*256+int(f.codes[base+d+1])]
-		}
-		if d < f.dims {
-			u0 += thi[d*256+int(f.codes[base+d])]
-		}
-		ub := u0 + u1
+		row := f.codes[id*f.dims : (id+1)*f.dims]
+		ub := kernel.VARowSum(tbl.hi, row)
 		st.CodesScanned += int64(f.dims)
 		if kth, full := h.Threshold(); full && ub < kth {
 			continue
 		}
-		var l0, l1 float64
-		d = 0
-		for ; d+1 < f.dims; d += 2 {
-			l0 += tlo[d*256+int(f.codes[base+d])]
-			l1 += tlo[(d+1)*256+int(f.codes[base+d+1])]
-		}
-		if d < f.dims {
-			l0 += tlo[d*256+int(f.codes[base+d])]
-		}
 		st.CodesScanned += int64(f.dims)
-		h.Push(id, l0+l1)
-		cands = append(cands, id)
-		ubs = append(ubs, ub)
+		h.Push(id, kernel.VARowSum(tbl.lo, row))
+		sc.cands = append(sc.cands, id)
+		sc.bounds = append(sc.bounds, ub)
 	}
-	if len(cands) == 0 {
+	if len(sc.cands) == 0 {
 		return nil, st
 	}
 	kappa, full := h.Threshold()
-	for i, id := range cands {
-		if !full || ubs[i] >= kappa {
-			ids = append(ids, id)
+	for i, id := range sc.cands {
+		if !full || sc.bounds[i] >= kappa {
+			sc.ids = append(sc.ids, id)
 		}
 	}
-	st.Candidates = len(ids)
-	return ids, st
+	st.Candidates = len(sc.ids)
+	return sc.ids, st
 }
 
 // SearchEuclidean runs filter plus refinement against the exact vectors

@@ -218,6 +218,13 @@ func (s *Store) IsDeleted(id int) bool {
 // initializing a search's candidate set (live = NOT deleted).
 func (s *Store) DeletedBitmap() *bitmap.Bitmap { return s.deleted.Clone() }
 
+// DeletedView returns the live delete-mark bitmap without copying — the
+// allocation-free counterpart of DeletedBitmap for hot-path readers that
+// finish with it before releasing the collection's lock. Callers must
+// treat it as read-only and must not hold it across a Delete, Reorganize,
+// or append (growth replaces the bitmap).
+func (s *Store) DeletedView() *bitmap.Bitmap { return s.deleted }
+
 // LiveIDs returns the identifiers of all live vectors in ascending order.
 func (s *Store) LiveIDs() []int {
 	out := make([]int, 0, s.Live())
