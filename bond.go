@@ -70,11 +70,21 @@
 // stores the segmented layout and the planner's learned cost
 // coefficients; files written by earlier flat-layout versions still
 // load.
+//
+// # Serving
+//
+// cmd/bondd serves many named collections from one process over an HTTP
+// JSON API that maps directly onto this package: QuerySpec and
+// QueryBatch on the wire, EXPLAIN over HTTP, and a background
+// maintenance loop driving CompactRatio and Save. The hooks it builds on
+// — TombstoneRatio, StatsSnapshot, TryVector, TryDelete — are exported
+// here so other embedders can build the same kind of layer.
 package bond
 
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -164,6 +174,38 @@ const (
 // ParseStrategy parses a strategy name (auto, bond, compressed, vafile,
 // exact, mil) as the CLIs spell it.
 func ParseStrategy(s string) (Strategy, error) { return plan.ParseStrategy(s) }
+
+// ParseCriterion parses a criterion name (hq, hh, eq, ev; case-insensitive)
+// as the CLIs and the HTTP API spell it.
+func ParseCriterion(s string) (Criterion, error) {
+	switch strings.ToLower(s) {
+	case "hq", "":
+		return Hq, nil
+	case "hh":
+		return Hh, nil
+	case "eq":
+		return Eq, nil
+	case "ev":
+		return Ev, nil
+	}
+	return Hq, fmt.Errorf("bond: unknown criterion %q (want Hq, Hh, Eq, or Ev)", s)
+}
+
+// ParseOrder parses a dimension-order name (desc, asc, random, natural;
+// case-insensitive) as the CLIs and the HTTP API spell it.
+func ParseOrder(s string) (Order, error) {
+	switch strings.ToLower(s) {
+	case "desc", "":
+		return OrderQueryDesc, nil
+	case "asc":
+		return OrderQueryAsc, nil
+	case "random":
+		return OrderRandom, nil
+	case "natural":
+		return OrderNatural, nil
+	}
+	return OrderQueryDesc, fmt.Errorf("bond: unknown order %q (want desc, asc, random, or natural)", s)
+}
 
 // Pruning criteria (Section 4 of the paper).
 const (
@@ -278,6 +320,95 @@ func (c *Collection) PlannerStats() PlannerCoefficients {
 	return c.model.Snapshot()
 }
 
+// PlannerModelStats is the serializable planner view a stats endpoint
+// exposes: the cost-model coefficients plus gauges over the pooled
+// execution lanes.
+type PlannerModelStats = plan.ModelStats
+
+// SegmentSynopsis is the compact serializable summary of one segment's
+// per-dimension min/max synopsis.
+type SegmentSynopsis = core.Synopsis
+
+// SegmentStats describes one physical segment of a collection as a stats
+// endpoint reports it.
+type SegmentStats struct {
+	// Base is the global id of the segment's local id 0; Len its slot
+	// count (including delete-marked slots) and Live the searchable count.
+	Base int `json:"base"`
+	Len  int `json:"len"`
+	Live int `json:"live"`
+	// Sealed marks immutable segments (eligible for compressed access
+	// paths); the unsealed tail is the active segment appends land in.
+	Sealed bool `json:"sealed"`
+	// Synopsis summarizes the per-dimension min/max synopsis; nil when the
+	// segment has none (empty, or a dimension with no observed data).
+	Synopsis *SegmentSynopsis `json:"synopsis,omitempty"`
+}
+
+// CollectionStats is a consistent point-in-time description of a
+// collection: shape, tombstone load, the planner's learned cost model,
+// and one entry per physical segment. It is what bondd's stats endpoint
+// serves per collection.
+type CollectionStats struct {
+	Dims int `json:"dims"`
+	// Len counts id slots including delete-marked ones; Live the
+	// searchable vectors; Segments the physical segments (sealed + active).
+	Len      int `json:"len"`
+	Live     int `json:"live"`
+	Segments int `json:"segments"`
+	// TombstoneRatio is (Len−Live)/Len — the signal background compaction
+	// triggers on. 0 for an empty collection.
+	TombstoneRatio float64 `json:"tombstone_ratio"`
+	// Planner is the adaptive cost model's serializable view.
+	Planner PlannerModelStats `json:"planner"`
+	// SegmentStats has one entry per segment in id order.
+	SegmentStats []SegmentStats `json:"segment_stats"`
+}
+
+// TombstoneRatio returns the fraction of the collection's id slots that
+// carry a delete mark — the maintenance signal a serving layer compacts
+// on. An empty collection reports 0.
+func (c *Collection) TombstoneRatio() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := c.store.Len()
+	if n == 0 {
+		return 0
+	}
+	return float64(n-c.store.Live()) / float64(n)
+}
+
+// StatsSnapshot returns a consistent point-in-time CollectionStats taken
+// under the read lock: collection shape, tombstone ratio, the planner's
+// cost-model view, and a per-segment summary (slots, live count, sealed
+// flag, synopsis bounds).
+func (c *Collection) StatsSnapshot() CollectionStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	segs, bases := c.store.Segments(), c.store.Bases()
+	st := CollectionStats{
+		Dims:         c.store.Dims(),
+		Len:          c.store.Len(),
+		Live:         c.store.Live(),
+		Segments:     len(segs),
+		Planner:      c.model.Stats(),
+		SegmentStats: make([]SegmentStats, len(segs)),
+	}
+	if st.Len > 0 {
+		st.TombstoneRatio = float64(st.Len-st.Live) / float64(st.Len)
+	}
+	for i, g := range segs {
+		ss := SegmentStats{Base: bases[i], Len: g.Len(), Live: g.Live(), Sealed: g.Sealed()}
+		view := core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange}
+		if syn, ok := core.SummarizeSynopsis(view); ok {
+			syn := syn
+			ss.Synopsis = &syn
+		}
+		st.SegmentStats[i] = ss
+	}
+	return st
+}
+
 // Dims returns the dimensionality.
 func (c *Collection) Dims() int {
 	c.mu.RLock()
@@ -317,11 +448,26 @@ func (c *Collection) SealActive() {
 	c.store.SealActive()
 }
 
-// Vector returns a copy of vector id.
+// Vector returns a copy of vector id. It panics on an out-of-range id;
+// callers racing writers (or background compaction, which remaps ids)
+// should use TryVector.
 func (c *Collection) Vector(id int) []float64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.store.Row(id)
+}
+
+// TryVector returns a copy of vector id, or ok=false when id is outside
+// the collection. The bounds check and the read happen under one lock
+// acquisition, so it is safe against concurrent compaction — the
+// check-then-Vector idiom is not.
+func (c *Collection) TryVector(id int) (v []float64, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if id < 0 || id >= c.store.Len() {
+		return nil, false
+	}
+	return c.store.Row(id), true
 }
 
 // Add appends a vector and returns its id. Sealed segments and their
@@ -342,12 +488,28 @@ func (c *Collection) AddBatch(vectors [][]float64) int {
 }
 
 // Delete marks vector id as deleted; it is skipped by every search until
-// a compaction removes it physically.
+// a compaction removes it physically. It panics on an out-of-range id;
+// callers racing other writers should use TryDelete.
 func (c *Collection) Delete(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.invalidatePlanCache()
 	c.store.Delete(id)
+}
+
+// TryDelete marks vector id as deleted, reporting false when id is
+// outside the collection. The bounds check and the mark happen under one
+// lock acquisition, so it is safe against a concurrent compaction
+// shrinking the id space — the check-then-Delete idiom is not.
+func (c *Collection) TryDelete(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= c.store.Len() {
+		return false
+	}
+	c.invalidatePlanCache()
+	c.store.Delete(id)
+	return true
 }
 
 // Compact physically removes every delete-marked vector, returning the

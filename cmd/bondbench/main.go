@@ -7,6 +7,8 @@
 //	bondbench -fig 4 -fig 7        # selected figures
 //	bondbench -table 3             # selected tables
 //	bondbench -exp multifeature    # the Section 8.2 experiment
+//	bondbench -exp usefulness      # the Section 9 query-usefulness check
+//	bondbench -exp clustering      # BOND-assignment k-means vs Lloyd's
 //	bondbench -ablations           # design-choice ablations
 //	bondbench -full -all           # paper scale (59,619 × 166, 100 queries)
 //
@@ -51,7 +53,7 @@ func main() {
 	var exps []string
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable): 2, 4–11")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable): 3, 4")
-	flag.Func("exp", "named experiment (repeatable): multifeature", func(s string) error {
+	flag.Func("exp", "named experiment (repeatable): multifeature, usefulness, clustering", func(s string) error {
 		exps = append(exps, s)
 		return nil
 	})

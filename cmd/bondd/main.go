@@ -1,0 +1,110 @@
+// Command bondd is the BOND server daemon: it holds many named
+// collections in one process and serves concurrent clients over an HTTP
+// JSON API.
+//
+// Usage:
+//
+//	bondd -addr :8666 -data ./bondd-data
+//	bondd -data ./bondd-data -maintenance-interval 10s -compact-ratio 0.25
+//
+// Endpoints (see docs/ARCHITECTURE.md for the full API walkthrough):
+//
+//	PUT    /collections/{name}               create ({"dims": D, "segment_size": S?})
+//	GET    /collections                      list
+//	GET    /collections/{name}               per-collection stats + segment synopses
+//	DELETE /collections/{name}               drop
+//	POST   /collections/{name}/vectors       ingest one {"vector": […]} or a batch {"vectors": [[…],…]}
+//	DELETE /collections/{name}/vectors/{id}  tombstone one vector
+//	POST   /collections/{name}/query         one QuerySpec in, top-k out
+//	POST   /collections/{name}/query/batch   {"queries": […]} through Collection.QueryBatch
+//	GET    /collections/{name}/explain       EXPLAIN by example (?id=17&k=10&strategy=auto); POST takes a spec
+//	GET    /healthz                          liveness
+//	GET    /stats                            server + per-collection + cost-model statistics
+//
+// Collections live under -data as <name>.bond files in the library's
+// checksummed segmented format, loaded lazily on first touch and written
+// back by the maintenance loop (which also compacts collections whose
+// tombstone ratio crosses -compact-ratio) and on shutdown. SIGINT/SIGTERM
+// drain in-flight requests, then flush every unpersisted collection.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bond/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8666", "HTTP listen address")
+	dataDir := flag.String("data", "bondd-data", "data directory holding <name>.bond collection files")
+	segSize := flag.Int("segment-size", 0, "seal threshold for new collections (0 = library default)")
+	maxInFlight := flag.Int("max-inflight", 0, "bound on concurrently executing queries (0 = 4×GOMAXPROCS)")
+	maintEvery := flag.Duration("maintenance-interval", 30*time.Second, "background compaction/snapshot period (0 disables)")
+	compactRatio := flag.Float64("compact-ratio", 0.25, "tombstone ratio that triggers compaction (0 selects the default 0.25; negative disables)")
+	maxBody := flag.Int64("max-body-bytes", 0, "request body size cap in bytes (0 = 64 MiB)")
+	shutdownWait := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress per-request and maintenance logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := server.New(server.Config{
+		Dir:                 *dataDir,
+		SegmentSize:         *segSize,
+		MaxInFlight:         *maxInFlight,
+		CompactRatio:        *compactRatio,
+		MaxBodyBytes:        *maxBody,
+		MaintenanceInterval: *maintEvery,
+		Logf:                logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		logf("bondd: serving on %s from %s", *addr, *dataDir)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		// Listen failed before any signal; nothing to drain.
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	logf("bondd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("bondd: drain: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(fmt.Errorf("flush on shutdown: %w", err))
+	}
+	logf("bondd: flushed, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bondd:", err)
+	os.Exit(1)
+}

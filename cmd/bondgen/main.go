@@ -7,6 +7,10 @@
 //	bondgen -kind corel -n 10000 -dims 166 -out corel.bond
 //	bondgen -kind clustered -n 100000 -dims 128 -theta 1.0 -out skew1.bond
 //	bondgen -kind uniform -n 50000 -dims 64 -out uniform.bond
+//	bondgen -kind corel -n 10000 -dims 166 -segsize 2048 -out corel.bond
+//
+// -segsize aligns segment boundaries with a known data layout; -normalize
+// scales every vector to sum 1 (enables the stricter Eq bound).
 package main
 
 import (

@@ -15,7 +15,8 @@
 // (bond, compressed, vafile, exact, mil) pin one path everywhere.
 // -explain prints the plan with per-segment predicted and actual costs.
 // Stores written in either the segmented layout or the legacy flat layout
-// are accepted.
+// are accepted. For profiling, -repeat N heats the query loop and
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -24,7 +25,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 
 	"bond"
 )
@@ -81,31 +81,13 @@ func main() {
 		fatal(fmt.Errorf("id %d outside collection [0,%d)", *id, col.Len()))
 	}
 
-	var crit bond.Criterion
-	switch strings.ToLower(*criterion) {
-	case "hq":
-		crit = bond.Hq
-	case "hh":
-		crit = bond.Hh
-	case "eq":
-		crit = bond.Eq
-	case "ev":
-		crit = bond.Ev
-	default:
-		fatal(fmt.Errorf("unknown criterion %q", *criterion))
+	crit, err := bond.ParseCriterion(*criterion)
+	if err != nil {
+		fatal(err)
 	}
-	var ord bond.Order
-	switch strings.ToLower(*order) {
-	case "desc":
-		ord = bond.OrderQueryDesc
-	case "asc":
-		ord = bond.OrderQueryAsc
-	case "random":
-		ord = bond.OrderRandom
-	case "natural":
-		ord = bond.OrderNatural
-	default:
-		fatal(fmt.Errorf("unknown order %q", *order))
+	ord, err := bond.ParseOrder(*order)
+	if err != nil {
+		fatal(err)
 	}
 	strat, err := bond.ParseStrategy(*strategy)
 	if err != nil {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bond/internal/server"
+)
+
+// TestDemoAgainstHTTPTestServer runs the example's full client flow
+// against an in-process bondd handler, which is how `go test ./...`
+// keeps the example honest without binding a port.
+func TestDemoAgainstHTTPTestServer(t *testing.T) {
+	s, err := server.New(server.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := demo(ts.URL, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ingested 400 vectors starting at id 0",
+		"batch answered 3 queries",
+		"Query: k=10 criterion=Eq",
+		"Total:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, got)
+		}
+	}
+
+	// The demo is idempotent: a rerun against the same server must not
+	// error (create tolerates the existing collection) and appends.
+	if err := demo(ts.URL, &out); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}

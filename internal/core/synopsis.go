@@ -1,0 +1,39 @@
+package core
+
+import "math"
+
+// Synopsis is a compact, serializable summary of one segment's
+// per-dimension min/max synopsis — the segment-level statistics a serving
+// layer exposes without shipping dims×2 floats per segment. MinVal and
+// MaxVal bound every coefficient in the segment; MassLo and MassHi bound
+// the total mass Σ_d v_d of any member, which is what the histogram
+// criteria prune against.
+type Synopsis struct {
+	MinVal float64 `json:"min_val"`
+	MaxVal float64 `json:"max_val"`
+	MassLo float64 `json:"mass_lo"`
+	MassHi float64 `json:"mass_hi"`
+}
+
+// SummarizeSynopsis reduces a segment view's per-dimension synopsis to a
+// Synopsis. ok is false when the view carries no usable synopsis (nil
+// DimRange, empty segment, or a dimension with no observed data), in
+// which case callers should report the segment as unsummarized rather
+// than serve ±Inf, which JSON cannot carry.
+func SummarizeSynopsis(v SegmentView) (Synopsis, bool) {
+	if v.DimRange == nil || v.Src.Len() == 0 {
+		return Synopsis{}, false
+	}
+	s := Synopsis{MinVal: math.Inf(1), MaxVal: math.Inf(-1)}
+	for d := 0; d < v.Src.Dims(); d++ {
+		lo, hi := v.DimRange(d)
+		if math.IsInf(lo, 1) { // no data observed for this dimension
+			return Synopsis{}, false
+		}
+		s.MinVal = math.Min(s.MinVal, lo)
+		s.MaxVal = math.Max(s.MaxVal, hi)
+		s.MassLo += lo
+		s.MassHi += hi
+	}
+	return s, true
+}

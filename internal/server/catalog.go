@@ -1,0 +1,284 @@
+// Package server implements bondd's serving layer: a concurrent
+// multi-collection catalog over bond.Collection, an HTTP JSON API that
+// maps onto QuerySpec/QueryBatch, a background maintenance loop
+// (threshold-triggered compaction plus snapshot persistence), and bounded
+// in-flight query admission.
+//
+// The package owns no search logic: every request lowers onto the public
+// bond API (Query, QueryBatch, QueryExplain, Add/AddBatch/Delete,
+// Save/Open), so answers served over HTTP are byte-identical to
+// in-process calls and the collection's RWMutex contract is the only
+// synchronization the data path needs. The catalog adds one more lock
+// above it — a map-level RWMutex serializing create/open/drop against
+// lookups — and the maintenance loop runs entirely through exported
+// Collection methods, so it is just another writer.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"bond"
+)
+
+// collectionExt is the on-disk suffix of a catalog collection; the file
+// body is the checksummed segmented format Collection.Save writes.
+const collectionExt = ".bond"
+
+// nameRE constrains collection names to one safe path segment: no
+// separators, no dot-prefixes, nothing the filesystem or URL router could
+// reinterpret.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_-]{0,63}$`)
+
+// Errors the catalog returns; the HTTP layer maps them onto status codes.
+var (
+	ErrNotFound = fmt.Errorf("server: collection not found")
+	ErrBadName  = fmt.Errorf("server: invalid collection name (want [a-zA-Z0-9][a-zA-Z0-9_-]{0,63})")
+	ErrBadShape = fmt.Errorf("server: invalid collection shape")
+	ErrExists   = fmt.Errorf("server: collection exists with different shape")
+)
+
+// Catalog is a concurrent, lazily loaded set of named collections backed
+// by one data directory. Lookups take a read lock on the name map;
+// create, first-touch load, and drop serialize on the write lock. The
+// collections themselves carry their own RWMutex, so catalog lock hold
+// times stay off the query path: a Get is one map read in steady state.
+type Catalog struct {
+	dir     string
+	segSize int // default seal threshold for new collections (0 = library default)
+
+	mu    sync.RWMutex
+	cols  map[string]*bond.Collection
+	dirty map[string]bool // collections with unpersisted writes
+
+	// saveMu serializes snapshot writes (FlushDirty) against each other
+	// and against Drop. Two concurrent saves of one collection would
+	// interleave in the same <name>.bond.tmp file, and a save finishing
+	// after a Drop would rename the dropped collection back into
+	// existence; saveMu makes both impossible. It is never held together
+	// with mu writes from the same goroutine except in the saveMu → mu
+	// order.
+	saveMu sync.Mutex
+}
+
+// NewCatalog opens a catalog over dir, creating the directory if needed.
+// Collections already on disk are not loaded eagerly; the first Get or
+// Create that names one loads it.
+func NewCatalog(dir string, segSize int) (*Catalog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Catalog{
+		dir:     dir,
+		segSize: segSize,
+		cols:    map[string]*bond.Collection{},
+		dirty:   map[string]bool{},
+	}, nil
+}
+
+func (c *Catalog) path(name string) string {
+	return filepath.Join(c.dir, name+collectionExt)
+}
+
+// Get returns the named collection, loading it from disk on first touch.
+// It returns ErrNotFound when the name is neither loaded nor on disk.
+// The disk load runs outside the catalog lock, so one slow cold open
+// does not stall requests to already-loaded collections; concurrent
+// first touches of the same name may both read the file, and the first
+// to insert wins.
+func (c *Catalog) Get(name string) (*bond.Collection, error) {
+	if !nameRE.MatchString(name) {
+		return nil, ErrBadName
+	}
+	c.mu.RLock()
+	col := c.cols[name]
+	c.mu.RUnlock()
+	if col != nil {
+		return col, nil
+	}
+	col, err := bond.Open(c.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if winner := c.cols[name]; winner != nil { // lost the load race: reuse the winner's
+		return winner, nil
+	}
+	// Re-stat under the lock: a Drop while we were loading removed the
+	// file (Drop holds the lock for its os.Remove), and inserting our
+	// stale copy would resurrect the dropped collection in memory.
+	if _, statErr := os.Stat(c.path(name)); statErr != nil {
+		return nil, ErrNotFound
+	}
+	c.cols[name] = col
+	return col, nil
+}
+
+// Create creates the named collection with the given dimensionality (and
+// optional segment size; 0 uses the catalog default) and persists an
+// empty snapshot so the name survives a restart. Creating a name that
+// already exists is idempotent when the dimensionality matches — the
+// existing collection is returned with created=false — and ErrExists when
+// it does not.
+func (c *Catalog) Create(name string, dims, segSize int) (col *bond.Collection, created bool, err error) {
+	if !nameRE.MatchString(name) {
+		return nil, false, ErrBadName
+	}
+	if dims < 1 {
+		return nil, false, fmt.Errorf("%w: dims must be >= 1, got %d", ErrBadShape, dims)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	existing := c.cols[name]
+	if existing == nil {
+		if _, statErr := os.Stat(c.path(name)); statErr == nil {
+			existing, err = bond.Open(c.path(name))
+			if err != nil {
+				return nil, false, err
+			}
+			c.cols[name] = existing
+		}
+	}
+	if existing != nil {
+		if existing.Dims() != dims {
+			return nil, false, fmt.Errorf("%w: %q has %d dims, requested %d",
+				ErrExists, name, existing.Dims(), dims)
+		}
+		return existing, false, nil
+	}
+	if segSize <= 0 {
+		segSize = c.segSize
+	}
+	col = bond.NewSegmented(dims, segSize)
+	if err := col.Save(c.path(name)); err != nil {
+		return nil, false, err
+	}
+	c.cols[name] = col
+	return col, true, nil
+}
+
+// Drop removes the named collection from memory and deletes its file. It
+// returns ErrNotFound when the name is neither loaded nor on disk. Drop
+// waits for any in-flight snapshot flush, so a save racing the drop
+// cannot rename the collection's file back into existence afterwards.
+func (c *Catalog) Drop(name string) error {
+	if !nameRE.MatchString(name) {
+		return ErrBadName
+	}
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, loaded := c.cols[name]
+	delete(c.cols, name)
+	delete(c.dirty, name)
+	err := os.Remove(c.path(name))
+	if os.IsNotExist(err) {
+		if !loaded {
+			return ErrNotFound
+		}
+		return nil
+	}
+	return err
+}
+
+// Names lists every collection the catalog knows — loaded or still on
+// disk — in sorted order.
+func (c *Catalog) Names() ([]string, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	seen := make(map[string]bool, len(c.cols))
+	for name := range c.cols {
+		seen[name] = true
+	}
+	c.mu.RUnlock()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), collectionExt) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), collectionExt)
+		if nameRE.MatchString(name) {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Loaded returns the collections currently resident in memory, keyed by
+// name — the set the maintenance loop sweeps (unloaded collections have
+// no tombstones to compact and nothing unpersisted).
+func (c *Catalog) Loaded() map[string]*bond.Collection {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*bond.Collection, len(c.cols))
+	for name, col := range c.cols {
+		out[name] = col
+	}
+	return out
+}
+
+// MarkDirty records that the named collection has writes its on-disk
+// snapshot does not reflect; the next FlushDirty persists it.
+func (c *Catalog) MarkDirty(name string) {
+	c.mu.Lock()
+	c.dirty[name] = true
+	c.mu.Unlock()
+}
+
+// FlushDirty persists every dirty collection (Collection.Save takes the
+// collection's read lock, so searches proceed while snapshots write) and
+// returns how many were written. A collection whose save fails stays
+// dirty; the first error is returned after attempting the rest.
+// Concurrent FlushDirty calls serialize on saveMu — two writers in the
+// same <name>.bond.tmp would interleave into a corrupt snapshot.
+func (c *Catalog) FlushDirty() (int, error) {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	c.mu.Lock()
+	pending := make([]string, 0, len(c.dirty))
+	for name := range c.dirty {
+		if c.cols[name] != nil {
+			pending = append(pending, name)
+		}
+		delete(c.dirty, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(pending) // deterministic flush order for logs and tests
+
+	var firstErr error
+	written := 0
+	for _, name := range pending {
+		c.mu.RLock()
+		col := c.cols[name]
+		c.mu.RUnlock()
+		if col == nil { // dropped between collect and save
+			continue
+		}
+		if err := col.Save(c.path(name)); err != nil {
+			c.MarkDirty(name)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: snapshot %q: %w", name, err)
+			}
+			continue
+		}
+		written++
+	}
+	return written, firstErr
+}

@@ -1,0 +1,680 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"bond"
+)
+
+// Config configures a Server. The zero value serves from "./data" with
+// library defaults.
+type Config struct {
+	// Dir is the catalog's data directory (default "data").
+	Dir string
+	// SegmentSize is the default seal threshold for new collections
+	// (0 = the library default).
+	SegmentSize int
+	// MaxInFlight bounds concurrently executing query requests (single
+	// queries, batches, and explains each hold one slot). Requests beyond
+	// the bound wait; a request whose context ends while waiting is
+	// rejected with 503. 0 defaults to 4×GOMAXPROCS — enough to keep the
+	// worker pools busy without letting a flood of slow queries pile onto
+	// every scratch pool at once.
+	MaxInFlight int
+	// CompactRatio is the tombstone ratio at which the maintenance loop
+	// compacts a collection (0 = 0.25; negative disables compaction).
+	CompactRatio float64
+	// MaxBodyBytes caps a request body; larger requests fail with 400
+	// before anything is buffered (0 = 64 MiB). Admission control only
+	// bounds executing queries, so this is what keeps one oversized
+	// ingest from ballooning memory.
+	MaxBodyBytes int64
+	// MaintenanceInterval is the period of the background maintenance
+	// loop. 0 disables the loop; RunMaintenance can still be driven
+	// manually (bondd always sets it).
+	MaintenanceInterval time.Duration
+	// Logf receives one line per maintenance action and per served error
+	// (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is the bondd serving layer: catalog + HTTP handlers + the
+// background maintenance loop. Create one with New, mount Handler, and
+// Close on the way out to flush unpersisted writes.
+type Server struct {
+	cfg Config
+	cat *Catalog
+	mux *http.ServeMux
+
+	sem      chan struct{} // in-flight query admission; one slot per query/batch/explain
+	inflight atomic.Int64
+	start    time.Time
+
+	// Maintenance counters, exposed on /stats.
+	maintRuns   atomic.Int64
+	compactions atomic.Int64
+	snapshots   atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New opens the catalog and, when the config asks for it, starts the
+// maintenance loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = "data"
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.CompactRatio == 0 {
+		cfg.CompactRatio = 0.25
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	cat, err := NewCatalog(cfg.Dir, cfg.SegmentSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cat:   cat,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	if cfg.MaintenanceInterval > 0 {
+		go s.maintainLoop()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Catalog exposes the underlying catalog (tests and bondd's shutdown
+// path).
+func (s *Server) Catalog() *Catalog { return s.cat }
+
+// Close stops the maintenance loop and flushes every unpersisted
+// collection. It is safe to call once; in-flight HTTP requests should be
+// drained first (http.Server.Shutdown), since Close does not wait for
+// them.
+func (s *Server) Close() error {
+	close(s.stop)
+	<-s.done
+	_, err := s.cat.FlushDirty()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// --- Maintenance ----------------------------------------------------------
+
+func (s *Server) maintainLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.MaintenanceInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if compacted, persisted, err := s.RunMaintenance(); err != nil {
+				s.logf("bondd: maintenance: %v", err)
+			} else if compacted+persisted > 0 {
+				s.logf("bondd: maintenance: compacted %d, persisted %d", compacted, persisted)
+			}
+		}
+	}
+}
+
+// RunMaintenance performs one maintenance cycle over the loaded
+// collections: collections whose tombstone ratio is at or above the
+// compaction threshold are compacted (which remaps surviving ids — the
+// API's documented id contract), then every dirty collection is
+// persisted. It returns how many collections were compacted and how many
+// snapshots were written. Safe to call concurrently with serving traffic;
+// compaction serializes against queries on the collection's own write
+// lock.
+func (s *Server) RunMaintenance() (compacted, persisted int, err error) {
+	s.maintRuns.Add(1)
+	if s.cfg.CompactRatio >= 0 {
+		for name, col := range s.cat.Loaded() {
+			ratio := col.TombstoneRatio()
+			if ratio < s.cfg.CompactRatio || ratio == 0 {
+				continue
+			}
+			col.CompactRatio(s.cfg.CompactRatio)
+			s.cat.MarkDirty(name)
+			compacted++
+			s.compactions.Add(1)
+		}
+	}
+	persisted, err = s.cat.FlushDirty()
+	s.snapshots.Add(int64(persisted))
+	return compacted, persisted, err
+}
+
+// --- Routing --------------------------------------------------------------
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /collections", s.handleList)
+	s.mux.HandleFunc("PUT /collections/{name}", s.handleCreate)
+	s.mux.HandleFunc("DELETE /collections/{name}", s.handleDrop)
+	s.mux.HandleFunc("GET /collections/{name}", s.handleCollectionStats)
+	s.mux.HandleFunc("POST /collections/{name}/vectors", s.handleIngest)
+	s.mux.HandleFunc("DELETE /collections/{name}/vectors/{id}", s.handleDeleteVector)
+	s.mux.HandleFunc("POST /collections/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /collections/{name}/query/batch", s.handleQueryBatch)
+	s.mux.HandleFunc("GET /collections/{name}/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /collections/{name}/explain", s.handleExplain)
+}
+
+// --- Wire types -----------------------------------------------------------
+
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+type createRequest struct {
+	Dims        int `json:"dims"`
+	SegmentSize int `json:"segment_size,omitempty"`
+}
+
+type createResponse struct {
+	Name    string `json:"name"`
+	Dims    int    `json:"dims"`
+	Created bool   `json:"created"`
+}
+
+type ingestRequest struct {
+	// Vector ingests one vector; Vectors a batch. Exactly one must be set.
+	Vector  []float64   `json:"vector,omitempty"`
+	Vectors [][]float64 `json:"vectors,omitempty"`
+}
+
+type ingestResponse struct {
+	// FirstID is the id of the first ingested vector; the batch occupies
+	// ids [FirstID, FirstID+Count). Ids are positional and are remapped
+	// when background compaction rewrites tombstoned segments.
+	FirstID int `json:"first_id"`
+	Count   int `json:"count"`
+}
+
+// querySpecWire is the HTTP shape of bond.QuerySpec. Either Query (the
+// vector itself) or ID (query-by-example: use the stored vector with that
+// id) must be set.
+type querySpecWire struct {
+	Query     []float64 `json:"query,omitempty"`
+	ID        *int      `json:"id,omitempty"`
+	K         int       `json:"k"`
+	Criterion string    `json:"criterion,omitempty"`
+	Order     string    `json:"order,omitempty"`
+	Step      int       `json:"step,omitempty"`
+	Weights   []float64 `json:"weights,omitempty"`
+	Dims      []int     `json:"dims,omitempty"`
+	Strategy  string    `json:"strategy,omitempty"`
+	Parallel  int       `json:"parallel,omitempty"`
+	Tolerance float64   `json:"tolerance,omitempty"`
+	// TimeoutMs maps onto QuerySpec.Deadline relative to request arrival.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+type neighborWire struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+type statsWire struct {
+	ValuesScanned    int64 `json:"values_scanned"`
+	FinalCandidates  int   `json:"final_candidates"`
+	SegmentsSearched int   `json:"segments_searched"`
+	SegmentsSkipped  int   `json:"segments_skipped"`
+}
+
+type queryResponse struct {
+	Results   []neighborWire `json:"results"`
+	Stats     statsWire      `json:"stats"`
+	Truncated bool           `json:"truncated,omitempty"`
+}
+
+type batchRequest struct {
+	Queries []querySpecWire `json:"queries"`
+}
+
+type batchResponse struct {
+	Results []queryResponse `json:"results"`
+}
+
+type explainResponse struct {
+	queryResponse
+	// Plan is Plan.Explain's rendering: per-segment access path with
+	// predicted and actual cost.
+	Plan string `json:"plan"`
+}
+
+type serverStats struct {
+	UptimeSeconds   float64                         `json:"uptime_seconds"`
+	InFlight        int64                           `json:"in_flight"`
+	MaxInFlight     int                             `json:"max_in_flight"`
+	MaintenanceRuns int64                           `json:"maintenance_runs"`
+	Compactions     int64                           `json:"compactions"`
+	Snapshots       int64                           `json:"snapshots"`
+	Collections     map[string]bond.CollectionStats `json:"collections"`
+}
+
+// --- Helpers --------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		s.logf("bondd: %v", err)
+	}
+	writeJSON(w, status, errorWire{Error: err.Error()})
+}
+
+// catalogStatus maps catalog errors onto HTTP statuses.
+func catalogStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadName), errors.Is(err, ErrBadShape):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+// decodeBody decodes a JSON request body, rejecting unknown fields and
+// bodies over the configured size cap (http.MaxBytesReader also hints
+// the connection closed so the client stops streaming).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// acquire admits one query execution, waiting for a slot while the
+// request is still alive. It reports false — after writing 503 — when the
+// request's context ends first (client gone, or server shutting down the
+// connection), which is what bounds the query backlog.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server overloaded: %d queries in flight", s.cfg.MaxInFlight))
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// toSpec lowers the wire spec onto a bond.QuerySpec, resolving
+// query-by-example ids against the collection.
+func toSpec(col *bond.Collection, wq querySpecWire) (bond.QuerySpec, error) {
+	spec := bond.QuerySpec{
+		K:         wq.K,
+		Step:      wq.Step,
+		Weights:   wq.Weights,
+		Dims:      wq.Dims,
+		Parallel:  wq.Parallel,
+		Tolerance: wq.Tolerance,
+	}
+	switch {
+	case len(wq.Query) > 0 && wq.ID != nil:
+		return spec, fmt.Errorf("set either query or id, not both")
+	case len(wq.Query) > 0:
+		spec.Query = wq.Query
+	case wq.ID != nil:
+		q, ok := col.TryVector(*wq.ID)
+		if !ok {
+			return spec, fmt.Errorf("id %d outside collection [0,%d)", *wq.ID, col.Len())
+		}
+		spec.Query = q
+	default:
+		return spec, fmt.Errorf("query vector (or id) is required")
+	}
+	var err error
+	if spec.Criterion, err = bond.ParseCriterion(wq.Criterion); err != nil {
+		return spec, err
+	}
+	if spec.Order, err = bond.ParseOrder(wq.Order); err != nil {
+		return spec, err
+	}
+	if spec.Strategy, err = bond.ParseStrategy(wq.Strategy); err != nil {
+		return spec, err
+	}
+	if wq.TimeoutMs > 0 {
+		spec.Deadline = time.Now().Add(time.Duration(wq.TimeoutMs) * time.Millisecond)
+	}
+	return spec, nil
+}
+
+func toResponse(res bond.QueryResult) queryResponse {
+	out := queryResponse{
+		Results: make([]neighborWire, len(res.Results)),
+		Stats: statsWire{
+			ValuesScanned:    res.Stats.ValuesScanned,
+			FinalCandidates:  res.Stats.FinalCandidates,
+			SegmentsSearched: res.Stats.SegmentsSearched,
+			SegmentsSkipped:  res.Stats.SegmentsSkipped,
+		},
+		Truncated: res.Truncated,
+	}
+	for i, n := range res.Results {
+		out.Results[i] = neighborWire{ID: n.ID, Score: n.Score}
+	}
+	return out
+}
+
+// --- Handlers -------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := serverStats{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		InFlight:        s.inflight.Load(),
+		MaxInFlight:     s.cfg.MaxInFlight,
+		MaintenanceRuns: s.maintRuns.Load(),
+		Compactions:     s.compactions.Load(),
+		Snapshots:       s.snapshots.Load(),
+		Collections:     map[string]bond.CollectionStats{},
+	}
+	for name, col := range s.cat.Loaded() {
+		st.Collections[name] = col.StatsSnapshot()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	names, err := s.cat.Names()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"collections": names})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	col, created, err := s.cat.Create(name, req.Dims, req.SegmentSize)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, createResponse{Name: name, Dims: col.Dims(), Created: created})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := s.cat.Drop(r.PathValue("name")); err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCollectionStats(w http.ResponseWriter, r *http.Request) {
+	col, err := s.cat.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, col.StatsSnapshot())
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	col, err := s.cat.Get(name)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	var req ingestRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var vectors [][]float64
+	switch {
+	case len(req.Vector) > 0 && len(req.Vectors) > 0:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("set either vector or vectors, not both"))
+		return
+	case len(req.Vector) > 0:
+		vectors = [][]float64{req.Vector}
+	case len(req.Vectors) > 0:
+		vectors = req.Vectors
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("vector or vectors is required"))
+		return
+	}
+	dims := col.Dims() // hoisted: Dims takes the collection's read lock
+	for i, v := range vectors {
+		if len(v) != dims {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("vector %d has %d dims, collection %q has %d", i, len(v), name, dims))
+			return
+		}
+	}
+	first := col.AddBatch(vectors)
+	s.cat.MarkDirty(name)
+	writeJSON(w, http.StatusOK, ingestResponse{FirstID: first, Count: len(vectors)})
+}
+
+func (s *Server) handleDeleteVector(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	col, err := s.cat.Get(name)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad vector id: %w", err))
+		return
+	}
+	if !col.TryDelete(id) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("id %d outside collection [0,%d)", id, col.Len()))
+		return
+	}
+	s.cat.MarkDirty(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	col, err := s.cat.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	var wq querySpecWire
+	if err := s.decodeBody(w, r, &wq); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := toSpec(col, wq)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	res, err := col.Query(spec)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+// handleQueryBatch maps the batch endpoint straight onto
+// Collection.QueryBatch: one read-lock acquisition, one shared planner
+// segment list, and a GOMAXPROCS-wide worker pool under the hood. The
+// whole batch holds a single admission slot — QueryBatch self-limits its
+// internal parallelism.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	col, err := s.cat.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	var req batchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("queries is required"))
+		return
+	}
+	specs := make([]bond.QuerySpec, len(req.Queries))
+	for i, wq := range req.Queries {
+		if specs[i], err = toSpec(col, wq); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	results, err := col.QueryBatch(specs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := batchResponse{Results: make([]queryResponse, len(results))}
+	for i, res := range results {
+		out.Results[i] = toResponse(res)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExplain serves the PR-2 EXPLAIN plan over HTTP. POST takes the
+// same JSON spec as the query endpoint; GET takes query-by-example
+// parameters (?id=17&k=10&criterion=Hq&strategy=auto&order=desc&step=8)
+// for curl-friendly inspection. Both execute the query and return the
+// results plus the rendered per-segment plan with predicted and actual
+// costs.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	col, err := s.cat.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	var wq querySpecWire
+	if r.Method == http.MethodPost {
+		if err := s.decodeBody(w, r, &wq); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		if wq, err = explainParams(r); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	spec, err := toSpec(col, wq)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	res, p, err := col.QueryExplain(spec)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{queryResponse: toResponse(res), Plan: p.Explain()})
+}
+
+// explainParams lifts GET query parameters into the wire spec.
+func explainParams(r *http.Request) (querySpecWire, error) {
+	q := r.URL.Query()
+	wq := querySpecWire{
+		Criterion: q.Get("criterion"),
+		Order:     q.Get("order"),
+		Strategy:  q.Get("strategy"),
+		K:         10,
+	}
+	if v := q.Get("id"); v != "" {
+		id, err := strconv.Atoi(v)
+		if err != nil {
+			return wq, fmt.Errorf("bad id: %w", err)
+		}
+		wq.ID = &id
+	} else {
+		return wq, fmt.Errorf("id is required (query-by-example; POST a JSON spec for arbitrary vectors)")
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"k", &wq.K}, {"step", &wq.Step}, {"parallel", &wq.Parallel}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return wq, fmt.Errorf("bad %s: %w", p.name, err)
+			}
+			*p.dst = n
+		}
+	}
+	return wq, nil
+}

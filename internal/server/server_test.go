@@ -1,0 +1,498 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bond"
+	"bond/internal/dataset"
+)
+
+// newTestServer returns a server over a fresh temp directory plus an
+// httptest front end. The maintenance loop is off; tests drive
+// RunMaintenance directly so cycles are deterministic.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// doJSON issues one request with an optional JSON body and decodes the
+// JSON response into out (when non-nil), returning the status code.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad response %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// ingestBatch pushes vectors through the batch ingest endpoint.
+func ingestBatch(t *testing.T, base, name string, vectors [][]float64) ingestResponse {
+	t.Helper()
+	var out ingestResponse
+	if code := doJSON(t, http.MethodPost, base+"/collections/"+name+"/vectors",
+		ingestRequest{Vectors: vectors}, &out); code != http.StatusOK {
+		t.Fatalf("ingest: status %d", code)
+	}
+	return out
+}
+
+// TestEndToEndByteIdentical is the acceptance-criteria test: create a
+// collection over HTTP, batch-ingest, and check that every served query
+// — across criteria and strategies — returns ids and scores byte-equal
+// to an in-process Collection.Query over the same data and layout
+// (JSON round-trips float64 exactly, so the wire adds no error).
+//
+// The one caveat is StrategyAuto: its per-segment path choice depends on
+// wall-clock-fed cost coefficients, so the served and local plans can
+// legitimately pick different (equally exact) paths, whose scores agree
+// to 1e-9 rather than to the bit — the same tolerance the repo's planner
+// property test grants across access paths. Forced strategies are
+// deterministic and compared bitwise.
+func TestEndToEndByteIdentical(t *testing.T) {
+	const (
+		n, dims, segSize = 600, 24, 128
+		k                = 10
+	)
+	vectors := dataset.CorelLike(n, dims, 7)
+
+	_, ts := newTestServer(t, Config{})
+	var cr createResponse
+	if code := doJSON(t, http.MethodPut, ts.URL+"/collections/imgs",
+		createRequest{Dims: dims, SegmentSize: segSize}, &cr); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	got := ingestBatch(t, ts.URL, "imgs", vectors)
+	if got.FirstID != 0 || got.Count != n {
+		t.Fatalf("ingest: got first=%d count=%d", got.FirstID, got.Count)
+	}
+
+	// The in-process oracle: same segment layout, same ingest sequence.
+	local := bond.NewSegmented(dims, segSize)
+	local.AddBatch(vectors)
+
+	for _, tc := range []struct {
+		criterion string
+		strategy  string
+	}{
+		{"Hq", "auto"}, {"Hq", "bond"}, {"Hq", "vafile"}, {"Hq", "exact"}, {"Hq", "mil"},
+		{"Eq", "auto"}, {"Eq", "compressed"}, {"Ev", "bond"}, {"Hh", "bond"},
+	} {
+		t.Run(tc.criterion+"/"+tc.strategy, func(t *testing.T) {
+			for _, qid := range []int{0, 17, 401} {
+				var resp queryResponse
+				code := doJSON(t, http.MethodPost, ts.URL+"/collections/imgs/query", querySpecWire{
+					Query: vectors[qid], K: k, Criterion: tc.criterion, Strategy: tc.strategy,
+				}, &resp)
+				if code != http.StatusOK {
+					t.Fatalf("query: status %d", code)
+				}
+
+				crit, err := bond.ParseCriterion(tc.criterion)
+				if err != nil {
+					t.Fatal(err)
+				}
+				strat, err := bond.ParseStrategy(tc.strategy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := local.Query(bond.QuerySpec{
+					Query: vectors[qid], K: k, Criterion: crit, Strategy: strat,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(resp.Results) != len(want.Results) {
+					t.Fatalf("qid %d: got %d results, want %d", qid, len(resp.Results), len(want.Results))
+				}
+				for i, r := range resp.Results {
+					w := want.Results[i]
+					exact := r.ID == w.ID && r.Score == w.Score
+					if tc.strategy == "auto" {
+						diff := r.Score - w.Score
+						exact = r.ID == w.ID && diff < 1e-9 && diff > -1e-9
+					}
+					if !exact {
+						t.Fatalf("qid %d rank %d: got (%d, %v), want (%d, %v)",
+							qid, i, r.ID, r.Score, w.ID, w.Score)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryByExample checks the {"id": N} spec form against the stored
+// vector it names.
+func TestQueryByExample(t *testing.T) {
+	vectors := dataset.CorelLike(200, 16, 3)
+	_, ts := newTestServer(t, Config{})
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 16}, nil)
+	ingestBatch(t, ts.URL, "c", vectors)
+
+	id := 42
+	var byID, byVec queryResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/query",
+		querySpecWire{ID: &id, K: 5}, &byID); code != http.StatusOK {
+		t.Fatalf("by-id query: status %d", code)
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/collections/c/query",
+		querySpecWire{Query: vectors[id], K: 5}, &byVec)
+	if len(byID.Results) == 0 || byID.Results[0].ID != id {
+		t.Fatalf("by-id query should rank the example first, got %+v", byID.Results)
+	}
+	for i := range byID.Results {
+		if byID.Results[i] != byVec.Results[i] {
+			t.Fatalf("rank %d: by-id %+v != by-vector %+v", i, byID.Results[i], byVec.Results[i])
+		}
+	}
+}
+
+// TestQueryBatchMatchesSequential pins the batch endpoint against the
+// one-at-a-time endpoint, mixed criteria included.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	vectors := dataset.CorelLike(400, 16, 11)
+	_, ts := newTestServer(t, Config{})
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 16, SegmentSize: 100}, nil)
+	ingestBatch(t, ts.URL, "c", vectors)
+
+	specs := []querySpecWire{
+		{Query: vectors[3], K: 7, Criterion: "Hq"},
+		{Query: vectors[250], K: 3, Criterion: "Eq", Strategy: "vafile"},
+		{Query: vectors[99], K: 12, Criterion: "Hq", Strategy: "exact"},
+	}
+	var batch batchResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/query/batch",
+		batchRequest{Queries: specs}, &batch); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	if len(batch.Results) != len(specs) {
+		t.Fatalf("batch returned %d results, want %d", len(batch.Results), len(specs))
+	}
+	for i, spec := range specs {
+		var single queryResponse
+		doJSON(t, http.MethodPost, ts.URL+"/collections/c/query", spec, &single)
+		if len(single.Results) != len(batch.Results[i].Results) {
+			t.Fatalf("query %d: batch %d results, single %d", i,
+				len(batch.Results[i].Results), len(single.Results))
+		}
+		for j := range single.Results {
+			if single.Results[j] != batch.Results[i].Results[j] {
+				t.Fatalf("query %d rank %d: batch %+v != single %+v",
+					i, j, batch.Results[i].Results[j], single.Results[j])
+			}
+		}
+	}
+}
+
+// TestExplainEndpoint checks that both explain forms return the rendered
+// per-segment plan alongside the results.
+func TestExplainEndpoint(t *testing.T) {
+	vectors := dataset.CorelLike(500, 16, 5)
+	_, ts := newTestServer(t, Config{})
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 16, SegmentSize: 100}, nil)
+	ingestBatch(t, ts.URL, "c", vectors)
+
+	var exp explainResponse
+	if code := doJSON(t, http.MethodGet,
+		ts.URL+"/collections/c/explain?id=17&k=5&strategy=auto", nil, &exp); code != http.StatusOK {
+		t.Fatalf("GET explain: status %d", code)
+	}
+	if len(exp.Results) != 5 {
+		t.Fatalf("explain returned %d results, want 5", len(exp.Results))
+	}
+	for _, want := range []string{"Query: k=5", "Model:", "seg", "path", "Total:"} {
+		if !strings.Contains(exp.Plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, exp.Plan)
+		}
+	}
+	// One rendered line per planned segment (5 segments of 100 + header rows).
+	if lines := strings.Count(exp.Plan, "\n"); lines < 9 {
+		t.Fatalf("plan suspiciously short (%d lines):\n%s", lines, exp.Plan)
+	}
+
+	var post explainResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/explain",
+		querySpecWire{Query: vectors[17], K: 5}, &post); code != http.StatusOK {
+		t.Fatalf("POST explain: status %d", code)
+	}
+	for i := range exp.Results {
+		if exp.Results[i] != post.Results[i] {
+			t.Fatalf("rank %d: GET %+v != POST %+v", i, exp.Results[i], post.Results[i])
+		}
+	}
+}
+
+// TestCatalogLifecycle exercises create/list/stats/drop with their error
+// statuses.
+func TestCatalogLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	if code := doJSON(t, http.MethodPut, ts.URL+"/collections/bad..name",
+		createRequest{Dims: 4}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad name: status %d", code)
+	}
+	if code := doJSON(t, http.MethodPut, ts.URL+"/collections/a",
+		createRequest{Dims: 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("zero dims: status %d", code)
+	}
+	if code := doJSON(t, http.MethodPut, ts.URL+"/collections/a",
+		createRequest{Dims: 8}, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var cr createResponse
+	if code := doJSON(t, http.MethodPut, ts.URL+"/collections/a",
+		createRequest{Dims: 8}, &cr); code != http.StatusOK || cr.Created {
+		t.Fatalf("idempotent create: status %d created=%v", code, cr.Created)
+	}
+	if code := doJSON(t, http.MethodPut, ts.URL+"/collections/a",
+		createRequest{Dims: 9}, nil); code != http.StatusConflict {
+		t.Fatalf("dims mismatch: status %d", code)
+	}
+
+	var list map[string][]string
+	doJSON(t, http.MethodGet, ts.URL+"/collections", nil, &list)
+	if len(list["collections"]) != 1 || list["collections"][0] != "a" {
+		t.Fatalf("list: %v", list)
+	}
+
+	var st bond.CollectionStats
+	if code := doJSON(t, http.MethodGet, ts.URL+"/collections/a", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Dims != 8 || st.Segments != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/collections/a", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("drop: status %d", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/collections/a", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("drop again: status %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/a/query",
+		querySpecWire{Query: []float64{1}, K: 1}, nil); code != http.StatusNotFound {
+		t.Fatalf("query dropped: status %d", code)
+	}
+}
+
+// TestIngestValidation checks the 400 paths of the ingest endpoint.
+func TestIngestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 3}, nil)
+
+	for name, body := range map[string]ingestRequest{
+		"empty":       {},
+		"wrong dims":  {Vector: []float64{1, 2}},
+		"mixed batch": {Vectors: [][]float64{{1, 2, 3}, {1}}},
+		"both forms":  {Vector: []float64{1, 2, 3}, Vectors: [][]float64{{1, 2, 3}}},
+	} {
+		if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/vectors", body, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/vectors",
+		map[string]any{"vektor": []float64{1, 2, 3}}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", code)
+	}
+}
+
+// TestBodySizeCap checks that an oversized request body is rejected
+// before it is buffered rather than ballooning memory.
+func TestBodySizeCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 3}, nil)
+
+	big := make([][]float64, 64)
+	for i := range big {
+		big[i] = []float64{0.1, 0.2, 0.3}
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/vectors",
+		ingestRequest{Vectors: big}, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/vectors",
+		ingestRequest{Vector: []float64{0.1, 0.2, 0.3}}, nil); code != http.StatusOK {
+		t.Fatalf("small body after cap rejection: status %d, want 200", code)
+	}
+}
+
+// TestPersistenceAcrossRestart checks that a shut-down server's data —
+// vectors, tombstones, and the planner's learned coefficients — comes
+// back when a new server opens the same directory.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	vectors := dataset.CorelLike(300, 12, 9)
+
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	doJSON(t, http.MethodPut, ts1.URL+"/collections/c", createRequest{Dims: 12, SegmentSize: 64}, nil)
+	ingestBatch(t, ts1.URL, "c", vectors)
+	doJSON(t, http.MethodDelete, ts1.URL+"/collections/c/vectors/5", nil, nil)
+	var before queryResponse
+	doJSON(t, http.MethodPost, ts1.URL+"/collections/c/query",
+		querySpecWire{Query: vectors[10], K: 8}, &before)
+	ts1.Close()
+	if err := s1.Close(); err != nil { // flushes the dirty collection
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Dir: dir})
+	var st bond.CollectionStats
+	doJSON(t, http.MethodGet, ts2.URL+"/collections/c", nil, &st)
+	if st.Len != 300 || st.Live != 299 {
+		t.Fatalf("restart lost data: %+v", st)
+	}
+	if st.Planner.Queries == 0 {
+		t.Fatalf("restart lost planner coefficients: %+v", st.Planner)
+	}
+	var after queryResponse
+	doJSON(t, http.MethodPost, ts2.URL+"/collections/c/query",
+		querySpecWire{Query: vectors[10], K: 8}, &after)
+	for i := range before.Results {
+		if before.Results[i] != after.Results[i] {
+			t.Fatalf("rank %d: before %+v != after %+v", i, before.Results[i], after.Results[i])
+		}
+	}
+	_ = s2
+}
+
+// TestMaintenanceCompacts drives one maintenance cycle over a heavily
+// tombstoned collection and checks compaction, persistence, and the
+// stats counters.
+func TestMaintenanceCompacts(t *testing.T) {
+	s, ts := newTestServer(t, Config{CompactRatio: 0.2})
+	vectors := dataset.CorelLike(200, 8, 13)
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 8, SegmentSize: 50}, nil)
+	ingestBatch(t, ts.URL, "c", vectors)
+	for id := 0; id < 100; id++ {
+		if code := doJSON(t, http.MethodDelete,
+			fmt.Sprintf("%s/collections/c/vectors/%d", ts.URL, id), nil, nil); code != http.StatusNoContent {
+			t.Fatalf("delete %d: status %d", id, code)
+		}
+	}
+
+	var st bond.CollectionStats
+	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
+	if st.TombstoneRatio != 0.5 {
+		t.Fatalf("tombstone ratio %v, want 0.5", st.TombstoneRatio)
+	}
+
+	compacted, persisted, err := s.RunMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compacted != 1 || persisted != 1 {
+		t.Fatalf("maintenance: compacted %d persisted %d", compacted, persisted)
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
+	if st.Len != 100 || st.TombstoneRatio != 0 {
+		t.Fatalf("after compaction: %+v", st)
+	}
+
+	var sst serverStats
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &sst)
+	if sst.Compactions != 1 || sst.Snapshots != 1 || sst.MaintenanceRuns != 1 {
+		t.Fatalf("server stats: %+v", sst)
+	}
+	if _, ok := sst.Collections["c"]; !ok {
+		t.Fatalf("server stats missing collection: %+v", sst.Collections)
+	}
+}
+
+// TestStatsExposeSynopses checks the per-segment synopsis summaries the
+// stats endpoint serves.
+func TestStatsExposeSynopses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	vectors := dataset.CorelLike(120, 6, 21)
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 6, SegmentSize: 50}, nil)
+	ingestBatch(t, ts.URL, "c", vectors)
+
+	var st bond.CollectionStats
+	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
+	if st.Segments != 3 { // 50 + 50 + active 20
+		t.Fatalf("segments %d, want 3: %+v", st.Segments, st.SegmentStats)
+	}
+	for i, seg := range st.SegmentStats {
+		wantSealed := i < 2
+		if seg.Sealed != wantSealed {
+			t.Fatalf("segment %d sealed=%v, want %v", i, seg.Sealed, wantSealed)
+		}
+		if seg.Synopsis == nil {
+			t.Fatalf("segment %d missing synopsis", i)
+		}
+		if seg.Synopsis.MassLo > seg.Synopsis.MassHi || seg.Synopsis.MinVal > seg.Synopsis.MaxVal {
+			t.Fatalf("segment %d inconsistent synopsis: %+v", i, seg.Synopsis)
+		}
+	}
+}
+
+// TestAdmissionRejectsWhenSaturated pins the bounded in-flight contract:
+// with every slot held and the client already gone, a query is turned
+// away with 503 instead of queueing forever.
+func TestAdmissionRejectsWhenSaturated(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 2}, nil)
+	ingestBatch(t, ts.URL, "c", [][]float64{{0.1, 0.2}, {0.3, 0.4}})
+
+	s.sem <- struct{}{} // hold the only slot
+	defer func() { <-s.sem }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the waiting client has already given up
+	body, _ := json.Marshal(querySpecWire{Query: []float64{0.1, 0.2}, K: 1})
+	req := httptest.NewRequest(http.MethodPost, "/collections/c/query",
+		bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated query: status %d, want 503", rec.Code)
+	}
+}
