@@ -66,10 +66,18 @@
 //     and VA-File access paths),
 //   - multi-feature queries across several collections (see MultiSearch).
 //
-// Collections persist to a checksummed binary format (Save/Open) that
-// stores the segmented layout and the planner's learned cost
-// coefficients; files written by earlier flat-layout versions still
-// load.
+// # Durability
+//
+// OpenDurable opens a crash-safe collection backed by a write-ahead log
+// plus incremental checkpoints: every mutation is logged — and, under
+// FsyncAlways, fsynced — before it is acknowledged, checkpoints rewrite
+// only the manifest and the active segment (sealed segment files are
+// written exactly once, ever), and recovery replays the log tail on top
+// of the last checkpoint, always yielding a consistent prefix of the
+// acknowledged history. Collection.Checkpoint truncates the log;
+// Collection.Close releases it. The whole-file snapshot format remains
+// available (Save/Open), files written by earlier flat-layout versions
+// still load, and OpenDurable migrates legacy snapshot files in place.
 //
 // # Serving
 //
@@ -261,6 +269,13 @@ type Collection struct {
 	// write lock.
 	planCacheMu sync.Mutex
 	planCache   atomic.Pointer[[]plan.Segment]
+
+	// dur is the durability state of a collection opened with
+	// OpenDurable: the write-ahead log every mutation is appended to
+	// before it is acknowledged, plus checkpoint bookkeeping. nil for
+	// in-memory collections (NewCollection, Open), whose mutators then
+	// skip logging entirely.
+	dur *durability
 }
 
 // unitQuantizer is the paper's 8-bit [0,1] grid, shared by every segment's
@@ -361,6 +376,9 @@ type CollectionStats struct {
 	TombstoneRatio float64 `json:"tombstone_ratio"`
 	// Planner is the adaptive cost model's serializable view.
 	Planner PlannerModelStats `json:"planner"`
+	// Durability is the WAL/checkpoint gauge block of a collection opened
+	// with OpenDurable; nil for in-memory collections.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 	// SegmentStats has one entry per segment in id order.
 	SegmentStats []SegmentStats `json:"segment_stats"`
 }
@@ -396,6 +414,9 @@ func (c *Collection) StatsSnapshot() CollectionStats {
 	}
 	if st.Len > 0 {
 		st.TombstoneRatio = float64(st.Len-st.Live) / float64(st.Len)
+	}
+	if ds, ok := c.walStatsLocked(); ok {
+		st.Durability = &ds
 	}
 	for i, g := range segs {
 		ss := SegmentStats{Base: bases[i], Len: g.Len(), Live: g.Live(), Sealed: g.Sealed()}
@@ -440,12 +461,13 @@ func (c *Collection) NumSegments() int {
 
 // SealActive force-seals the active segment, freezing the current layout
 // (subsequent appends open a fresh segment). Mostly useful to align
-// segment boundaries with data locality before a read-heavy phase.
+// segment boundaries with data locality before a read-heavy phase. On a
+// durable collection it panics if the seal cannot be logged; use
+// SealActiveDurable to handle that error.
 func (c *Collection) SealActive() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.invalidatePlanCache()
-	c.store.SealActive()
+	if err := c.SealActiveDurable(); err != nil {
+		panic(fmt.Sprintf("bond: SealActive: %v", err))
+	}
 }
 
 // Vector returns a copy of vector id. It panics on an out-of-range id;
@@ -472,44 +494,56 @@ func (c *Collection) TryVector(id int) (v []float64, ok bool) {
 
 // Add appends a vector and returns its id. Sealed segments and their
 // compressed fragments are untouched; only the active segment changes.
+// On a durable collection the vector is logged (and, under FsyncAlways,
+// fsynced) before it is applied; Add panics if the log rejects the
+// record — use AddDurable to handle that error instead.
 func (c *Collection) Add(v []float64) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.invalidatePlanCache()
-	return c.store.Append(v)
+	id, err := c.AddDurable(v)
+	if err != nil {
+		panic(fmt.Sprintf("bond: Add: %v", err))
+	}
+	return id
 }
 
-// AddBatch appends many vectors, returning the first new id.
+// AddBatch appends many vectors, returning the first new id. On a
+// durable collection the batch is logged as one atomic record before it
+// is applied; AddBatch panics if the log rejects it — use
+// AddBatchDurable to handle that error instead.
 func (c *Collection) AddBatch(vectors [][]float64) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.invalidatePlanCache()
-	return c.store.AppendBatch(vectors)
+	first, err := c.AddBatchDurable(vectors)
+	if err != nil {
+		panic(fmt.Sprintf("bond: AddBatch: %v", err))
+	}
+	return first
 }
 
 // Delete marks vector id as deleted; it is skipped by every search until
-// a compaction removes it physically. It panics on an out-of-range id;
-// callers racing other writers should use TryDelete.
+// a compaction removes it physically. It panics on an out-of-range id
+// (callers racing other writers should use TryDelete) and, on a durable
+// collection, when the tombstone cannot be logged — use TryDeleteDurable
+// to handle that error.
 func (c *Collection) Delete(id int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.invalidatePlanCache()
-	c.store.Delete(id)
+	ok, err := c.TryDeleteDurable(id)
+	if err != nil {
+		panic(fmt.Sprintf("bond: Delete: %v", err))
+	}
+	if !ok {
+		panic(fmt.Sprintf("bond: Delete of id %d outside collection", id))
+	}
 }
 
 // TryDelete marks vector id as deleted, reporting false when id is
 // outside the collection. The bounds check and the mark happen under one
 // lock acquisition, so it is safe against a concurrent compaction
-// shrinking the id space — the check-then-Delete idiom is not.
+// shrinking the id space — the check-then-Delete idiom is not. On a
+// durable collection it panics if the tombstone cannot be logged; use
+// TryDeleteDurable to handle that error.
 func (c *Collection) TryDelete(id int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if id < 0 || id >= c.store.Len() {
-		return false
+	ok, err := c.TryDeleteDurable(id)
+	if err != nil {
+		panic(fmt.Sprintf("bond: TryDelete: %v", err))
 	}
-	c.invalidatePlanCache()
-	c.store.Delete(id)
-	return true
+	return ok
 }
 
 // Compact physically removes every delete-marked vector, returning the
@@ -524,12 +558,15 @@ func (c *Collection) Compact() []int {
 // CompactRatio rewrites only the segments whose tombstone ratio is at
 // least minRatio, returning the old-id → new-id mapping. Ids in segments
 // below the ratio keep their tombstones (and the mapping reflects any
-// shift caused by earlier rewritten segments).
+// shift caused by earlier rewritten segments). On a durable collection
+// it panics if the compaction cannot be logged; use CompactRatioDurable
+// to handle that error.
 func (c *Collection) CompactRatio(minRatio float64) []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.invalidatePlanCache()
-	return c.store.Compact(minRatio)
+	mapping, err := c.CompactRatioDurable(minRatio)
+	if err != nil {
+		panic(fmt.Sprintf("bond: CompactRatio: %v", err))
+	}
+	return mapping
 }
 
 // planSegments exposes the current segments to the query planner: the

@@ -14,6 +14,7 @@
 //	GET    /collections/{name}               per-collection stats + segment synopses
 //	DELETE /collections/{name}               drop
 //	POST   /collections/{name}/vectors       ingest one {"vector": […]} or a batch {"vectors": [[…],…]}
+//	GET    /collections/{name}/vectors/{id}  read one vector back
 //	DELETE /collections/{name}/vectors/{id}  tombstone one vector
 //	POST   /collections/{name}/query         one QuerySpec in, top-k out
 //	POST   /collections/{name}/query/batch   {"queries": […]} through Collection.QueryBatch
@@ -21,11 +22,26 @@
 //	GET    /healthz                          liveness
 //	GET    /stats                            server + per-collection + cost-model statistics
 //
-// Collections live under -data as <name>.bond files in the library's
-// checksummed segmented format, loaded lazily on first touch and written
-// back by the maintenance loop (which also compacts collections whose
-// tombstone ratio crosses -compact-ratio) and on shutdown. SIGINT/SIGTERM
-// drain in-flight requests, then flush every unpersisted collection.
+// # Durability
+//
+// Collections live under -data as <name>.bond durable directories: an
+// incremental checkpoint (manifest + write-once sealed-segment files +
+// active-segment checkpoint) plus a write-ahead log of every mutation
+// since. Every ingest and delete is WAL-logged before its 2xx goes out;
+// with the default -fsync=always the record is also fsynced first, so a
+// crash — SIGKILL, power loss — never loses an acknowledged write.
+// -fsync=interval trades the per-write fsync for a periodic one (bounded
+// loss on power failure, none on process crash); -fsync=never leaves
+// flushing to the OS. Recovery replays the WAL tail on top of the last
+// checkpoint and always yields a consistent prefix of the acknowledged
+// history.
+//
+// The maintenance loop compacts collections whose tombstone ratio
+// crosses -compact-ratio and checkpoints any collection whose WAL has
+// outgrown -wal-max-bytes, truncating the log — checkpoints bound
+// restart replay time, not durability. Pre-durability <name>.bond
+// snapshot files are migrated in place on first touch. SIGINT/SIGTERM
+// drain in-flight requests, checkpoint, and close every log.
 package main
 
 import (
@@ -40,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"bond"
 	"bond/internal/server"
 )
 
@@ -51,6 +68,8 @@ func main() {
 	maintEvery := flag.Duration("maintenance-interval", 30*time.Second, "background compaction/snapshot period (0 disables)")
 	compactRatio := flag.Float64("compact-ratio", 0.25, "tombstone ratio that triggers compaction (0 selects the default 0.25; negative disables)")
 	maxBody := flag.Int64("max-body-bytes", 0, "request body size cap in bytes (0 = 64 MiB)")
+	fsync := flag.String("fsync", "always", "WAL flush policy: always (no acknowledged write ever lost), interval, or never")
+	walMax := flag.Int64("wal-max-bytes", 0, "per-collection WAL size that triggers a maintenance checkpoint (0 = 16 MiB)")
 	shutdownWait := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress per-request and maintenance logging")
 	flag.Parse()
@@ -59,12 +78,18 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	fsyncPolicy, err := bond.ParseFsync(*fsync)
+	if err != nil {
+		fatal(err)
+	}
 	srv, err := server.New(server.Config{
 		Dir:                 *dataDir,
 		SegmentSize:         *segSize,
 		MaxInFlight:         *maxInFlight,
 		CompactRatio:        *compactRatio,
 		MaxBodyBytes:        *maxBody,
+		Fsync:               fsyncPolicy,
+		WALMaxBytes:         *walMax,
 		MaintenanceInterval: *maintEvery,
 		Logf:                logf,
 	})

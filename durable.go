@@ -1,0 +1,636 @@
+package bond
+
+// This file threads crash-safe durability through Collection: a
+// write-ahead log (package wal) that records every mutation before it is
+// acknowledged, and incremental checkpoints (package vstore's durable
+// directory layout) that bound the log's replay cost without ever
+// rewriting sealed segment files.
+//
+// The recovery contract, proven by the crash-injection matrix in
+// crash_test.go:
+//
+//   - With FsyncAlways, no acknowledged mutation is ever lost: the
+//     record is fsynced before the mutating call returns.
+//   - Whatever the fsync policy and wherever the crash lands — mid-WAL
+//     record, mid-checkpoint, between a manifest's write and its rename
+//     — recovery succeeds and yields a consistent prefix of the
+//     acknowledged mutation history. A torn final record is discarded;
+//     a mutation can never surface partially.
+//
+// The checkpoint protocol: under the collection's write lock the WAL is
+// fsynced and rotated to wal-<seq+1> and the store captured; outside the
+// lock the capture is written (new sealed segment files once each, the
+// active segment, then the manifest — whose rename is the commit point)
+// and the old WAL deleted. A crash before the commit recovers from the
+// old manifest plus both WAL files; after it, from the new manifest plus
+// the new WAL. Mutations keep flowing into the new WAL while the
+// checkpoint writes.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bond/internal/iofs"
+	"bond/internal/plan"
+	"bond/internal/vstore"
+	"bond/internal/wal"
+)
+
+// FsyncPolicy selects when a durable collection fsyncs its write-ahead
+// log.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs every record before the mutation is
+	// acknowledged: no acknowledged write can be lost, even to power
+	// failure. The slowest and only fully safe policy.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background ticker (DurableOptions.
+	// SyncEvery): a crash can lose at most the last interval's
+	// acknowledged writes, but recovery still yields a consistent prefix.
+	FsyncInterval
+	// FsyncNever leaves flushing to the operating system: fastest,
+	// survives process crashes (the page cache persists) but not power
+	// loss — recovery still yields a consistent prefix.
+	FsyncNever
+)
+
+// String returns the policy name as the CLIs spell it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsync parses a policy name (always, interval, never) as the CLIs
+// and bondd's -fsync flag spell it.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return FsyncAlways, fmt.Errorf("bond: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Dims is the dimensionality used when the path does not exist yet
+	// and a fresh collection must be created. Opening an existing
+	// collection ignores it; opening a missing path with Dims == 0 fails
+	// with os.ErrNotExist.
+	Dims int
+	// SegmentSize is the seal threshold for a freshly created collection
+	// (0 = the library default).
+	SegmentSize int
+	// Fsync is the WAL flush policy. The zero value is FsyncAlways.
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval ticker period (0 = 100ms).
+	SyncEvery time.Duration
+	// FS overrides the filesystem every byte of durable state moves
+	// through — the crash-injection seam. nil selects the real one.
+	FS iofs.FS
+}
+
+// Errors of the durability layer.
+var (
+	// ErrNotDurable reports a durability operation on a collection that
+	// was not opened with OpenDurable.
+	ErrNotDurable = errors.New("bond: collection is not durable")
+	// ErrClosed reports a mutation or checkpoint after Close.
+	ErrClosed = errors.New("bond: collection is closed")
+)
+
+// migratingSuffix marks the staging directory of an in-flight legacy
+// file migration; OpenDurable completes an interrupted one on the next
+// open.
+const migratingSuffix = ".migrating"
+
+// durability is the durable state hanging off a Collection opened with
+// OpenDurable. The WAL writer pointer and sequence are guarded by the
+// collection's lock (writers append under the write lock; Checkpoint
+// rotates under it).
+type durability struct {
+	fs     iofs.FS
+	dir    string
+	policy FsyncPolicy
+
+	w      *wal.Writer
+	walSeq uint64
+	closed bool
+
+	// ckptMu serializes checkpoints; mutations proceed under the
+	// collection lock while a checkpoint writes outside it.
+	ckptMu sync.Mutex
+
+	checkpoints  int64
+	lastCkptUnix int64
+
+	// Interval-policy sync loop lifecycle.
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// DurabilityStats is the durability gauge block a stats endpoint serves:
+// the current WAL's size (replay cost of a crash right now) and the
+// checkpoint history.
+type DurabilityStats struct {
+	Fsync              string `json:"fsync"`
+	WALSeq             uint64 `json:"wal_seq"`
+	WALBytes           int64  `json:"wal_bytes"`
+	WALRecords         int64  `json:"wal_records"`
+	Checkpoints        int64  `json:"checkpoints"`
+	LastCheckpointUnix int64  `json:"last_checkpoint_unix,omitempty"`
+}
+
+// OpenDurable opens (or creates) a crash-safe collection rooted at path
+// — a directory holding an incremental checkpoint (manifest, write-once
+// sealed segment files, active-segment checkpoint) plus the write-ahead
+// log of mutations since. Recovery loads the last committed checkpoint
+// and replays the WAL tail, discarding a torn final record, so the
+// result is always a consistent prefix of the acknowledged history —
+// exactly all of it under FsyncAlways.
+//
+// A path holding a legacy snapshot file (any format Open understands,
+// including the v1 flat and v2 segmented layouts) is migrated in place
+// into the durable layout; the migration itself is crash-safe and
+// resumes on the next OpenDurable if interrupted.
+//
+// A missing path is created when opts.Dims ≥ 1 and fails with
+// os.ErrNotExist otherwise. Callers must Close the collection to stop
+// the interval-sync loop and release the log.
+func OpenDurable(path string, opts DurableOptions) (*Collection, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = iofs.OS{}
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if _, err := fs.Stat(path); err != nil {
+		// Complete an interrupted legacy migration: the staging tree is
+		// fully written before the legacy file is removed, so renaming it
+		// into place finishes the job.
+		if _, merr := fs.Stat(path + migratingSuffix); merr == nil {
+			if rerr := fs.Rename(path+migratingSuffix, path); rerr != nil {
+				return nil, fmt.Errorf("bond: resume migration of %s: %w", path, rerr)
+			}
+		}
+	}
+	info, err := fs.Stat(path)
+	switch {
+	case err != nil:
+		if opts.Dims < 1 {
+			return nil, fmt.Errorf("bond: open durable %s: %w (set DurableOptions.Dims to create)", path, os.ErrNotExist)
+		}
+		store := vstore.NewSegmented(opts.Dims, opts.SegmentSize)
+		if err := initDurableDir(fs, path, store, nil); err != nil {
+			return nil, err
+		}
+		return openDurableDir(fs, path, opts)
+	case !info.IsDir:
+		if err := migrateLegacy(fs, path); err != nil {
+			return nil, err
+		}
+		return openDurableDir(fs, path, opts)
+	default:
+		return openDurableDir(fs, path, opts)
+	}
+}
+
+// initDurableDir writes the initial checkpoint (WAL sequence 1) and an
+// empty wal-1 into dir.
+func initDurableDir(fs iofs.FS, dir string, store *vstore.SegStore, plannerStats []byte) error {
+	cs := store.CaptureCheckpoint(1, plannerStats)
+	if err := vstore.WriteCheckpoint(fs, dir, cs); err != nil {
+		return err
+	}
+	w, err := wal.Create(fs, filepath.Join(dir, vstore.WALFileName(1)))
+	if err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// migrateLegacy converts a legacy snapshot file at path into the durable
+// directory layout, crash-safely: the whole tree is staged beside the
+// file, the file is removed, and the staging directory renamed into
+// place. Interruption anywhere leaves either the untouched file or a
+// resumable staging tree.
+func migrateLegacy(fs iofs.FS, path string) error {
+	img, err := fs.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	store, err := vstore.LoadAnyBytes(img)
+	if err != nil {
+		return fmt.Errorf("bond: migrate %s: %w", path, err)
+	}
+	tmp := path + migratingSuffix
+	if err := fs.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := initDurableDir(fs, tmp, store, store.PlannerStats()); err != nil {
+		return err
+	}
+	if err := fs.Remove(path); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}
+
+// openDurableDir recovers the committed checkpoint, replays the WAL
+// tail, truncates any torn record, and hands back a live collection
+// appending to the recovered log.
+func openDurableDir(fs iofs.FS, dir string, opts DurableOptions) (*Collection, error) {
+	store, m, err := vstore.RecoverDir(fs, dir)
+	if errors.Is(err, vstore.ErrNoManifest) {
+		// A half-created directory (crash before the first checkpoint
+		// committed): nothing was ever acknowledged, so initializing
+		// fresh is the correct recovery — when the caller can tell us the
+		// shape.
+		if opts.Dims < 1 {
+			return nil, fmt.Errorf("bond: open durable %s: %w (set DurableOptions.Dims to create)", dir, os.ErrNotExist)
+		}
+		fresh := vstore.NewSegmented(opts.Dims, opts.SegmentSize)
+		if ierr := initDurableDir(fs, dir, fresh, nil); ierr != nil {
+			return nil, ierr
+		}
+		store, m, err = vstore.RecoverDir(fs, dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	vstore.CleanDir(fs, dir, m)
+
+	// Replay consecutive WAL files from the manifest's sequence: more
+	// than one exists only when a crash interrupted a checkpoint after
+	// its rotation. A torn or corrupt record ends the replay — and
+	// invalidates everything after it, including later files.
+	replaySeq := m.WALSeq
+	var lastGood, lastRecs, lastLen int64
+	lastFound := false
+	for seq := m.WALSeq; ; seq++ {
+		data, rerr := fs.ReadFile(filepath.Join(dir, vstore.WALFileName(seq)))
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				break
+			}
+			return nil, rerr
+		}
+		replaySeq = seq
+		recs, good, derr := wal.DecodeAll(data)
+		for _, rec := range recs {
+			if aerr := applyRecord(store, rec); aerr != nil {
+				return nil, fmt.Errorf("bond: replay %s: %w", vstore.WALFileName(seq), aerr)
+			}
+		}
+		lastFound, lastGood, lastRecs, lastLen = true, good, int64(len(recs)), int64(len(data))
+		if derr != nil || good < int64(len(data)) {
+			// Records in any later WAL were written on top of state this
+			// file no longer reproduces; they were never durable as a
+			// consistent prefix, so drop them.
+			for later := seq + 1; ; later++ {
+				if rmErr := fs.Remove(filepath.Join(dir, vstore.WALFileName(later))); rmErr != nil {
+					break
+				}
+			}
+			break
+		}
+	}
+
+	// Reuse the replay's decode instead of re-reading the file: on a big
+	// log that halves the open's I/O.
+	walPath := filepath.Join(dir, vstore.WALFileName(replaySeq))
+	var w *wal.Writer
+	if lastFound {
+		w, err = wal.OpenAppendAt(fs, walPath, lastGood, lastRecs, lastLen)
+	} else {
+		w, err = wal.Create(fs, walPath)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{
+		store: store,
+		model: plan.LoadModel(store.PlannerStats()),
+		dur: &durability{
+			fs:     fs,
+			dir:    dir,
+			policy: opts.Fsync,
+			w:      w,
+			walSeq: replaySeq,
+		},
+	}
+	if opts.Fsync == FsyncInterval {
+		c.dur.stop = make(chan struct{})
+		c.dur.done = make(chan struct{})
+		go c.syncLoop(opts.SyncEvery)
+	}
+	return c, nil
+}
+
+// applyRecord replays one logged mutation onto the store. Mutations were
+// validated before they were logged, so a record the current state
+// cannot accept means the log does not belong to this checkpoint —
+// corruption, reported as an error rather than a panic.
+func applyRecord(s *vstore.SegStore, rec wal.Record) error {
+	switch rec.Type {
+	case wal.TypeAdd, wal.TypeAddBatch:
+		for _, v := range rec.Vectors {
+			if len(v) != s.Dims() {
+				return fmt.Errorf("logged vector has %d dims, store has %d", len(v), s.Dims())
+			}
+		}
+		if len(rec.Vectors) > 0 {
+			s.AppendBatch(rec.Vectors)
+		}
+	case wal.TypeDelete:
+		if rec.ID >= uint64(s.Len()) {
+			return fmt.Errorf("logged delete of id %d outside [0,%d)", rec.ID, s.Len())
+		}
+		s.Delete(int(rec.ID))
+	case wal.TypeCompact:
+		s.Compact(rec.Ratio)
+	case wal.TypeSeal:
+		s.SealActive()
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (c *Collection) syncLoop(every time.Duration) {
+	defer close(c.dur.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.dur.stop:
+			return
+		case <-t.C:
+			c.mu.RLock()
+			w, closed := c.dur.w, c.dur.closed
+			c.mu.RUnlock()
+			if closed {
+				return
+			}
+			_ = w.Sync()
+		}
+	}
+}
+
+// Durable reports whether the collection was opened with OpenDurable and
+// logs its mutations.
+func (c *Collection) Durable() bool { return c.dur != nil }
+
+// logMutation appends one record to the WAL — fsyncing first under
+// FsyncAlways — before the in-memory mutation it describes is applied.
+// Callers hold the write lock and must not mutate state when it errors.
+func (c *Collection) logMutation(rec wal.Record) error {
+	if c.dur == nil {
+		return nil
+	}
+	if c.dur.closed {
+		return ErrClosed
+	}
+	return c.dur.w.Append(rec, c.dur.policy == FsyncAlways)
+}
+
+// AddDurable is Add returning the durability error instead of
+// panicking: the vector is appended and its id returned only once the
+// WAL accepted (and, under FsyncAlways, fsynced) the record. On error
+// the collection is unchanged and the write unacknowledged.
+func (c *Collection) AddDurable(v []float64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(v) != c.store.Dims() {
+		panic(fmt.Sprintf("bond: vector has %d dims, collection has %d", len(v), c.store.Dims()))
+	}
+	if err := c.logMutation(wal.Record{Type: wal.TypeAdd, Vectors: [][]float64{v}}); err != nil {
+		return 0, err
+	}
+	c.invalidatePlanCache()
+	return c.store.Append(v), nil
+}
+
+// AddBatchDurable is AddBatch returning the durability error instead of
+// panicking. The batch is logged as one atomic record: after a crash
+// either every vector of the batch is recovered or none is.
+func (c *Collection) AddBatchDurable(vectors [][]float64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, v := range vectors {
+		if len(v) != c.store.Dims() {
+			panic(fmt.Sprintf("bond: vector %d has %d dims, collection has %d", i, len(v), c.store.Dims()))
+		}
+	}
+	if len(vectors) == 0 {
+		return c.store.Len(), nil
+	}
+	if err := c.logMutation(wal.Record{Type: wal.TypeAddBatch, Vectors: vectors}); err != nil {
+		return 0, err
+	}
+	c.invalidatePlanCache()
+	return c.store.AppendBatch(vectors), nil
+}
+
+// TryDeleteDurable is TryDelete returning the durability error as well:
+// ok reports whether id was inside the collection, err whether the
+// tombstone was durably logged.
+func (c *Collection) TryDeleteDurable(id int) (ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= c.store.Len() {
+		return false, nil
+	}
+	if err := c.logMutation(wal.Record{Type: wal.TypeDelete, ID: uint64(id)}); err != nil {
+		return false, err
+	}
+	c.invalidatePlanCache()
+	c.store.Delete(id)
+	return true, nil
+}
+
+// CompactRatioDurable is CompactRatio returning the durability error
+// instead of panicking. Compaction is logged as a single record (its id
+// remapping is a deterministic function of the collection state, so
+// replay reproduces it exactly).
+func (c *Collection) CompactRatioDurable(minRatio float64) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.logMutation(wal.Record{Type: wal.TypeCompact, Ratio: minRatio}); err != nil {
+		return nil, err
+	}
+	c.invalidatePlanCache()
+	return c.store.Compact(minRatio), nil
+}
+
+// SealActiveDurable is SealActive returning the durability error instead
+// of panicking.
+func (c *Collection) SealActiveDurable() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.logMutation(wal.Record{Type: wal.TypeSeal}); err != nil {
+		return err
+	}
+	c.invalidatePlanCache()
+	c.store.SealActive()
+	return nil
+}
+
+// Checkpoint writes an incremental checkpoint and truncates the WAL: the
+// log is fsynced and rotated under the write lock, then — with queries
+// and mutations flowing again — new sealed segments are written (once
+// each, ever), the active segment and manifest are replaced atomically,
+// and the old log is deleted. A crash at any point recovers to a state
+// at least as new as the rotation. Returns ErrNotDurable on a
+// non-durable collection.
+func (c *Collection) Checkpoint() error {
+	if c.dur == nil {
+		return ErrNotDurable
+	}
+	c.dur.ckptMu.Lock()
+	defer c.dur.ckptMu.Unlock()
+
+	c.mu.Lock()
+	if c.dur.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	// Sync before rotating: records in the old log must be durable
+	// before any record lands in the new one, or a power loss could
+	// recover the new log's records on top of a torn old log — a
+	// non-prefix state.
+	if err := c.dur.w.Sync(); err != nil {
+		// The log is failing (ENOSPC, I/O error — the Writer's error is
+		// sticky, so every mutation since the first failure was rejected
+		// and unapplied). Recover by checkpointing the in-memory state —
+		// which is exactly the successfully-logged prefix — past the
+		// broken log, unwedging the collection without a restart.
+		defer c.mu.Unlock()
+		return c.recoverFromLogFailure(err)
+	}
+	newSeq := c.dur.walSeq + 1
+	nw, err := wal.Create(c.dur.fs, filepath.Join(c.dur.dir, vstore.WALFileName(newSeq)))
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	old := c.dur.w
+	c.dur.w, c.dur.walSeq = nw, newSeq
+	cs := c.store.CaptureCheckpoint(newSeq, c.model.Marshal())
+	c.mu.Unlock()
+
+	_ = old.Close()
+	if err := vstore.WriteCheckpoint(c.dur.fs, c.dur.dir, cs); err != nil {
+		// The rotation already happened; recovery replays the old WAL and
+		// then the new one, so state is safe — the next checkpoint simply
+		// starts from a later sequence.
+		return err
+	}
+	c.mu.Lock()
+	c.dur.checkpoints++
+	c.dur.lastCkptUnix = time.Now().Unix()
+	c.mu.Unlock()
+	return nil
+}
+
+// recoverFromLogFailure is Checkpoint's slow path when the current WAL
+// writer has failed: a blocking checkpoint that supersedes the broken
+// log. It must run with the write lock held for its whole duration —
+// the failed log may end in a phantom record (written but never
+// acknowledged, because its fsync failed), so no mutation may land in a
+// successor log until the manifest commit makes the failed log
+// irrelevant; otherwise a crash before the commit could replay the
+// phantom under records that assumed it never happened.
+func (c *Collection) recoverFromLogFailure(cause error) error {
+	newSeq := c.dur.walSeq + 1
+	cs := c.store.CaptureCheckpoint(newSeq, c.model.Marshal())
+	if err := vstore.WriteCheckpoint(c.dur.fs, c.dur.dir, cs); err != nil {
+		return fmt.Errorf("bond: checkpoint past failed log (%v): %w", cause, err)
+	}
+	// The manifest now names newSeq; a missing wal-<newSeq> reads as an
+	// empty log, so a crash between the commit and the Create below is
+	// safe, and so is a Create failure (the next Checkpoint retries with
+	// the same sequence).
+	nw, err := wal.Create(c.dur.fs, filepath.Join(c.dur.dir, vstore.WALFileName(newSeq)))
+	if err != nil {
+		return fmt.Errorf("bond: new log after failed log (%v): %w", cause, err)
+	}
+	_ = c.dur.w.Close()
+	c.dur.w, c.dur.walSeq = nw, newSeq
+	c.dur.checkpoints++
+	c.dur.lastCkptUnix = time.Now().Unix()
+	return nil
+}
+
+// Close stops the interval-sync loop (if any), fsyncs the WAL so a clean
+// shutdown is durable under every policy, and releases the log. Further
+// mutations fail with ErrClosed; reads keep working. Close on a
+// non-durable collection is a no-op.
+func (c *Collection) Close() error {
+	if c.dur == nil {
+		return nil
+	}
+	c.dur.stopOnce.Do(func() {
+		if c.dur.stop != nil {
+			close(c.dur.stop)
+			<-c.dur.done
+		}
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dur.closed {
+		return nil
+	}
+	c.dur.closed = true
+	serr := c.dur.w.Sync()
+	cerr := c.dur.w.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// WALStats returns the durability gauges, with ok=false for a collection
+// not opened with OpenDurable.
+func (c *Collection) WALStats() (DurabilityStats, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.walStatsLocked()
+}
+
+// walStatsLocked assembles DurabilityStats; callers hold at least the
+// read lock.
+func (c *Collection) walStatsLocked() (DurabilityStats, bool) {
+	if c.dur == nil {
+		return DurabilityStats{}, false
+	}
+	return DurabilityStats{
+		Fsync:              c.dur.policy.String(),
+		WALSeq:             c.dur.walSeq,
+		WALBytes:           c.dur.w.Size(),
+		WALRecords:         c.dur.w.Records(),
+		Checkpoints:        c.dur.checkpoints,
+		LastCheckpointUnix: c.dur.lastCkptUnix,
+	}, true
+}

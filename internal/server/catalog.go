@@ -1,20 +1,24 @@
 // Package server implements bondd's serving layer: a concurrent
-// multi-collection catalog over bond.Collection, an HTTP JSON API that
-// maps onto QuerySpec/QueryBatch, a background maintenance loop
-// (threshold-triggered compaction plus snapshot persistence), and bounded
-// in-flight query admission.
+// multi-collection catalog over durable bond.Collection instances, an
+// HTTP JSON API that maps onto QuerySpec/QueryBatch, a background
+// maintenance loop (threshold-triggered compaction plus WAL-bounding
+// checkpoints), and bounded in-flight query admission.
 //
-// The package owns no search logic: every request lowers onto the public
-// bond API (Query, QueryBatch, QueryExplain, Add/AddBatch/Delete,
-// Save/Open), so answers served over HTTP are byte-identical to
-// in-process calls and the collection's RWMutex contract is the only
-// synchronization the data path needs. The catalog adds one more lock
-// above it — a map-level RWMutex serializing create/open/drop against
-// lookups — and the maintenance loop runs entirely through exported
-// Collection methods, so it is just another writer.
+// The package owns no search logic and no durability logic: every
+// request lowers onto the public bond API (Query, QueryBatch,
+// QueryExplain, AddBatchDurable, TryDeleteDurable, Checkpoint), so
+// answers served over HTTP are byte-identical to in-process calls, every
+// acknowledged write is WAL-logged before its 2xx goes out, and the
+// collection's RWMutex contract is the only synchronization the data
+// path needs. The catalog adds one more lock above it — a map-level
+// RWMutex serializing create/open/drop against lookups, with per-name
+// single-flight on cold loads so two requests can never race a WAL open
+// — and the maintenance loop runs entirely through exported Collection
+// methods, so it is just another writer.
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,8 +30,10 @@ import (
 	"bond"
 )
 
-// collectionExt is the on-disk suffix of a catalog collection; the file
-// body is the checksummed segmented format Collection.Save writes.
+// collectionExt is the on-disk suffix of a catalog collection: a durable
+// directory in the incremental checkpoint + WAL layout. A legacy
+// snapshot *file* with the same name (the pre-durability format) is
+// migrated into the directory layout on first touch.
 const collectionExt = ".bond"
 
 // nameRE constrains collection names to one safe path segment: no
@@ -43,41 +49,42 @@ var (
 	ErrExists   = fmt.Errorf("server: collection exists with different shape")
 )
 
-// Catalog is a concurrent, lazily loaded set of named collections backed
-// by one data directory. Lookups take a read lock on the name map;
-// create, first-touch load, and drop serialize on the write lock. The
-// collections themselves carry their own RWMutex, so catalog lock hold
-// times stay off the query path: a Get is one map read in steady state.
+// Catalog is a concurrent, lazily loaded set of named durable
+// collections backed by one data directory. Lookups take a read lock on
+// the name map; create, first-touch load, and drop serialize per name.
+// The collections themselves carry their own RWMutex and WAL, so catalog
+// lock hold times stay off the query path: a Get is one map read in
+// steady state.
 type Catalog struct {
 	dir     string
-	segSize int // default seal threshold for new collections (0 = library default)
+	segSize int              // default seal threshold for new collections (0 = library default)
+	fsync   bond.FsyncPolicy // WAL policy every collection opens with
 
-	mu    sync.RWMutex
-	cols  map[string]*bond.Collection
-	dirty map[string]bool // collections with unpersisted writes
+	mu      sync.RWMutex
+	cols    map[string]*bond.Collection
+	loading map[string]chan struct{} // per-name single-flight for cold opens
 
-	// saveMu serializes snapshot writes (FlushDirty) against each other
-	// and against Drop. Two concurrent saves of one collection would
-	// interleave in the same <name>.bond.tmp file, and a save finishing
-	// after a Drop would rename the dropped collection back into
-	// existence; saveMu makes both impossible. It is never held together
-	// with mu writes from the same goroutine except in the saveMu → mu
-	// order.
-	saveMu sync.Mutex
+	// ckptMu serializes checkpoint sweeps (CheckpointLoaded) against each
+	// other and against Drop: a checkpoint finishing after a Drop would
+	// recreate files inside the removed directory, resurrecting the
+	// dropped collection on disk.
+	ckptMu sync.Mutex
 }
 
 // NewCatalog opens a catalog over dir, creating the directory if needed.
 // Collections already on disk are not loaded eagerly; the first Get or
-// Create that names one loads it.
-func NewCatalog(dir string, segSize int) (*Catalog, error) {
+// Create that names one loads it (replaying its WAL tail, and migrating
+// legacy snapshot files in place).
+func NewCatalog(dir string, segSize int, fsync bond.FsyncPolicy) (*Catalog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	return &Catalog{
 		dir:     dir,
 		segSize: segSize,
+		fsync:   fsync,
 		cols:    map[string]*bond.Collection{},
-		dirty:   map[string]bool{},
+		loading: map[string]chan struct{}{},
 	}, nil
 }
 
@@ -85,12 +92,65 @@ func (c *Catalog) path(name string) string {
 	return filepath.Join(c.dir, name+collectionExt)
 }
 
-// Get returns the named collection, loading it from disk on first touch.
-// It returns ErrNotFound when the name is neither loaded nor on disk.
-// The disk load runs outside the catalog lock, so one slow cold open
-// does not stall requests to already-loaded collections; concurrent
-// first touches of the same name may both read the file, and the first
-// to insert wins.
+// claimSlot claims the per-name single-flight slot unconditionally,
+// waiting out any in-progress load. When stopIfLoaded is set and the
+// collection materializes first, it is returned instead and the slot is
+// NOT held. Callers holding the slot must call releaseName.
+func (c *Catalog) claimSlot(name string, stopIfLoaded bool) (*bond.Collection, bool) {
+	for {
+		c.mu.Lock()
+		if stopIfLoaded {
+			if col := c.cols[name]; col != nil {
+				c.mu.Unlock()
+				return col, false
+			}
+		}
+		ch, busy := c.loading[name]
+		if !busy {
+			c.loading[name] = make(chan struct{})
+			c.mu.Unlock()
+			return nil, true
+		}
+		c.mu.Unlock()
+		<-ch
+	}
+}
+
+// acquireName claims the single-flight slot for name unless the
+// collection is already loaded, in which case it is returned directly.
+func (c *Catalog) acquireName(name string) (*bond.Collection, bool) {
+	return c.claimSlot(name, true)
+}
+
+func (c *Catalog) releaseName(name string) {
+	c.mu.Lock()
+	ch := c.loading[name]
+	delete(c.loading, name)
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// open opens or creates the durable collection for name; dims > 0
+// permits creation.
+func (c *Catalog) open(name string, dims, segSize int) (*bond.Collection, error) {
+	if segSize <= 0 {
+		segSize = c.segSize
+	}
+	return bond.OpenDurable(c.path(name), bond.DurableOptions{
+		Dims:        dims,
+		SegmentSize: segSize,
+		Fsync:       c.fsync,
+	})
+}
+
+// Get returns the named collection, loading it from disk on first touch
+// (WAL replay included). It returns ErrNotFound when the name is neither
+// loaded nor on disk. The disk load runs outside the catalog's map lock
+// — one slow cold open does not stall requests to already-loaded
+// collections — but under a per-name single-flight slot, because two
+// concurrent opens of one WAL would corrupt it.
 func (c *Catalog) Get(name string) (*bond.Collection, error) {
 	if !nameRE.MatchString(name) {
 		return nil, ErrBadName
@@ -101,34 +161,40 @@ func (c *Catalog) Get(name string) (*bond.Collection, error) {
 	if col != nil {
 		return col, nil
 	}
-	col, err := bond.Open(c.path(name))
+	col, mine := c.acquireName(name)
+	if !mine {
+		return col, nil
+	}
+	defer c.releaseName(name)
+	col, err := c.open(name, 0, 0)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, os.ErrNotExist) {
 			return nil, ErrNotFound
 		}
 		return nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if winner := c.cols[name]; winner != nil { // lost the load race: reuse the winner's
-		return winner, nil
-	}
 	// Re-stat under the lock: a Drop while we were loading removed the
-	// file (Drop holds the lock for its os.Remove), and inserting our
-	// stale copy would resurrect the dropped collection in memory.
+	// tree (Drop waits for the loading slot only on entry, but it cannot
+	// start while we hold the slot — this guards the inverse order,
+	// where the drop finished before we acquired). If the files are
+	// gone, inserting our copy would resurrect the dropped collection.
 	if _, statErr := os.Stat(c.path(name)); statErr != nil {
+		col.Close()
 		return nil, ErrNotFound
 	}
 	c.cols[name] = col
 	return col, nil
 }
 
-// Create creates the named collection with the given dimensionality (and
-// optional segment size; 0 uses the catalog default) and persists an
-// empty snapshot so the name survives a restart. Creating a name that
-// already exists is idempotent when the dimensionality matches — the
-// existing collection is returned with created=false — and ErrExists when
-// it does not.
+// Create creates the named durable collection with the given
+// dimensionality (and optional segment size; 0 uses the catalog default)
+// — the initial checkpoint and empty WAL hit disk before the call
+// returns, so the name survives a crash. Creating a name that already
+// exists is idempotent when the dimensionality matches — the existing
+// collection is returned with created=false — and ErrExists when it does
+// not.
 func (c *Catalog) Create(name string, dims, segSize int) (col *bond.Collection, created bool, err error) {
 	if !nameRE.MatchString(name) {
 		return nil, false, ErrBadName
@@ -136,59 +202,58 @@ func (c *Catalog) Create(name string, dims, segSize int) (col *bond.Collection, 
 	if dims < 1 {
 		return nil, false, fmt.Errorf("%w: dims must be >= 1, got %d", ErrBadShape, dims)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	existing := c.cols[name]
-	if existing == nil {
-		if _, statErr := os.Stat(c.path(name)); statErr == nil {
-			existing, err = bond.Open(c.path(name))
-			if err != nil {
-				return nil, false, err
-			}
-			c.cols[name] = existing
-		}
-	}
-	if existing != nil {
+	existing, mine := c.acquireName(name)
+	if !mine {
 		if existing.Dims() != dims {
-			return nil, false, fmt.Errorf("%w: %q has %d dims, requested %d",
-				ErrExists, name, existing.Dims(), dims)
+			return nil, false, fmt.Errorf("%w: %q has %d dims, requested %d", ErrExists, name, existing.Dims(), dims)
 		}
 		return existing, false, nil
 	}
-	if segSize <= 0 {
-		segSize = c.segSize
-	}
-	col = bond.NewSegmented(dims, segSize)
-	if err := col.Save(c.path(name)); err != nil {
+	defer c.releaseName(name)
+	_, statErr := os.Stat(c.path(name))
+	preexisting := statErr == nil
+	col, err = c.open(name, dims, segSize)
+	if err != nil {
 		return nil, false, err
 	}
+	if col.Dims() != dims {
+		col.Close()
+		return nil, false, fmt.Errorf("%w: %q has %d dims, requested %d", ErrExists, name, col.Dims(), dims)
+	}
+	c.mu.Lock()
 	c.cols[name] = col
-	return col, true, nil
+	c.mu.Unlock()
+	return col, !preexisting, nil
 }
 
-// Drop removes the named collection from memory and deletes its file. It
-// returns ErrNotFound when the name is neither loaded nor on disk. Drop
-// waits for any in-flight snapshot flush, so a save racing the drop
-// cannot rename the collection's file back into existence afterwards.
+// Drop removes the named collection from memory, closes its WAL, and
+// deletes its durable directory (or legacy file). It returns ErrNotFound
+// when the name is neither loaded nor on disk. Drop holds the per-name
+// slot and the checkpoint mutex, so neither a cold load nor a checkpoint
+// sweep can resurrect the files afterwards.
 func (c *Catalog) Drop(name string) error {
 	if !nameRE.MatchString(name) {
 		return ErrBadName
 	}
-	c.saveMu.Lock()
-	defer c.saveMu.Unlock()
+	c.claimSlot(name, false) // loaded or not, Drop needs the slot
+	defer c.releaseName(name)
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, loaded := c.cols[name]
+	col, loaded := c.cols[name]
 	delete(c.cols, name)
-	delete(c.dirty, name)
-	err := os.Remove(c.path(name))
-	if os.IsNotExist(err) {
-		if !loaded {
-			return ErrNotFound
-		}
-		return nil
+	c.mu.Unlock()
+	if col != nil {
+		col.Close()
 	}
-	return err
+	path := c.path(name)
+	_, statErr := os.Stat(path)
+	if statErr != nil && !loaded {
+		return ErrNotFound
+	}
+	_ = os.RemoveAll(path + ".migrating") // interrupted-migration staging, if any
+	return os.RemoveAll(path)
 }
 
 // Names lists every collection the catalog knows — loaded or still on
@@ -205,7 +270,7 @@ func (c *Catalog) Names() ([]string, error) {
 	}
 	c.mu.RUnlock()
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), collectionExt) {
+		if !strings.HasSuffix(e.Name(), collectionExt) {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), collectionExt)
@@ -223,7 +288,7 @@ func (c *Catalog) Names() ([]string, error) {
 
 // Loaded returns the collections currently resident in memory, keyed by
 // name — the set the maintenance loop sweeps (unloaded collections have
-// no tombstones to compact and nothing unpersisted).
+// no tombstones to compact and an already-quiet WAL).
 func (c *Catalog) Loaded() map[string]*bond.Collection {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -234,51 +299,57 @@ func (c *Catalog) Loaded() map[string]*bond.Collection {
 	return out
 }
 
-// MarkDirty records that the named collection has writes its on-disk
-// snapshot does not reflect; the next FlushDirty persists it.
-func (c *Catalog) MarkDirty(name string) {
-	c.mu.Lock()
-	c.dirty[name] = true
-	c.mu.Unlock()
-}
-
-// FlushDirty persists every dirty collection (Collection.Save takes the
-// collection's read lock, so searches proceed while snapshots write) and
-// returns how many were written. A collection whose save fails stays
-// dirty; the first error is returned after attempting the rest.
-// Concurrent FlushDirty calls serialize on saveMu — two writers in the
-// same <name>.bond.tmp would interleave into a corrupt snapshot.
-func (c *Catalog) FlushDirty() (int, error) {
-	c.saveMu.Lock()
-	defer c.saveMu.Unlock()
-	c.mu.Lock()
-	pending := make([]string, 0, len(c.dirty))
-	for name := range c.dirty {
-		if c.cols[name] != nil {
-			pending = append(pending, name)
-		}
-		delete(c.dirty, name)
+// CheckpointLoaded checkpoints every loaded collection whose current WAL
+// holds at least minWALBytes (minWALBytes <= 0 checkpoints every
+// collection with any logged record — the shutdown sweep), truncating
+// their logs. It returns how many checkpoints were written; the first
+// error is returned after attempting the rest. Durability does not
+// depend on it — acknowledged writes are already in the WAL — it only
+// bounds recovery replay time.
+func (c *Catalog) CheckpointLoaded(minWALBytes int64) (int, error) {
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+	loaded := c.Loaded()
+	names := make([]string, 0, len(loaded))
+	for name := range loaded {
+		names = append(names, name)
 	}
-	c.mu.Unlock()
-	sort.Strings(pending) // deterministic flush order for logs and tests
+	sort.Strings(names) // deterministic sweep order for logs and tests
 
 	var firstErr error
 	written := 0
-	for _, name := range pending {
-		c.mu.RLock()
-		col := c.cols[name]
-		c.mu.RUnlock()
-		if col == nil { // dropped between collect and save
+	for _, name := range names {
+		col := loaded[name]
+		ws, ok := col.WALStats()
+		if !ok || ws.WALRecords == 0 || (minWALBytes > 0 && ws.WALBytes < minWALBytes) {
 			continue
 		}
-		if err := col.Save(c.path(name)); err != nil {
-			c.MarkDirty(name)
+		if err := col.Checkpoint(); err != nil {
+			if errors.Is(err, bond.ErrClosed) {
+				continue // dropped concurrently
+			}
 			if firstErr == nil {
-				firstErr = fmt.Errorf("server: snapshot %q: %w", name, err)
+				firstErr = fmt.Errorf("server: checkpoint %q: %w", name, err)
 			}
 			continue
 		}
 		written++
 	}
 	return written, firstErr
+}
+
+// CloseAll checkpoints nothing but closes every loaded collection's WAL
+// (fsyncing it), releasing the catalog for process exit.
+func (c *Catalog) CloseAll() error {
+	c.mu.Lock()
+	cols := c.cols
+	c.cols = map[string]*bond.Collection{}
+	c.mu.Unlock()
+	var firstErr error
+	for name, col := range cols {
+		if err := col.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: close %q: %w", name, err)
+		}
+	}
+	return firstErr
 }

@@ -36,6 +36,14 @@ type Config struct {
 	// bounds executing queries, so this is what keeps one oversized
 	// ingest from ballooning memory.
 	MaxBodyBytes int64
+	// Fsync is the WAL flush policy every collection opens with. The zero
+	// value is bond.FsyncAlways: a 2xx on an ingest or delete means the
+	// mutation is on stable storage.
+	Fsync bond.FsyncPolicy
+	// WALMaxBytes is the per-collection WAL size at which the maintenance
+	// loop writes an incremental checkpoint and truncates the log
+	// (0 = 16 MiB; it bounds recovery replay time, not durability).
+	WALMaxBytes int64
 	// MaintenanceInterval is the period of the background maintenance
 	// loop. 0 disables the loop; RunMaintenance can still be driven
 	// manually (bondd always sets it).
@@ -60,7 +68,7 @@ type Server struct {
 	// Maintenance counters, exposed on /stats.
 	maintRuns   atomic.Int64
 	compactions atomic.Int64
-	snapshots   atomic.Int64
+	checkpoints atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -81,7 +89,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
-	cat, err := NewCatalog(cfg.Dir, cfg.SegmentSize)
+	if cfg.WALMaxBytes <= 0 {
+		cfg.WALMaxBytes = 16 << 20
+	}
+	cat, err := NewCatalog(cfg.Dir, cfg.SegmentSize, cfg.Fsync)
 	if err != nil {
 		return nil, err
 	}
@@ -110,14 +121,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // path).
 func (s *Server) Catalog() *Catalog { return s.cat }
 
-// Close stops the maintenance loop and flushes every unpersisted
-// collection. It is safe to call once; in-flight HTTP requests should be
-// drained first (http.Server.Shutdown), since Close does not wait for
-// them.
+// Close stops the maintenance loop, checkpoints every collection with a
+// non-empty WAL (so the next start replays nothing), and closes every
+// WAL with a final fsync. It is safe to call once; in-flight HTTP
+// requests should be drained first (http.Server.Shutdown), since Close
+// does not wait for them. Durability does not depend on Close — a
+// SIGKILL instead of a clean shutdown loses nothing acknowledged under
+// fsync=always — it only makes the next start cheap.
 func (s *Server) Close() error {
 	close(s.stop)
 	<-s.done
-	_, err := s.cat.FlushDirty()
+	_, err := s.cat.CheckpointLoaded(0)
+	if cerr := s.cat.CloseAll(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -138,10 +155,10 @@ func (s *Server) maintainLoop() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			if compacted, persisted, err := s.RunMaintenance(); err != nil {
+			if compacted, checkpointed, err := s.RunMaintenance(); err != nil {
 				s.logf("bondd: maintenance: %v", err)
-			} else if compacted+persisted > 0 {
-				s.logf("bondd: maintenance: compacted %d, persisted %d", compacted, persisted)
+			} else if compacted+checkpointed > 0 {
+				s.logf("bondd: maintenance: compacted %d, checkpointed %d", compacted, checkpointed)
 			}
 		}
 	}
@@ -149,13 +166,15 @@ func (s *Server) maintainLoop() {
 
 // RunMaintenance performs one maintenance cycle over the loaded
 // collections: collections whose tombstone ratio is at or above the
-// compaction threshold are compacted (which remaps surviving ids — the
-// API's documented id contract), then every dirty collection is
-// persisted. It returns how many collections were compacted and how many
-// snapshots were written. Safe to call concurrently with serving traffic;
-// compaction serializes against queries on the collection's own write
-// lock.
-func (s *Server) RunMaintenance() (compacted, persisted int, err error) {
+// compaction threshold are compacted (a WAL-logged mutation that remaps
+// surviving ids — the API's documented id contract), then every
+// collection whose WAL has outgrown WALMaxBytes is checkpointed, which
+// truncates its log. Durability never waits for this loop — writes are
+// WAL-logged at acknowledgment time — the loop only bounds tombstone
+// load and recovery replay time. Safe to call concurrently with serving
+// traffic; compaction serializes against queries on the collection's own
+// write lock, and checkpoint I/O runs outside it.
+func (s *Server) RunMaintenance() (compacted, checkpointed int, err error) {
 	s.maintRuns.Add(1)
 	if s.cfg.CompactRatio >= 0 {
 		for name, col := range s.cat.Loaded() {
@@ -163,15 +182,22 @@ func (s *Server) RunMaintenance() (compacted, persisted int, err error) {
 			if ratio < s.cfg.CompactRatio || ratio == 0 {
 				continue
 			}
-			col.CompactRatio(s.cfg.CompactRatio)
-			s.cat.MarkDirty(name)
+			if _, cerr := col.CompactRatioDurable(s.cfg.CompactRatio); cerr != nil {
+				if err == nil {
+					err = fmt.Errorf("server: compact %q: %w", name, cerr)
+				}
+				continue
+			}
 			compacted++
 			s.compactions.Add(1)
 		}
 	}
-	persisted, err = s.cat.FlushDirty()
-	s.snapshots.Add(int64(persisted))
-	return compacted, persisted, err
+	checkpointed, ckErr := s.cat.CheckpointLoaded(s.cfg.WALMaxBytes)
+	if err == nil {
+		err = ckErr
+	}
+	s.checkpoints.Add(int64(checkpointed))
+	return compacted, checkpointed, err
 }
 
 // --- Routing --------------------------------------------------------------
@@ -184,6 +210,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /collections/{name}", s.handleDrop)
 	s.mux.HandleFunc("GET /collections/{name}", s.handleCollectionStats)
 	s.mux.HandleFunc("POST /collections/{name}/vectors", s.handleIngest)
+	s.mux.HandleFunc("GET /collections/{name}/vectors/{id}", s.handleGetVector)
 	s.mux.HandleFunc("DELETE /collections/{name}/vectors/{id}", s.handleDeleteVector)
 	s.mux.HandleFunc("POST /collections/{name}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /collections/{name}/query/batch", s.handleQueryBatch)
@@ -274,14 +301,24 @@ type explainResponse struct {
 	Plan string `json:"plan"`
 }
 
+type vectorResponse struct {
+	ID     int       `json:"id"`
+	Vector []float64 `json:"vector"`
+}
+
 type serverStats struct {
-	UptimeSeconds   float64                         `json:"uptime_seconds"`
-	InFlight        int64                           `json:"in_flight"`
-	MaxInFlight     int                             `json:"max_in_flight"`
-	MaintenanceRuns int64                           `json:"maintenance_runs"`
-	Compactions     int64                           `json:"compactions"`
-	Snapshots       int64                           `json:"snapshots"`
-	Collections     map[string]bond.CollectionStats `json:"collections"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	InFlight        int64   `json:"in_flight"`
+	MaxInFlight     int     `json:"max_in_flight"`
+	MaintenanceRuns int64   `json:"maintenance_runs"`
+	Compactions     int64   `json:"compactions"`
+	// Checkpoints counts maintenance-triggered WAL checkpoints; each
+	// collection's own durability block (wal_bytes, wal_records, wal_seq,
+	// checkpoints) is nested under its CollectionStats.
+	Checkpoints int64                           `json:"checkpoints"`
+	Fsync       string                          `json:"fsync"`
+	WALMaxBytes int64                           `json:"wal_max_bytes"`
+	Collections map[string]bond.CollectionStats `json:"collections"`
 }
 
 // --- Helpers --------------------------------------------------------------
@@ -422,7 +459,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxInFlight:     s.cfg.MaxInFlight,
 		MaintenanceRuns: s.maintRuns.Load(),
 		Compactions:     s.compactions.Load(),
-		Snapshots:       s.snapshots.Load(),
+		Checkpoints:     s.checkpoints.Load(),
+		Fsync:           s.cfg.Fsync.String(),
+		WALMaxBytes:     s.cfg.WALMaxBytes,
 		Collections:     map[string]bond.CollectionStats{},
 	}
 	for name, col := range s.cat.Loaded() {
@@ -509,9 +548,36 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	first := col.AddBatch(vectors)
-	s.cat.MarkDirty(name)
+	// The batch is WAL-logged (and, under fsync=always, fsynced) as one
+	// atomic record before AddBatchDurable returns: the 2xx below IS the
+	// durability acknowledgment.
+	first, err := col.AddBatchDurable(vectors)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("ingest not durable: %w", err))
+		return
+	}
 	writeJSON(w, http.StatusOK, ingestResponse{FirstID: first, Count: len(vectors)})
+}
+
+// handleGetVector reads one vector back by id — the readback clients use
+// to audit durability (and the SIGKILL end-to-end test relies on).
+func (s *Server) handleGetVector(w http.ResponseWriter, r *http.Request) {
+	col, err := s.cat.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad vector id: %w", err))
+		return
+	}
+	v, ok := col.TryVector(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("id %d outside collection [0,%d)", id, col.Len()))
+		return
+	}
+	writeJSON(w, http.StatusOK, vectorResponse{ID: id, Vector: v})
 }
 
 func (s *Server) handleDeleteVector(w http.ResponseWriter, r *http.Request) {
@@ -526,11 +592,15 @@ func (s *Server) handleDeleteVector(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad vector id: %w", err))
 		return
 	}
-	if !col.TryDelete(id) {
+	ok, err := col.TryDeleteDurable(id)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("delete not durable: %w", err))
+		return
+	}
+	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("id %d outside collection [0,%d)", id, col.Len()))
 		return
 	}
-	s.cat.MarkDirty(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -408,7 +408,10 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 // tombstoned collection and checks compaction, persistence, and the
 // stats counters.
 func TestMaintenanceCompacts(t *testing.T) {
-	s, ts := newTestServer(t, Config{CompactRatio: 0.2})
+	// WALMaxBytes: 1 makes any non-empty WAL eligible, so the cycle also
+	// demonstrates checkpoint-and-truncate instead of whole-store
+	// snapshotting.
+	s, ts := newTestServer(t, Config{CompactRatio: 0.2, WALMaxBytes: 1})
 	vectors := dataset.CorelLike(200, 8, 13)
 	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 8, SegmentSize: 50}, nil)
 	ingestBatch(t, ts.URL, "c", vectors)
@@ -425,21 +428,24 @@ func TestMaintenanceCompacts(t *testing.T) {
 		t.Fatalf("tombstone ratio %v, want 0.5", st.TombstoneRatio)
 	}
 
-	compacted, persisted, err := s.RunMaintenance()
+	compacted, checkpointed, err := s.RunMaintenance()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if compacted != 1 || persisted != 1 {
-		t.Fatalf("maintenance: compacted %d persisted %d", compacted, persisted)
+	if compacted != 1 || checkpointed != 1 {
+		t.Fatalf("maintenance: compacted %d checkpointed %d", compacted, checkpointed)
 	}
 	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
 	if st.Len != 100 || st.TombstoneRatio != 0 {
 		t.Fatalf("after compaction: %+v", st)
 	}
+	if st.Durability == nil || st.Durability.WALRecords != 0 || st.Durability.Checkpoints != 1 {
+		t.Fatalf("checkpoint did not truncate the WAL: %+v", st.Durability)
+	}
 
 	var sst serverStats
 	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &sst)
-	if sst.Compactions != 1 || sst.Snapshots != 1 || sst.MaintenanceRuns != 1 {
+	if sst.Compactions != 1 || sst.Checkpoints != 1 || sst.MaintenanceRuns != 1 {
 		t.Fatalf("server stats: %+v", sst)
 	}
 	if _, ok := sst.Collections["c"]; !ok {

@@ -1,0 +1,152 @@
+package vstore
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeedStore renders a small valid flat-store image.
+func fuzzSeedStore(tb testing.TB) []byte {
+	st := New(3)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		st.Append(randVec(rng, 3))
+	}
+	st.Delete(4)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzSeedManifest renders a small valid manifest image.
+func fuzzSeedManifest() []byte {
+	return EncodeManifest(&Manifest{
+		Dims:         3,
+		SegSize:      32,
+		NextSegID:    4,
+		WALSeq:       2,
+		ActiveLen:    5,
+		PlannerStats: []byte{1, 2, 3},
+		Segments: []ManifestSegment{
+			{ID: 1, Len: 32, Deleted: []int{3, 31}},
+			{ID: 3, Len: 32},
+		},
+	})
+}
+
+// FuzzLoadStore feeds arbitrary images to the flat-store loader —
+// recovery reads sealed segment files and active checkpoints through it,
+// so it must reject malformed input with an error, never panic, and
+// never size an allocation from an unvalidated header field.
+func FuzzLoadStore(f *testing.F) {
+	valid := fuzzSeedStore(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	flipped := append([]byte(nil), valid...)
+	flipped[11] ^= 0x80
+	f.Add(flipped)
+	f.Add([]byte("BONDSTR1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Load(bytes.NewReader(data))
+		if err == nil {
+			// Accepted input must round-trip.
+			var buf bytes.Buffer
+			if serr := st.Save(&buf); serr != nil {
+				t.Fatalf("accepted store fails to re-save: %v", serr)
+			}
+		}
+	})
+}
+
+// FuzzDecodeManifest feeds arbitrary images to the manifest decoder with
+// the same no-panic, no-over-allocation contract.
+func FuzzDecodeManifest(f *testing.F) {
+	valid := fuzzSeedManifest()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte("BONDMAN1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err == nil {
+			// Accepted manifests re-encode to the same image (decode and
+			// encode are inverses on the accepted set).
+			if !bytes.Equal(EncodeManifest(m), data) {
+				t.Fatal("manifest decode/encode not inverse")
+			}
+		}
+	})
+}
+
+// FuzzLoadSegmented covers the legacy v1/v2 whole-store loader that
+// LoadAnyBytes dispatches to for pre-durability snapshot files.
+func FuzzLoadSegmented(f *testing.F) {
+	rng := rand.New(rand.NewSource(9))
+	s := buildSegmentedFuzz(f, rng)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4])
+	f.Add([]byte("BONDSEG1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = LoadAnyBytes(data)
+	})
+}
+
+func buildSegmentedFuzz(tb testing.TB, rng *rand.Rand) *SegStore {
+	s := NewSegmented(3, 8)
+	for i := 0; i < 20; i++ {
+		s.Append(randVec(rng, 3))
+	}
+	s.Delete(2)
+	return s
+}
+
+// corpusEntry renders one seed in the go-fuzz corpus file format.
+func corpusEntry(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// TestFuzzCorpusUpToDate regenerates the checked-in seed corpora when
+// VSTORE_REGEN_CORPUS=1 and otherwise verifies they are present.
+func TestFuzzCorpusUpToDate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var segBuf bytes.Buffer
+	if err := buildSegmentedFuzz(t, rng).Save(&segBuf); err != nil {
+		t.Fatal(err)
+	}
+	corpora := map[string][]byte{
+		"FuzzLoadStore":      fuzzSeedStore(t),
+		"FuzzDecodeManifest": fuzzSeedManifest(),
+		"FuzzLoadSegmented":  segBuf.Bytes(),
+	}
+	for fuzzName, data := range corpora {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if os.Getenv("VSTORE_REGEN_CORPUS") == "1" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "seed-valid"), corpusEntry(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "seed-torn"), corpusEntry(data[:len(data)-3]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("seed corpus missing for %s (run with VSTORE_REGEN_CORPUS=1): %v", fuzzName, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package vstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -32,6 +33,12 @@ type Segment struct {
 	codes     *QuantStore
 	rowOnce   sync.Once
 	rowCodes  []uint8
+
+	// persistID is the segment's durable identity: assigned once (by the
+	// first checkpoint that captures the segment, or by recovery) and
+	// never reused, it names the write-once seg-<id>.seg file holding the
+	// segment's columns. 0 means not yet persisted.
+	persistID uint64
 }
 
 // Sealed reports whether the segment is frozen (immutable columns).
@@ -89,6 +96,10 @@ type SegStore struct {
 	// planner's learned coefficients survive a restart. The storage layer
 	// does not interpret it.
 	plannerStats []byte
+
+	// nextSegID is the next unassigned persistent segment id (see
+	// Segment.persistID); 0 until the first checkpoint or recovery.
+	nextSegID uint64
 }
 
 // NewSegmented returns an empty segmented store. segSize <= 0 selects
@@ -519,22 +530,30 @@ func (s *SegStore) SaveFileWith(path string, plannerStats []byte) error {
 	return os.Rename(tmp, path)
 }
 
-// LoadAnyFile reads either storage layout from path: the segmented format
-// written by SegStore.Save, or the seed's flat format written by
-// Store.Save, which loads as a single sealed segment (so synopses and
-// compressed codes apply to it) plus a fresh active segment.
+// LoadAnyFile reads either legacy storage layout from path: the
+// segmented format written by SegStore.Save (v1 and v2), or the seed's
+// flat format written by Store.Save.
 func LoadAnyFile(path string) (*SegStore, error) {
-	f, err := os.Open(path)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	magic, err := br.Peek(len(segMagic))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	return LoadAnyBytes(b)
+}
+
+// LoadAnyBytes reads either legacy storage layout from an in-memory
+// image: the segmented format written by SegStore.Save, or the seed's
+// flat format written by Store.Save, which loads as a single sealed
+// segment (so synopses and compressed codes apply to it) plus a fresh
+// active segment. The durability layer uses it to migrate legacy
+// snapshot files into the incremental directory layout through its
+// injectable filesystem.
+func LoadAnyBytes(b []byte) (*SegStore, error) {
+	if len(b) < len(segMagic) {
+		return nil, fmt.Errorf("%w: %d-byte store image", ErrCorrupt, len(b))
 	}
-	if string(magic) == segMagic {
+	br := bytes.NewReader(b)
+	if string(b[:len(segMagic)]) == segMagic {
 		return LoadSegmented(br)
 	}
 	st, err := Load(br)

@@ -404,12 +404,17 @@ func Load(r io.Reader) (*Store, error) {
 	s.n = n
 	buf := make([]byte, 8)
 	readCol := func() ([]float64, error) {
-		col := make([]float64, n)
-		for i := range col {
+		// Grow incrementally instead of trusting the header's n up front:
+		// a malformed header cannot force a huge allocation, because
+		// memory stays bounded by the bytes actually present in the
+		// stream (reads fail at the real EOF long before a hostile n is
+		// reached).
+		col := make([]float64, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
 			if _, err := io.ReadFull(tr, buf); err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
-			col[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			col = append(col, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
 		}
 		return col, nil
 	}
