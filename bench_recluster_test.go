@@ -1,0 +1,39 @@
+package bond_test
+
+import (
+	"io"
+	"testing"
+
+	"bond/internal/hotpath"
+)
+
+// BenchmarkRecluster measures what one background re-clustering pass
+// buys on a shuffled ingest order — QPS and cells scanned per query
+// before the pass, after it, and on the cluster-contiguous ceiling the
+// rewrite should reach — and writes the measurements to
+// BENCH_recluster.json (the CI perf artifact). Run with:
+//
+//	go test -run xxx -bench BenchmarkRecluster -benchtime 1x .
+func BenchmarkRecluster(b *testing.B) {
+	var records []hotpath.Record
+	for i := 0; i < b.N; i++ {
+		var err error
+		records, err = hotpath.RunRecluster(hotpath.DefaultConfig(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range records {
+		switch r.Mode {
+		case "pre_recluster", "post_recluster", "ceiling":
+			b.ReportMetric(r.QPS, r.Mode+"_qps")
+			b.ReportMetric(r.CellsPerQuery, r.Mode+"_cells")
+		case "summary":
+			b.ReportMetric(r.Speedup, "post_pre_qps_ratio")
+			b.ReportMetric(r.ReclusterMs, "recluster_ms")
+		}
+	}
+	if err := hotpath.WriteJSON("BENCH_recluster.json", records); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -29,7 +29,7 @@
 // A Collection is safe for concurrent use: any number of readers
 // (Query, QueryBatch, Search, SearchParallel, SearchCompressed,
 // SearchMIL, Len, Save, …) run concurrently with each other, and writers
-// (Add, AddBatch, Delete, Compact) are serialized against them by an
+// (Add, AddBatch, Delete, Compact, Recluster) are serialized against them by an
 // internal RWMutex. Every
 // search observes a consistent snapshot and returns exact results.
 // SearchProgressive and AsFeature take a snapshot under the lock (sealed
@@ -276,6 +276,14 @@ type Collection struct {
 	// in-memory collections (NewCollection, Open), whose mutators then
 	// skip logging entirely.
 	dur *durability
+
+	// reclusters counts completed re-clustering passes since open, and
+	// reclusterMark remembers the sealed slot count right after the last
+	// one so ReclusterAdvice does not re-advise an unchanged layout. Both
+	// are guarded by mu; neither is persisted (they are process-lifetime
+	// observability, not replayed state).
+	reclusters    int64
+	reclusterMark int
 }
 
 // unitQuantizer is the paper's 8-bit [0,1] grid, shared by every segment's
@@ -374,6 +382,14 @@ type CollectionStats struct {
 	// TombstoneRatio is (Len−Live)/Len — the signal background compaction
 	// triggers on. 0 for an empty collection.
 	TombstoneRatio float64 `json:"tombstone_ratio"`
+	// Reclusters counts completed re-clustering passes since open, and
+	// SealedSpread is the synopsis-spread gauge background re-clustering
+	// triggers on (≈1 shuffled, ≈0 cluster-contiguous; see SealedSpread).
+	// SpreadMeasured is false when the gauge is unavailable (no sealed
+	// segment with a synopsis), in which case SealedSpread is 0.
+	Reclusters     int64   `json:"reclusters"`
+	SealedSpread   float64 `json:"sealed_spread"`
+	SpreadMeasured bool    `json:"spread_measured"`
 	// Planner is the adaptive cost model's serializable view.
 	Planner PlannerModelStats `json:"planner"`
 	// Durability is the WAL/checkpoint gauge block of a collection opened
@@ -415,6 +431,8 @@ func (c *Collection) StatsSnapshot() CollectionStats {
 	if st.Len > 0 {
 		st.TombstoneRatio = float64(st.Len-st.Live) / float64(st.Len)
 	}
+	st.Reclusters = c.reclusters
+	st.SealedSpread, st.SpreadMeasured = c.sealedSpreadLocked()
 	if ds, ok := c.walStatsLocked(); ok {
 		st.Durability = &ds
 	}

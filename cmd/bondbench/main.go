@@ -68,6 +68,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload seed (0 = configuration default)")
 	qps := flag.Bool("qps", false, "run the hot-path QPS/throughput suite (Query vs QueryBatch, kernel micros)")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "where -qps writes its JSON measurements")
+	recluster := flag.Bool("recluster", false, "run the re-clustering suite (QPS before/after one background recluster, plus the cluster-contiguous ceiling)")
+	reclusterOut := flag.String("recluster-out", "BENCH_recluster.json", "where -recluster writes its JSON measurements")
 	batch := flag.Int("batch", 8, "QueryBatch size for the -qps suite")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -98,7 +100,7 @@ func main() {
 		}()
 	}
 
-	if *qps {
+	if *qps || *recluster {
 		hcfg := hotpath.DefaultConfig()
 		if *n > 0 {
 			hcfg.N = *n
@@ -115,14 +117,26 @@ func main() {
 		if *batch > 0 {
 			hcfg.Batch = *batch
 		}
-		records, err := hotpath.Run(hcfg, os.Stdout)
-		if err != nil {
-			fatal(err)
+		if *qps {
+			records, err := hotpath.Run(hcfg, os.Stdout)
+			if err != nil {
+				fatal(err)
+			}
+			if err := hotpath.WriteJSON(*hotpathOut, records); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote %d records to %s\n", len(records), *hotpathOut)
 		}
-		if err := hotpath.WriteJSON(*hotpathOut, records); err != nil {
-			fatal(err)
+		if *recluster {
+			records, err := hotpath.RunRecluster(hcfg, os.Stdout)
+			if err != nil {
+				fatal(err)
+			}
+			if err := hotpath.WriteJSON(*reclusterOut, records); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote %d records to %s\n", len(records), *reclusterOut)
 		}
-		fmt.Printf("\nwrote %d records to %s\n", len(records), *hotpathOut)
 		return
 	}
 

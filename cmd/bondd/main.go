@@ -16,6 +16,7 @@
 //	POST   /collections/{name}/vectors       ingest one {"vector": […]} or a batch {"vectors": [[…],…]}
 //	GET    /collections/{name}/vectors/{id}  read one vector back
 //	DELETE /collections/{name}/vectors/{id}  tombstone one vector
+//	POST   /collections/{name}/recluster     rewrite sealed segments cluster-contiguously ({"k": K?, "seed": S?})
 //	POST   /collections/{name}/query         one QuerySpec in, top-k out
 //	POST   /collections/{name}/query/batch   {"queries": […]} through Collection.QueryBatch
 //	GET    /collections/{name}/explain       EXPLAIN by example (?id=17&k=10&strategy=auto); POST takes a spec
@@ -37,11 +38,15 @@
 // history.
 //
 // The maintenance loop compacts collections whose tombstone ratio
-// crosses -compact-ratio and checkpoints any collection whose WAL has
-// outgrown -wal-max-bytes, truncating the log — checkpoints bound
-// restart replay time, not durability. Pre-durability <name>.bond
-// snapshot files are migrated in place on first touch. SIGINT/SIGTERM
-// drain in-flight requests, checkpoint, and close every log.
+// crosses -compact-ratio, re-clusters collections whose sealed synopsis
+// spread crosses -recluster-spread (rewriting sealed segments so each
+// holds one k-means cluster — tight synopses restore segment skipping
+// however shuffled the ingest order was), and checkpoints any collection
+// whose WAL has outgrown -wal-max-bytes, truncating the log —
+// checkpoints bound restart replay time, not durability. Pre-durability
+// <name>.bond snapshot files are migrated in place on first touch.
+// SIGINT/SIGTERM drain in-flight requests, checkpoint, and close every
+// log.
 package main
 
 import (
@@ -67,6 +72,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "bound on concurrently executing queries (0 = 4×GOMAXPROCS)")
 	maintEvery := flag.Duration("maintenance-interval", 30*time.Second, "background compaction/snapshot period (0 disables)")
 	compactRatio := flag.Float64("compact-ratio", 0.25, "tombstone ratio that triggers compaction (0 selects the default 0.25; negative disables)")
+	reclusterSpread := flag.Float64("recluster-spread", 0.6, "sealed synopsis spread that triggers background re-clustering (0 selects the default 0.6; negative disables)")
 	maxBody := flag.Int64("max-body-bytes", 0, "request body size cap in bytes (0 = 64 MiB)")
 	fsync := flag.String("fsync", "always", "WAL flush policy: always (no acknowledged write ever lost), interval, or never")
 	walMax := flag.Int64("wal-max-bytes", 0, "per-collection WAL size that triggers a maintenance checkpoint (0 = 16 MiB)")
@@ -87,6 +93,7 @@ func main() {
 		SegmentSize:         *segSize,
 		MaxInFlight:         *maxInFlight,
 		CompactRatio:        *compactRatio,
+		ReclusterSpread:     *reclusterSpread,
 		MaxBodyBytes:        *maxBody,
 		Fsync:               fsyncPolicy,
 		WALMaxBytes:         *walMax,

@@ -35,15 +35,19 @@ const (
 )
 
 type crashOp struct {
-	kind  string // add | batch | delete | compact | seal | checkpoint
+	kind  string // add | batch | delete | compact | seal | recluster | checkpoint
 	vec   []float64
 	batch [][]float64
 	id    int
 	ratio float64
+	k     int
+	seed  int64
 }
 
 // crashHistory builds a deterministic mutation history that exercises
-// every record type, segment seals by overflow, compaction rewrites, and
+// every record type, segment seals by overflow, compaction rewrites,
+// re-clustering rewrites (one replayed straight from the WAL, one
+// captured by a checkpoint, one left in the final log tail), and
 // checkpoints at three different log positions.
 func crashHistory() []crashOp {
 	rng := rand.New(rand.NewSource(42))
@@ -62,16 +66,19 @@ func crashHistory() []crashOp {
 		crashOp{kind: "delete", id: 2},
 		crashOp{kind: "checkpoint"},
 		crashOp{kind: "batch", batch: [][]float64{vec(), vec(), vec()}},
+		crashOp{kind: "recluster", k: 0, seed: 7}, // auto-k; drops the id-2 tombstone
 		crashOp{kind: "delete", id: 8},
 		crashOp{kind: "delete", id: 3},
 		crashOp{kind: "compact", ratio: 0.2},
 		crashOp{kind: "add", vec: vec()},
 		crashOp{kind: "seal"},
+		crashOp{kind: "recluster", k: 2, seed: -3}, // explicit k, then checkpointed
 		crashOp{kind: "checkpoint"},
 		crashOp{kind: "add", vec: vec()},
 		crashOp{kind: "batch", batch: [][]float64{vec(), vec()}},
 		crashOp{kind: "delete", id: 0},
 		crashOp{kind: "compact", ratio: 0},
+		crashOp{kind: "recluster", k: 0, seed: 99}, // left in the WAL tail
 		crashOp{kind: "checkpoint"},
 		crashOp{kind: "add", vec: vec()},
 	)
@@ -99,6 +106,9 @@ func applyCrashOp(c *Collection, op crashOp) error {
 		return err
 	case "seal":
 		return c.SealActiveDurable()
+	case "recluster":
+		_, err := c.ReclusterDurable(op.k, op.seed)
+		return err
 	case "checkpoint":
 		return c.Checkpoint()
 	}
@@ -126,6 +136,10 @@ func oracleDumps(t *testing.T, ops []crashOp) []collectionDump {
 			mirror.CompactRatio(op.ratio)
 		case "seal":
 			mirror.SealActive()
+		case "recluster":
+			// Deterministic: the mirror converges on the exact layout the
+			// durable collection (and its WAL replay) produces.
+			mirror.Recluster(op.k, op.seed)
 		case "checkpoint":
 			// No logical state change.
 		}

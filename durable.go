@@ -371,6 +371,8 @@ func applyRecord(s *vstore.SegStore, rec wal.Record) error {
 		s.Compact(rec.Ratio)
 	case wal.TypeSeal:
 		s.SealActive()
+	case wal.TypeRecluster:
+		return applyRecluster(s, rec.K, rec.Seed)
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}
@@ -481,7 +483,16 @@ func (c *Collection) CompactRatioDurable(minRatio float64) ([]int, error) {
 		return nil, err
 	}
 	c.invalidatePlanCache()
-	return c.store.Compact(minRatio), nil
+	lenBefore := c.store.Len()
+	mapping := c.store.Compact(minRatio)
+	// Cost-model hygiene: compaction destroys the segments it rewrites, so
+	// decay the EWMA feedback toward its priors in proportion to the slots
+	// dropped (the rewritten fraction of the collection). Live-path only,
+	// like the model itself — replay does not decay.
+	if lenBefore > 0 {
+		c.model.DecayForRewrite(float64(lenBefore-c.store.Len()) / float64(lenBefore))
+	}
+	return mapping, nil
 }
 
 // SealActiveDurable is SealActive returning the durability error instead

@@ -65,6 +65,59 @@ type Result struct {
 // ErrBadOptions reports invalid clustering options.
 var ErrBadOptions = errors.New("cluster: invalid options")
 
+// Groups returns the live ids of each cluster, ascending within a group
+// (assignments are scanned in id order) — the partition a cluster-aligned
+// segment rewrite consumes. Deleted vectors (assignment −1) appear in no
+// group. Clusters that ended empty yield empty groups.
+func (r *Result) Groups() [][]int {
+	groups := make([][]int, len(r.Centers))
+	for id, c := range r.Assignments {
+		if c >= 0 {
+			groups[c] = append(groups[c], id)
+		}
+	}
+	return groups
+}
+
+// Assign runs one assignment pass against fixed centres: every live
+// vector goes to its nearest centre (ties toward the lower centre index)
+// and the centres do not move — the incremental half of Lloyd's
+// algorithm, for placing new vectors into an existing clustering without
+// re-running it. Options.K, MaxIters, and Tol are ignored; the clustering
+// width is len(centers). Pruning follows Options as in KMeans and is
+// exact.
+func Assign(s *vstore.Store, centers [][]float64, opts Options) (Result, error) {
+	if len(centers) == 0 {
+		return Result{}, fmt.Errorf("%w: no centers", ErrBadOptions)
+	}
+	for _, ctr := range centers {
+		if len(ctr) != s.Dims() {
+			return Result{}, fmt.Errorf("%w: centre dims %d != store dims %d", ErrBadOptions, len(ctr), s.Dims())
+		}
+	}
+	if opts.Step == 0 {
+		opts.Step = 8
+	}
+	if opts.Step < 1 {
+		return Result{}, fmt.Errorf("%w: Step must be >= 1", ErrBadOptions)
+	}
+	live := s.LiveIDs()
+	if len(live) == 0 {
+		return Result{}, fmt.Errorf("%w: no live vectors", ErrBadOptions)
+	}
+	res := Result{Assignments: make([]int, s.Len()), Centers: centers, Iters: 1}
+	for i := range res.Assignments {
+		res.Assignments[i] = -1
+	}
+	if opts.NoPrune {
+		res.Inertia, res.ValuesScanned = assignNaive(s, live, centers, res.Assignments)
+	} else {
+		lo, hi := columnExtents(s, live)
+		res.Inertia, res.ValuesScanned = assignPruned(s, live, centers, res.Assignments, opts.Step, lo, hi)
+	}
+	return res, nil
+}
+
 // KMeans clusters the live vectors of a decomposed store.
 func KMeans(s *vstore.Store, opts Options) (Result, error) {
 	if opts.K < 1 {
@@ -93,6 +146,9 @@ func KMeans(s *vstore.Store, opts Options) (Result, error) {
 	if k > len(live) {
 		k = len(live)
 	}
+	// initCenters may stop short of k when the live points hold fewer than
+	// k distinct coordinates; everything below sizes itself from the
+	// centres actually seeded.
 
 	// Per-dimension data extent: the worst-case remaining distance of a
 	// centre is bounded by the farthest data corner, not the unit box, so
@@ -145,24 +201,31 @@ func initCenters(s *vstore.Store, live []int, k int, seed int64) [][]float64 {
 	for len(centers) < k {
 		total := 0.0
 		for _, d := range d2 {
-			total += d
-		}
-		var chosen int
-		if total == 0 {
-			chosen = live[rng.Intn(len(live))]
-		} else {
-			r := rng.Float64() * total
-			acc := 0.0
-			idx := len(live) - 1
-			for i, d := range d2 {
-				acc += d
-				if acc >= r {
-					idx = i
-					break
-				}
+			if !math.IsNaN(d) {
+				total += d
 			}
-			chosen = live[idx]
 		}
+		if total == 0 {
+			// Every remaining point coincides with a centre already chosen
+			// (duplicate points): any further centre would collapse onto an
+			// existing one, leaving indistinguishable duplicates. Stop with
+			// the distinct centres found.
+			break
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		idx := len(live) - 1
+		for i, d := range d2 {
+			if math.IsNaN(d) {
+				continue
+			}
+			acc += d
+			if acc >= r {
+				idx = i
+				break
+			}
+		}
+		chosen := live[idx]
 		ctr := s.Row(chosen)
 		centers = append(centers, ctr)
 		for i, id := range live {
@@ -338,6 +401,12 @@ func assignPruned(s *vstore.Store, live []int, centers [][]float64, out []int, s
 					m &^= bit
 				}
 			}
+			if bestC < 0 {
+				// Every candidate distance is NaN (NaN coefficients): no
+				// bound is meaningful, so nothing can be pruned for this
+				// point.
+				continue
+			}
 			bound := bestD + tails[bestC].EvUpper(t)
 			for w := 0; w < words; w++ {
 				m := masks[base+w]
@@ -367,6 +436,11 @@ func assignPruned(s *vstore.Store, live []int, centers [][]float64, out []int, s
 				m &^= bit
 			}
 		}
+		if bestC < 0 {
+			// All-NaN distances: fall back to centre 0, matching
+			// assignNaive's default under the same input.
+			bestC, bestD = 0, dist[i*k]
+		}
 		out[id] = bestC
 		inertia += bestD
 	}
@@ -374,27 +448,24 @@ func assignPruned(s *vstore.Store, live []int, centers [][]float64, out []int, s
 }
 
 // updateCenters recomputes centroids column-wise. Empty clusters keep
-// their previous centre.
+// their previous centre, and so does any centroid coordinate whose new
+// mean comes out non-finite (a NaN coefficient in the data would
+// otherwise poison the centre and, through it, every later distance).
 func updateCenters(s *vstore.Store, live []int, centers [][]float64, assign []int) {
 	k := len(centers)
+	dims := s.Dims()
 	counts := make([]int, k)
 	for _, id := range live {
-		counts[assign[id]]++
-	}
-	for c := 0; c < k; c++ {
-		if counts[c] == 0 {
-			continue
-		}
-		for d := range centers[c] {
-			centers[c][d] = 0
+		if c := assign[id]; c >= 0 {
+			counts[c]++
 		}
 	}
-	for d := 0; d < s.Dims(); d++ {
+	sums := make([]float64, k*dims)
+	for d := 0; d < dims; d++ {
 		col := s.Column(d)
 		for _, id := range live {
-			c := assign[id]
-			if counts[c] > 0 {
-				centers[c][d] += col[id]
+			if c := assign[id]; c >= 0 {
+				sums[c*dims+d] += col[id]
 			}
 		}
 	}
@@ -403,8 +474,10 @@ func updateCenters(s *vstore.Store, live []int, centers [][]float64, assign []in
 			continue
 		}
 		inv := 1 / float64(counts[c])
-		for d := range centers[c] {
-			centers[c][d] *= inv
+		for d := 0; d < dims; d++ {
+			if m := sums[c*dims+d] * inv; !math.IsNaN(m) && !math.IsInf(m, 0) {
+				centers[c][d] = m
+			}
 		}
 	}
 }

@@ -162,6 +162,177 @@ func TestKMeansDeterministicForSeed(t *testing.T) {
 	}
 }
 
+func TestKMeansDuplicatePointsCollapseCentres(t *testing.T) {
+	// 30 points but only 3 distinct coordinates: asking for 10 clusters
+	// must yield at most 3 centres, all distinct, with every point
+	// assigned to a centre it coincides with.
+	vecs := make([][]float64, 0, 30)
+	distinct := [][]float64{{0.1, 0.1, 0.1}, {0.5, 0.5, 0.5}, {0.9, 0.9, 0.9}}
+	for i := 0; i < 30; i++ {
+		vecs = append(vecs, distinct[i%3])
+	}
+	s := vstore.FromVectors(vecs)
+	res, err := KMeans(s, Options{K: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) > 3 {
+		t.Fatalf("%d centres from 3 distinct points", len(res.Centers))
+	}
+	for i, a := range res.Centers {
+		for j := i + 1; j < len(res.Centers); j++ {
+			same := true
+			for d := range a {
+				if a[d] != res.Centers[j][d] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("centres %d and %d are duplicates", i, j)
+			}
+		}
+	}
+	if res.Inertia > 1e-20 {
+		t.Errorf("inertia %v, want ≈0 (every point sits on a centre)", res.Inertia)
+	}
+
+	// The degenerate extreme: every point identical.
+	same := vstore.FromVectors([][]float64{{0.3, 0.7}, {0.3, 0.7}, {0.3, 0.7}})
+	res2, err := KMeans(same, Options{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Centers) != 1 {
+		t.Fatalf("%d centres from identical points, want 1", len(res2.Centers))
+	}
+}
+
+func TestKMeansNaNSafeCentroidUpdates(t *testing.T) {
+	// One poisoned coefficient must not propagate into any centroid: the
+	// mean of the affected (cluster, dimension) keeps its previous value.
+	vecs := [][]float64{
+		{0.1, 0.1}, {0.12, 0.1}, {0.1, 0.14},
+		{0.9, 0.9}, {0.88, 0.9}, {0.9, 0.86},
+		{math.NaN(), 0.5},
+	}
+	s := vstore.FromVectors(vecs)
+	res, err := KMeans(s, Options{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, ctr := range res.Centers {
+		for d, x := range ctr {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("centre %d dim %d is %v", c, d, x)
+			}
+		}
+	}
+	// The finite points still split into the two planted groups.
+	if res.Assignments[0] != res.Assignments[1] || res.Assignments[3] != res.Assignments[4] {
+		t.Error("finite points of one planted cluster split across centres")
+	}
+	if len(res.Centers) > 1 && res.Assignments[0] == res.Assignments[3] {
+		t.Error("the two planted clusters merged despite 2 centres")
+	}
+	// And the NaN row is assigned deterministically, identically to naive.
+	naive, err := KMeans(s, Options{K: 2, Seed: 3, NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range res.Assignments {
+		if res.Assignments[id] != naive.Assignments[id] {
+			t.Fatalf("assignment of %d differs from naive under NaN input", id)
+		}
+	}
+}
+
+func TestAssignMatchesBruteForceAndNaive(t *testing.T) {
+	s := clusteredStore(400, 16, 6, 8)
+	km, err := KMeans(s, Options{K: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Assign(s, km.Centers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Assign(s, km.Centers, Options{NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < s.Len(); id++ {
+		if res.Assignments[id] != naive.Assignments[id] {
+			t.Fatalf("pruned Assign of %d differs from naive", id)
+		}
+		best, bestD := -1, math.Inf(1)
+		for c, ctr := range km.Centers {
+			if d := rowDist(s, id, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if res.Assignments[id] != best {
+			t.Fatalf("Assign(%d) = %d, brute force says %d", id, res.Assignments[id], best)
+		}
+	}
+	if res.ValuesScanned >= naive.ValuesScanned {
+		t.Errorf("pruned Assign scanned %d ≥ naive %d", res.ValuesScanned, naive.ValuesScanned)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	s := clusteredStore(10, 4, 2, 1)
+	if _, err := Assign(s, nil, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("no centers: %v", err)
+	}
+	if _, err := Assign(s, [][]float64{{1, 2}}, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("dims mismatch: %v", err)
+	}
+	for id := 0; id < 10; id++ {
+		s.Delete(id)
+	}
+	if _, err := Assign(s, [][]float64{{1, 2, 3, 4}}, Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestResultGroupsPartitionLiveIDs(t *testing.T) {
+	s := clusteredStore(200, 8, 4, 9)
+	s.Delete(7)
+	s.Delete(150)
+	res, err := KMeans(s, Options{K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.Groups()
+	if len(groups) != len(res.Centers) {
+		t.Fatalf("%d groups for %d centres", len(groups), len(res.Centers))
+	}
+	seen := make(map[int]bool)
+	for c, grp := range groups {
+		prev := -1
+		for _, id := range grp {
+			if id <= prev {
+				t.Fatalf("group %d not ascending at id %d", c, id)
+			}
+			prev = id
+			if res.Assignments[id] != c {
+				t.Fatalf("id %d in group %d but assigned to %d", id, c, res.Assignments[id])
+			}
+			if seen[id] {
+				t.Fatalf("id %d in two groups", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 198 {
+		t.Fatalf("groups cover %d ids, want 198", len(seen))
+	}
+	if seen[7] || seen[150] {
+		t.Fatal("deleted ids must not appear in any group")
+	}
+}
+
 func BenchmarkKMeansPruned(b *testing.B) {
 	s := clusteredStore(2000, 32, 16, 3)
 	b.ResetTimer()

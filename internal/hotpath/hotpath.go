@@ -60,9 +60,15 @@ type Record struct {
 	CellsPerQuery float64 `json:"cells_scanned_per_query,omitempty"`
 	// Kernel micro fields: ns per call for the kernel and for the scalar
 	// reference loop, and their ratio (scalar / kernel; > 1 is a speedup).
+	// RunRecluster's summary row reuses Speedup for its post/pre QPS ratio.
 	KernelNs float64 `json:"kernel_ns,omitempty"`
 	ScalarNs float64 `json:"scalar_ns,omitempty"`
 	Speedup  float64 `json:"speedup,omitempty"`
+	// Recluster suite fields (see RunRecluster): the one-off cost of the
+	// maintenance pass and the sealed synopsis-spread gauge around it.
+	ReclusterMs  float64 `json:"recluster_ms,omitempty"`
+	SpreadBefore float64 `json:"spread_before,omitempty"`
+	SpreadAfter  float64 `json:"spread_after,omitempty"`
 }
 
 // shape builds one benchmark collection plus its query workload.

@@ -1,0 +1,148 @@
+package hotpath
+
+// RunRecluster measures what background re-clustering buys: the same
+// clusterable collection is queried three times — ingested in shuffled
+// order (every segment spans the whole extent, synopsis skipping cannot
+// fire), after one Recluster pass rewrote it cluster-contiguously, and
+// as a cluster-contiguous ingest that never needed maintenance (the
+// ceiling). The interesting numbers are the post/pre QPS ratio and the
+// drop in cells scanned per query; the records land in
+// BENCH_recluster.json next to BENCH_hotpath.json.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"bond"
+)
+
+// reclusterShape derives the recluster suite's sizing from cfg: more
+// vectors, wider, and smaller segments than the hot-path shapes, because
+// the benefit of skipping scales with segments-per-collection — at the
+// hot-path sizing a recluster "only" wins ~3×, which would understate
+// the effect the maintenance pass has on a serving-sized collection.
+// (At the defaults this is 24000×64 in 96 segments: the rewrite takes
+// ~2.5 s and queries come back >10× faster, near the contiguous
+// ceiling.)
+func reclusterShape(cfg Config) (n, dims, segSize int) {
+	n, dims, segSize = 6*cfg.N, 2*cfg.Dims, cfg.SegSize/2
+	if segSize < 16 {
+		segSize = 16
+	}
+	if n < 2*segSize {
+		n = 2 * segSize
+	}
+	n -= n % segSize // whole segments: the entire collection seals on ingest
+	return n, dims, segSize
+}
+
+// RunRecluster runs the re-clustering benchmark, streaming a
+// human-readable table to w (nil discards it).
+func RunRecluster(cfg Config, w io.Writer) ([]Record, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	n, dims, segSize := reclusterShape(cfg)
+
+	// Planted clusters, one segment's worth of members each, generated
+	// cluster-major (the ceiling layout) and then shuffled (the ingest
+	// order a live system actually sees).
+	rng := rand.New(rand.NewSource(41))
+	contiguous := make([][]float64, 0, n)
+	center := make([]float64, dims)
+	for i := 0; i < n; i++ {
+		if i%segSize == 0 {
+			for d := range center {
+				center[d] = rng.Float64()
+			}
+		}
+		v := make([]float64, dims)
+		for d := range v {
+			x := center[d] + 0.03*(rng.Float64()-0.5)
+			if x < 0 {
+				x = 0
+			}
+			if x > 1 {
+				x = 1
+			}
+			v[d] = x
+		}
+		contiguous = append(contiguous, v)
+	}
+	shuffled := make([][]float64, n)
+	for i, j := range rng.Perm(n) {
+		shuffled[j] = contiguous[i]
+	}
+	queries := make([][]float64, cfg.Queries)
+	for i := range queries {
+		queries[i] = contiguous[(i*segSize+i)%n] // one per cluster, round-robin
+	}
+
+	col := bond.NewCollectionSegmented(shuffled, segSize)
+	sh := shape{"shuffled_ingest", bond.Eq, col, queries}
+	specs := make([]bond.QuerySpec, cfg.Queries)
+	for i := range specs {
+		specs[i] = bond.QuerySpec{Query: queries[i], K: cfg.K, Criterion: sh.criterion}
+	}
+
+	spreadBefore, _ := col.SealedSpread()
+	pre, err := measureShape(sh, specs, "pre_recluster")
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	col.Recluster(0, 1)
+	reclusterMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	spreadAfter, _ := col.SealedSpread()
+
+	post, err := measureShape(sh, specs, "post_recluster")
+	if err != nil {
+		return nil, err
+	}
+
+	ceilCol := bond.NewCollectionSegmented(contiguous, segSize)
+	ceil, err := measureShape(shape{sh.name, sh.criterion, ceilCol, queries}, specs, "ceiling")
+	if err != nil {
+		return nil, err
+	}
+
+	summary := Record{
+		Shape:        sh.name,
+		Mode:         "summary",
+		Speedup:      post.QPS / pre.QPS,
+		ReclusterMs:  reclusterMs,
+		SpreadBefore: spreadBefore,
+		SpreadAfter:  spreadAfter,
+	}
+	records := []Record{pre, post, ceil, summary}
+	for _, r := range records[:3] {
+		fmt.Fprintf(w, "%-16s %-14s %10.0f ns/query  %9.0f qps  %10.0f cells/query\n",
+			r.Shape, r.Mode, r.NsPerQuery, r.QPS, r.CellsPerQuery)
+	}
+	fmt.Fprintf(w, "%-16s %-14s recluster %.0f ms  spread %.3f → %.3f  post/pre qps %.1fx\n",
+		summary.Shape, summary.Mode, reclusterMs, spreadBefore, spreadAfter, summary.Speedup)
+	return records, nil
+}
+
+// measureShape warms the shape like Run does and measures the sequential
+// query path under the given mode label.
+func measureShape(sh shape, specs []bond.QuerySpec, mode string) (Record, error) {
+	warm := specs
+	if len(warm) > 8 {
+		warm = warm[:8]
+	}
+	for _, spec := range warm {
+		if _, err := sh.col.Query(spec); err != nil {
+			return Record{}, err
+		}
+	}
+	rec, err := measureSequential(sh, specs)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Mode = mode
+	return rec, nil
+}

@@ -359,6 +359,37 @@ func (m *Model) countQuery() {
 	m.c.Queries++
 }
 
+// DecayForRewrite discounts the learned coefficients after a structural
+// rewrite (compaction, re-clustering) destroyed the segments the feedback
+// was observed on: every EWMA coefficient is blended toward its prior in
+// proportion to frac, the fraction of the collection's live vectors the
+// rewrite moved. frac 1 (a full re-layout, e.g. a recluster of an
+// all-sealed collection) resets to the priors; frac 0 is a no-op; the
+// query count is kept — it measures history, not layout. Without the
+// decay, costs learned on the old layout (say, BondFrac ≈ 1 from loose
+// pre-recluster synopses) would keep steering the planner on a layout
+// where they no longer hold.
+func (m *Model) DecayForRewrite(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	p := defaultCoefficients()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blend := func(old, prior float64) float64 { return old + frac*(prior-old) }
+	m.c.BondFrac = clamp01(blend(m.c.BondFrac, p.BondFrac))
+	m.c.ComprFilterFrac = clamp01(blend(m.c.ComprFilterFrac, p.ComprFilterFrac))
+	m.c.ComprSurvive = clamp01(blend(m.c.ComprSurvive, p.ComprSurvive))
+	m.c.VASurvive = clamp01(blend(m.c.VASurvive, p.VASurvive))
+	m.c.BondNs = clampNs(blend(m.c.BondNs, p.BondNs))
+	m.c.ComprNs = clampNs(blend(m.c.ComprNs, p.ComprNs))
+	m.c.VANs = clampNs(blend(m.c.VANs, p.VANs))
+	m.c.ExactNs = clampNs(blend(m.c.ExactNs, p.ExactNs))
+}
+
 // --- Predictions ----------------------------------------------------------
 //
 // All predictions are in coefficient-equivalents: the number of exact

@@ -245,6 +245,38 @@ func TestFeedbackAdaptsModel(t *testing.T) {
 	}
 }
 
+func TestDecayForRewriteBlendsTowardPriors(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 50; i++ {
+		m.observeBond(1.0, 9.0) // a layout where BOND pruning never fires
+		m.countQuery()
+	}
+	learned := m.Snapshot()
+	p := defaultCoefficients()
+
+	m.DecayForRewrite(0) // no-op
+	if m.Snapshot() != learned {
+		t.Fatal("frac 0 must not move the model")
+	}
+
+	m.DecayForRewrite(0.5)
+	half := m.Snapshot()
+	wantFrac := learned.BondFrac + 0.5*(p.BondFrac-learned.BondFrac)
+	if diff := half.BondFrac - wantFrac; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("half decay BondFrac = %v, want %v", half.BondFrac, wantFrac)
+	}
+	if half.Queries != learned.Queries {
+		t.Fatalf("decay changed query count %d → %d", learned.Queries, half.Queries)
+	}
+
+	m.DecayForRewrite(1) // full rewrite: back to the priors
+	full := m.Snapshot()
+	full.Queries = 0
+	if full != p {
+		t.Fatalf("full decay = %+v, want priors %+v", full, p)
+	}
+}
+
 func TestModelPersistenceRoundTrip(t *testing.T) {
 	m := NewModel()
 	m.observeBond(0.9, 2.5)

@@ -116,7 +116,7 @@ func TestConcurrentIngestQueryHammer(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < rounds/2; i++ {
-			if _, _, err := s.RunMaintenance(); err != nil {
+			if _, _, _, err := s.RunMaintenance(); err != nil {
 				fail("maintenance %d: %v", i, err)
 				return
 			}
@@ -134,7 +134,7 @@ func TestConcurrentIngestQueryHammer(t *testing.T) {
 		querySpecWire{Query: seed[0], K: 10}, &resp); code != http.StatusOK || len(resp.Results) != 10 {
 		t.Fatalf("post-hammer query: status %d, %d results", code, len(resp.Results))
 	}
-	if _, _, err := s.RunMaintenance(); err != nil {
+	if _, _, _, err := s.RunMaintenance(); err != nil {
 		t.Fatalf("post-hammer maintenance: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -31,6 +32,13 @@ type Config struct {
 	// CompactRatio is the tombstone ratio at which the maintenance loop
 	// compacts a collection (0 = 0.25; negative disables compaction).
 	CompactRatio float64
+	// ReclusterSpread is the sealed synopsis-spread at which the
+	// maintenance loop re-clusters a collection into cluster-contiguous
+	// segments (0 = 0.6; negative disables re-clustering). Spread ≈1 means
+	// segments span the whole data extent — synopsis skipping cannot fire
+	// — so a recluster restores the cluster-contiguous layout queries are
+	// fast on, whatever order the data arrived in.
+	ReclusterSpread float64
 	// MaxBodyBytes caps a request body; larger requests fail with 400
 	// before anything is buffered (0 = 64 MiB). Admission control only
 	// bounds executing queries, so this is what keeps one oversized
@@ -68,6 +76,7 @@ type Server struct {
 	// Maintenance counters, exposed on /stats.
 	maintRuns   atomic.Int64
 	compactions atomic.Int64
+	reclusters  atomic.Int64
 	checkpoints atomic.Int64
 
 	stop chan struct{}
@@ -85,6 +94,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CompactRatio == 0 {
 		cfg.CompactRatio = 0.25
+	}
+	if cfg.ReclusterSpread == 0 {
+		cfg.ReclusterSpread = 0.6
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
@@ -146,6 +158,11 @@ func (s *Server) logf(format string, args ...any) {
 
 // --- Maintenance ----------------------------------------------------------
 
+// reclusterSeed is the k-means seed maintenance re-clusters run with. A
+// fixed seed keeps maintenance deterministic and reproducible; callers
+// wanting a different initialization use the manual recluster endpoint.
+const reclusterSeed = 1
+
 func (s *Server) maintainLoop() {
 	defer close(s.done)
 	t := time.NewTicker(s.cfg.MaintenanceInterval)
@@ -155,10 +172,11 @@ func (s *Server) maintainLoop() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			if compacted, checkpointed, err := s.RunMaintenance(); err != nil {
+			if compacted, reclustered, checkpointed, err := s.RunMaintenance(); err != nil {
 				s.logf("bondd: maintenance: %v", err)
-			} else if compacted+checkpointed > 0 {
-				s.logf("bondd: maintenance: compacted %d, checkpointed %d", compacted, checkpointed)
+			} else if compacted+reclustered+checkpointed > 0 {
+				s.logf("bondd: maintenance: compacted %d, reclustered %d, checkpointed %d",
+					compacted, reclustered, checkpointed)
 			}
 		}
 	}
@@ -167,14 +185,18 @@ func (s *Server) maintainLoop() {
 // RunMaintenance performs one maintenance cycle over the loaded
 // collections: collections whose tombstone ratio is at or above the
 // compaction threshold are compacted (a WAL-logged mutation that remaps
-// surviving ids — the API's documented id contract), then every
-// collection whose WAL has outgrown WALMaxBytes is checkpointed, which
-// truncates its log. Durability never waits for this loop — writes are
-// WAL-logged at acknowledgment time — the loop only bounds tombstone
-// load and recovery replay time. Safe to call concurrently with serving
-// traffic; compaction serializes against queries on the collection's own
-// write lock, and checkpoint I/O runs outside it.
-func (s *Server) RunMaintenance() (compacted, checkpointed int, err error) {
+// surviving ids — the API's documented id contract); collections whose
+// sealed synopsis spread is at or above the recluster threshold are
+// re-clustered into cluster-contiguous segments (also a WAL-logged,
+// id-remapping mutation) and immediately checkpointed, so recovery never
+// has to re-run the clustering; then every collection whose WAL has
+// outgrown WALMaxBytes is checkpointed, which truncates its log.
+// Durability never waits for this loop — writes are WAL-logged at
+// acknowledgment time — the loop only bounds tombstone load, scan load,
+// and recovery replay time. Safe to call concurrently with serving
+// traffic; compaction and re-clustering serialize against queries on the
+// collection's own write lock, and checkpoint I/O runs outside it.
+func (s *Server) RunMaintenance() (compacted, reclustered, checkpointed int, err error) {
 	s.maintRuns.Add(1)
 	if s.cfg.CompactRatio >= 0 {
 		for name, col := range s.cat.Loaded() {
@@ -192,12 +214,37 @@ func (s *Server) RunMaintenance() (compacted, checkpointed int, err error) {
 			s.compactions.Add(1)
 		}
 	}
+	if s.cfg.ReclusterSpread >= 0 {
+		for name, col := range s.cat.Loaded() {
+			if _, advise := col.ReclusterAdvice(s.cfg.ReclusterSpread); !advise {
+				continue
+			}
+			mapping, rerr := col.ReclusterDurable(0, reclusterSeed)
+			if rerr != nil {
+				if err == nil {
+					err = fmt.Errorf("server: recluster %q: %w", name, rerr)
+				}
+				continue
+			}
+			if mapping == nil {
+				continue
+			}
+			reclustered++
+			s.reclusters.Add(1)
+			// Checkpoint right away: replaying a recluster record re-runs
+			// k-means over the pre-recluster state, so leaving one in the
+			// WAL makes the next open pay for the clustering twice.
+			if cerr := col.Checkpoint(); cerr != nil && err == nil {
+				err = fmt.Errorf("server: checkpoint after recluster %q: %w", name, cerr)
+			}
+		}
+	}
 	checkpointed, ckErr := s.cat.CheckpointLoaded(s.cfg.WALMaxBytes)
 	if err == nil {
 		err = ckErr
 	}
 	s.checkpoints.Add(int64(checkpointed))
-	return compacted, checkpointed, err
+	return compacted, reclustered, checkpointed, err
 }
 
 // --- Routing --------------------------------------------------------------
@@ -212,6 +259,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /collections/{name}/vectors", s.handleIngest)
 	s.mux.HandleFunc("GET /collections/{name}/vectors/{id}", s.handleGetVector)
 	s.mux.HandleFunc("DELETE /collections/{name}/vectors/{id}", s.handleDeleteVector)
+	s.mux.HandleFunc("POST /collections/{name}/recluster", s.handleRecluster)
 	s.mux.HandleFunc("POST /collections/{name}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /collections/{name}/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("GET /collections/{name}/explain", s.handleExplain)
@@ -306,12 +354,35 @@ type vectorResponse struct {
 	Vector []float64 `json:"vector"`
 }
 
+// reclusterRequest parameterizes a manual recluster; the body may be
+// empty. K ≤ 0 selects one cluster per segment-size of live sealed
+// vectors; Seed fixes the k-means initialization (default 1).
+type reclusterRequest struct {
+	K    int    `json:"k,omitempty"`
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+type reclusterResponse struct {
+	// Reclustered is false when there was nothing to rewrite (no sealed
+	// segment with live vectors), in which case nothing was logged.
+	Reclustered bool `json:"reclustered"`
+	// SpreadBefore/SpreadAfter are the sealed synopsis-spread gauge around
+	// the rewrite (0 when unmeasurable); Segments the segment count after.
+	SpreadBefore float64 `json:"spread_before"`
+	SpreadAfter  float64 `json:"spread_after"`
+	Segments     int     `json:"segments"`
+}
+
 type serverStats struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	InFlight        int64   `json:"in_flight"`
 	MaxInFlight     int     `json:"max_in_flight"`
 	MaintenanceRuns int64   `json:"maintenance_runs"`
 	Compactions     int64   `json:"compactions"`
+	// Reclusters counts server-performed re-clustering passes (maintenance
+	// plus the manual endpoint); each collection's own recluster gauges
+	// (reclusters, sealed_spread) are nested under its CollectionStats.
+	Reclusters int64 `json:"reclusters"`
 	// Checkpoints counts maintenance-triggered WAL checkpoints; each
 	// collection's own durability block (wal_bytes, wal_records, wal_seq,
 	// checkpoints) is nested under its CollectionStats.
@@ -459,6 +530,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxInFlight:     s.cfg.MaxInFlight,
 		MaintenanceRuns: s.maintRuns.Load(),
 		Compactions:     s.compactions.Load(),
+		Reclusters:      s.reclusters.Load(),
 		Checkpoints:     s.checkpoints.Load(),
 		Fsync:           s.cfg.Fsync.String(),
 		WALMaxBytes:     s.cfg.WALMaxBytes,
@@ -602,6 +674,49 @@ func (s *Server) handleDeleteVector(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRecluster triggers one re-clustering pass on demand — the manual
+// override of the maintenance heuristic (no spread threshold, no
+// minimum segment count). The rewrite is WAL-logged before it applies
+// and the collection is checkpointed before the response, so a 2xx means
+// the new layout is on stable storage and the next open replays no
+// k-means.
+func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	col, err := s.cat.Get(name)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err)
+		return
+	}
+	req := reclusterRequest{}
+	if err := s.decodeBody(w, r, &req); err != nil && !errors.Is(err, io.EOF) {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed := int64(reclusterSeed)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	out := reclusterResponse{}
+	out.SpreadBefore, _ = col.SealedSpread()
+	mapping, err := col.ReclusterDurable(req.K, seed)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("recluster not durable: %w", err))
+		return
+	}
+	if mapping != nil {
+		out.Reclustered = true
+		s.reclusters.Add(1)
+		if err := col.Checkpoint(); err != nil {
+			s.writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("checkpoint after recluster %q: %w", name, err))
+			return
+		}
+	}
+	out.SpreadAfter, _ = col.SealedSpread()
+	out.Segments = col.NumSegments()
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

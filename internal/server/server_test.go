@@ -411,7 +411,10 @@ func TestMaintenanceCompacts(t *testing.T) {
 	// WALMaxBytes: 1 makes any non-empty WAL eligible, so the cycle also
 	// demonstrates checkpoint-and-truncate instead of whole-store
 	// snapshotting.
-	s, ts := newTestServer(t, Config{CompactRatio: 0.2, WALMaxBytes: 1})
+	// ReclusterSpread: -1 keeps the recluster phase out of this cycle so
+	// the compaction/checkpoint counts stay exact (reclustering has its
+	// own test below).
+	s, ts := newTestServer(t, Config{CompactRatio: 0.2, WALMaxBytes: 1, ReclusterSpread: -1})
 	vectors := dataset.CorelLike(200, 8, 13)
 	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 8, SegmentSize: 50}, nil)
 	ingestBatch(t, ts.URL, "c", vectors)
@@ -428,12 +431,12 @@ func TestMaintenanceCompacts(t *testing.T) {
 		t.Fatalf("tombstone ratio %v, want 0.5", st.TombstoneRatio)
 	}
 
-	compacted, checkpointed, err := s.RunMaintenance()
+	compacted, reclustered, checkpointed, err := s.RunMaintenance()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if compacted != 1 || checkpointed != 1 {
-		t.Fatalf("maintenance: compacted %d checkpointed %d", compacted, checkpointed)
+	if compacted != 1 || reclustered != 0 || checkpointed != 1 {
+		t.Fatalf("maintenance: compacted %d reclustered %d checkpointed %d", compacted, reclustered, checkpointed)
 	}
 	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
 	if st.Len != 100 || st.TombstoneRatio != 0 {
@@ -452,6 +455,110 @@ func TestMaintenanceCompacts(t *testing.T) {
 		t.Fatalf("server stats missing collection: %+v", sst.Collections)
 	}
 }
+
+// shuffledClustered generates planted-cluster vectors whose ingest order
+// interleaves every cluster — the layout the recluster maintenance
+// phase exists to fix.
+func shuffledClustered(n, dims int, seed int64) [][]float64 {
+	return dataset.Clustered(dataset.ClusteredConfig{
+		N: n, Dims: dims, Clusters: 4, Sigma: 0.02, Seed: seed,
+	})
+}
+
+// TestMaintenanceReclusters drives the recluster phase: a shuffled
+// ingest order trips the spread heuristic, one cycle rewrites the
+// collection into cluster-contiguous segments and checkpoints it, and
+// the next cycle correctly leaves the tight layout alone.
+func TestMaintenanceReclusters(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 4, SegmentSize: 25}, nil)
+	ingestBatch(t, ts.URL, "c", shuffledClustered(120, 4, 31))
+
+	var st bond.CollectionStats
+	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
+	if !st.SpreadMeasured || st.SealedSpread < 0.6 {
+		t.Fatalf("shuffled ingest spread %v (measured %v), want loose", st.SealedSpread, st.SpreadMeasured)
+	}
+	var before queryResponse
+	q := querySpecWire{Query: shuffledClustered(1, 4, 99)[0], K: 5}
+	doJSON(t, http.MethodPost, ts.URL+"/collections/c/query", q, &before)
+
+	_, reclustered, _, err := s.RunMaintenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclustered != 1 {
+		t.Fatalf("reclustered %d, want 1", reclustered)
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
+	if st.Reclusters != 1 || !st.SpreadMeasured || st.SealedSpread >= 0.6 {
+		t.Fatalf("post-recluster gauges: reclusters %d spread %v", st.Reclusters, st.SealedSpread)
+	}
+	// The rewrite was checkpointed in the same cycle: recovery replays no
+	// k-means.
+	if st.Durability == nil || st.Durability.WALRecords != 0 {
+		t.Fatalf("recluster not checkpointed: %+v", st.Durability)
+	}
+	// Ids were remapped but the served ranking is the same data: scores
+	// must match rank for rank, byte for byte.
+	var after queryResponse
+	doJSON(t, http.MethodPost, ts.URL+"/collections/c/query", q, &after)
+	if len(after.Results) != len(before.Results) {
+		t.Fatalf("result count changed: %d vs %d", len(after.Results), len(before.Results))
+	}
+	for i := range before.Results {
+		if after.Results[i].Score != before.Results[i].Score {
+			t.Fatalf("rank %d score changed: %v vs %v", i, after.Results[i].Score, before.Results[i].Score)
+		}
+	}
+
+	// A second cycle sees a tight, unchanged layout and does nothing.
+	if _, again, _, err := s.RunMaintenance(); err != nil || again != 0 {
+		t.Fatalf("second cycle reclustered %d err %v, want idle", again, err)
+	}
+	var sst serverStats
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &sst)
+	if sst.Reclusters != 1 {
+		t.Fatalf("server recluster counter %d, want 1", sst.Reclusters)
+	}
+}
+
+// TestReclusterEndpoint exercises the manual trigger: unconditional,
+// parameterized by optional k/seed, checkpointed before the 2xx.
+func TestReclusterEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{ReclusterSpread: -1}) // maintenance off; manual only
+	doJSON(t, http.MethodPut, ts.URL+"/collections/c", createRequest{Dims: 4, SegmentSize: 25}, nil)
+	ingestBatch(t, ts.URL, "c", shuffledClustered(120, 4, 57))
+
+	var out reclusterResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/recluster", nil, &out); code != http.StatusOK {
+		t.Fatalf("recluster: status %d", code)
+	}
+	if !out.Reclustered || out.SpreadAfter >= out.SpreadBefore {
+		t.Fatalf("manual recluster: %+v", out)
+	}
+	// Manual triggers are unconditional: a second call rewrites again (and
+	// succeeds) even though the layout is already tight.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/c/recluster",
+		reclusterRequest{K: 3, Seed: ptrInt64(42)}, &out); code != http.StatusOK || !out.Reclustered {
+		t.Fatalf("second recluster: status %d %+v", code, out)
+	}
+	var st bond.CollectionStats
+	doJSON(t, http.MethodGet, ts.URL+"/collections/c", nil, &st)
+	if st.Reclusters != 2 || st.Durability == nil || st.Durability.WALRecords != 0 {
+		t.Fatalf("endpoint bookkeeping: %+v", st)
+	}
+	// An empty collection has nothing to rewrite; the endpoint reports so.
+	doJSON(t, http.MethodPut, ts.URL+"/collections/empty", createRequest{Dims: 4}, nil)
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/empty/recluster", nil, &out); code != http.StatusOK || out.Reclustered {
+		t.Fatalf("empty recluster: status %d %+v", code, out)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/collections/missing/recluster", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing collection: status %d", code)
+	}
+}
+
+func ptrInt64(v int64) *int64 { return &v }
 
 // TestStatsExposeSynopses checks the per-segment synopsis summaries the
 // stats endpoint serves.

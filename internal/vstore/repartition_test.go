@@ -1,0 +1,174 @@
+package vstore
+
+import (
+	"testing"
+)
+
+// repartitionFixture: 9 vectors bulk-loaded into 3 sealed segments of 3,
+// plus 2 more appended into the active segment.
+func repartitionFixture(t *testing.T) ([][]float64, *SegStore) {
+	t.Helper()
+	vs := [][]float64{
+		{0.0, 0.9}, {0.5, 0.5}, {0.9, 0.1},
+		{0.1, 0.8}, {0.6, 0.4}, {0.8, 0.2},
+		{0.2, 0.7}, {0.7, 0.3}, {0.95, 0.05},
+	}
+	s := SegmentedFromVectors(vs, 3)
+	// Two extra rows land in the active segment and must survive untouched.
+	extra := [][]float64{{0.42, 0.42}, {0.43, 0.43}}
+	s.AppendBatch(extra)
+	return append(vs, extra...), s
+}
+
+func TestRepartitionLayoutMappingAndSynopses(t *testing.T) {
+	vs, s := repartitionFixture(t)
+	s.Delete(4) // a sealed tombstone: must be dropped by the rewrite
+
+	// Regroup by "cluster": low-x ids, mid-x ids, high-x ids.
+	groups := [][]int{{0, 3, 6}, {1, 7}, {2, 5, 8}}
+	mapping := s.Repartition(groups)
+
+	if len(mapping) != 11 {
+		t.Fatalf("mapping covers %d ids, want 11", len(mapping))
+	}
+	if mapping[4] != -1 {
+		t.Fatalf("tombstoned id 4 mapped to %d, want -1", mapping[4])
+	}
+	// Every live id keeps its coefficients under the new id.
+	for old, nw := range mapping {
+		if old == 4 {
+			continue
+		}
+		if nw < 0 {
+			t.Fatalf("live id %d dropped", old)
+		}
+		row := s.Row(nw)
+		for d, x := range row {
+			if x != vs[old][d] {
+				t.Fatalf("row %d→%d dim %d = %v, want %v", old, nw, d, x, vs[old][d])
+			}
+		}
+	}
+	// Layout: 3 group segments + the reused active tail.
+	if s.NumSegments() != 4 {
+		t.Fatalf("segments = %d, want 4", s.NumSegments())
+	}
+	segs, bases := s.Segments(), s.Bases()
+	for i := 0; i < 3; i++ {
+		if !segs[i].Sealed() || segs[i].Len() != len(groups[i]) {
+			t.Fatalf("segment %d: sealed=%v len=%d, want group of %d",
+				i, segs[i].Sealed(), segs[i].Len(), len(groups[i]))
+		}
+	}
+	if segs[3].Sealed() || segs[3].Len() != 2 {
+		t.Fatalf("active tail: sealed=%v len=%d", segs[3].Sealed(), segs[3].Len())
+	}
+	if bases[3] != 8 || s.Len() != 10 || s.Live() != 10 {
+		t.Fatalf("bases=%v len=%d live=%d", bases, s.Len(), s.Live())
+	}
+	// The point of the exercise: each group segment's synopsis is exactly
+	// the group's extent, not the ingest order's.
+	if lo, hi := segs[0].DimRange(0); lo != 0.0 || hi != 0.2 {
+		t.Fatalf("group 0 dim 0 range [%v, %v], want [0, 0.2]", lo, hi)
+	}
+	if lo, hi := segs[2].DimRange(0); lo != 0.8 || hi != 0.95 {
+		t.Fatalf("group 2 dim 0 range [%v, %v], want [0.8, 0.95]", lo, hi)
+	}
+	// Totals move with their rows.
+	if got, want := s.Segments()[1].Totals()[1], vs[7][0]+vs[7][1]; got != want {
+		t.Fatalf("total of moved id 7 = %v, want %v", got, want)
+	}
+}
+
+func TestRepartitionSplitsOversizedGroupAndSkipsEmpty(t *testing.T) {
+	_, s := repartitionFixture(t)
+	groups := [][]int{{}, {0, 1, 2, 3, 4, 5, 6, 7}, {}, {8}}
+	s.Repartition(groups)
+	// Group of 8 splits into 3+3+2 with segSize 3, then the singleton.
+	segs := s.Segments()
+	if len(segs) != 5 {
+		t.Fatalf("segments = %d, want 5 (3+3+2, 1, active)", len(segs))
+	}
+	wantLens := []int{3, 3, 2, 1, 2}
+	for i, g := range segs {
+		if g.Len() != wantLens[i] {
+			t.Fatalf("segment %d len = %d, want %d", i, g.Len(), wantLens[i])
+		}
+	}
+}
+
+func TestRepartitionNoGroupsDropsSealedPrefix(t *testing.T) {
+	_, s := repartitionFixture(t)
+	for id := 0; id < 9; id++ {
+		s.Delete(id)
+	}
+	mapping := s.Repartition(nil)
+	for id := 0; id < 9; id++ {
+		if mapping[id] != -1 {
+			t.Fatalf("dropped id %d mapped to %d", id, mapping[id])
+		}
+	}
+	if s.NumSegments() != 1 || s.Len() != 2 || mapping[9] != 0 || mapping[10] != 1 {
+		t.Fatalf("segments=%d len=%d mapping tail=%v", s.NumSegments(), s.Len(), mapping[9:])
+	}
+}
+
+func TestRepartitionPanicsOnBadGroups(t *testing.T) {
+	cases := []struct {
+		name   string
+		del    int
+		groups [][]int
+	}{
+		{"duplicate", -1, [][]int{{0, 1}, {1, 2}}},
+		{"active id", -1, [][]int{{0, 9}}},
+		{"negative", -1, [][]int{{-1}}},
+		{"deleted", 2, [][]int{{1, 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, s := repartitionFixture(t)
+			if tc.del >= 0 {
+				s.Delete(tc.del)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s groups did not panic", tc.name)
+				}
+			}()
+			s.Repartition(tc.groups)
+		})
+	}
+}
+
+func TestFlattenSealedMatchesPrefix(t *testing.T) {
+	vs, s := repartitionFixture(t)
+	s.Delete(5)
+	f := s.FlattenSealed()
+	if f.Len() != 9 {
+		t.Fatalf("sealed prefix len = %d, want 9", f.Len())
+	}
+	for id := 0; id < 9; id++ {
+		if f.IsDeleted(id) != (id == 5) {
+			t.Fatalf("tombstone mismatch at %d", id)
+		}
+		row := f.Row(id)
+		for d, x := range row {
+			if x != vs[id][d] {
+				t.Fatalf("flattened row %d dim %d = %v, want %v", id, d, x, vs[id][d])
+			}
+		}
+	}
+
+	// A store with only an active segment has no sealed prefix.
+	empty := NewSegmented(2, 4)
+	empty.Append([]float64{1, 2})
+	if empty.FlattenSealed() != nil {
+		t.Fatal("FlattenSealed on active-only store should be nil")
+	}
+
+	// Exactly one sealed segment: the view is the segment's own store.
+	one := SegmentedFromVectors(vs[:3], 4)
+	if got := one.FlattenSealed(); got != one.Segments()[0].Store {
+		t.Fatal("single sealed segment should flatten to a view")
+	}
+}

@@ -379,6 +379,143 @@ func (s *SegStore) Flatten() *Store {
 	return f
 }
 
+// FlattenSealed returns the sealed prefix — every segment but the active
+// tail — as a single flat Store with identical global ids (tombstones
+// preserved), or nil when no segment is sealed. With exactly one sealed
+// segment that segment's own store is returned as a read-only view;
+// otherwise the columns are copied. It is the input surface for
+// whole-prefix analyses such as re-clustering, which must see the same
+// global ids the segmented store uses.
+func (s *SegStore) FlattenSealed() *Store {
+	last := len(s.segs) - 1
+	if last == 0 {
+		return nil
+	}
+	if last == 1 {
+		return s.segs[0].Store
+	}
+	sealed := s.segs[:last]
+	f := New(s.dims)
+	n := s.bases[last]
+	for d := 0; d < s.dims; d++ {
+		col := make([]float64, 0, n)
+		for _, g := range sealed {
+			col = append(col, g.Column(d)...)
+		}
+		f.columns[d] = col
+		for _, x := range col {
+			f.observe(d, x)
+		}
+	}
+	totals := make([]float64, 0, n)
+	for _, g := range sealed {
+		totals = append(totals, g.Totals()...)
+	}
+	f.totals = totals
+	f.n = n
+	f.growDeleted()
+	for i, g := range sealed {
+		base := s.bases[i]
+		g.deleted.ForEach(func(local int) { f.deleted.Set(base + local) })
+	}
+	return f
+}
+
+// Repartition replaces the sealed prefix with new sealed segments built
+// from groups of live global ids — typically the clusters of a k-means
+// run over FlattenSealed — so each rewritten segment holds one group and
+// gets the tightest per-dimension synopses that group admits. Groups
+// larger than the segment size split into consecutive chunks; empty
+// groups are skipped. Tombstoned slots are dropped (a repartition is also
+// a compaction of the sealed prefix). The active segment is reused
+// as-is; only its base shifts. The originals are left untouched so
+// in-flight snapshot readers stay valid.
+//
+// It returns the old-global-id → new-global-id mapping (−1 for dropped
+// slots). Every id in groups must be a live sealed id appearing exactly
+// once; violations panic — the caller derives groups from the same store
+// state under the collection's write lock, so a bad group is a
+// programmer error, not an input error.
+func (s *SegStore) Repartition(groups [][]int) []int {
+	last := len(s.segs) - 1
+	sealedLen := s.bases[last]
+	active := s.segs[last]
+
+	total := 0
+	for _, grp := range groups {
+		total += len(grp)
+	}
+	seen := make([]bool, sealedLen)
+	segIdx := make([]int, total)
+	localID := make([]int, total)
+	i := 0
+	for _, grp := range groups {
+		for _, id := range grp {
+			if id < 0 || id >= sealedLen {
+				panic(fmt.Sprintf("vstore: Repartition id %d outside sealed prefix [0,%d)", id, sealedLen))
+			}
+			if seen[id] {
+				panic(fmt.Sprintf("vstore: Repartition id %d in two groups", id))
+			}
+			seen[id] = true
+			g, local := s.locate(id)
+			if s.segs[g].IsDeleted(local) {
+				panic(fmt.Sprintf("vstore: Repartition of deleted id %d", id))
+			}
+			segIdx[i], localID[i] = g, local
+			i++
+		}
+	}
+
+	mapping := make([]int, s.Len())
+	for id := 0; id < sealedLen; id++ {
+		mapping[id] = -1
+	}
+
+	var (
+		newSegs  []*Segment
+		newBases []int
+		newBase  int
+	)
+	pos := 0 // offset of the current group in segIdx/localID
+	for _, grp := range groups {
+		for off := 0; off < len(grp); off += s.segSize {
+			chunk := grp[off:min(off+s.segSize, len(grp))]
+			ns := New(s.dims)
+			for d := 0; d < s.dims; d++ {
+				col := make([]float64, len(chunk))
+				for j := range chunk {
+					x := s.segs[segIdx[pos+off+j]].Column(d)[localID[pos+off+j]]
+					col[j] = x
+					ns.observe(d, x)
+				}
+				ns.columns[d] = col
+			}
+			totals := make([]float64, len(chunk))
+			for j := range chunk {
+				totals[j] = s.segs[segIdx[pos+off+j]].Totals()[localID[pos+off+j]]
+			}
+			ns.totals = totals
+			ns.n = len(chunk)
+			ns.growDeleted()
+			for j, id := range chunk {
+				mapping[id] = newBase + j
+			}
+			newSegs = append(newSegs, &Segment{Store: ns, sealed: true})
+			newBases = append(newBases, newBase)
+			newBase += len(chunk)
+		}
+		pos += len(grp)
+	}
+	for j := 0; j < active.Len(); j++ {
+		mapping[sealedLen+j] = newBase + j
+	}
+	newSegs = append(newSegs, active)
+	newBases = append(newBases, newBase)
+	s.segs, s.bases = newSegs, newBases
+	return mapping
+}
+
 // --- Persistence ----------------------------------------------------------
 
 const (

@@ -28,6 +28,7 @@ func seedImages(t testing.TB) map[string][]byte {
 		{Type: TypeDelete, ID: 3},
 		{Type: TypeCompact, Ratio: 0.5},
 		{Type: TypeSeal},
+		{Type: TypeRecluster, K: 8, Seed: 1},
 	} {
 		if err := w.Append(rec, false); err != nil {
 			t.Fatal(err)

@@ -27,6 +27,7 @@ func FuzzWALDecode(f *testing.F) {
 		{Type: TypeDelete, ID: 3},
 		{Type: TypeCompact, Ratio: 0.5},
 		{Type: TypeSeal},
+		{Type: TypeRecluster, K: 8, Seed: 1},
 	} {
 		if err := w.Append(rec, false); err != nil {
 			f.Fatal(err)

@@ -1,6 +1,7 @@
 // Package wal implements the collection write-ahead log: a CRC-framed,
 // length-prefixed, append-only record stream of the mutations applied to
-// a bond.Collection (Add, AddBatch, Delete, Compact, SealActive).
+// a bond.Collection (Add, AddBatch, Delete, Compact, SealActive,
+// Recluster).
 //
 // Every mutation is appended — and, under the fsync=always policy,
 // fsynced — before it is acknowledged to the caller, so recovery can
@@ -44,11 +45,12 @@ type Type uint8
 // Record types. The numeric values are the on-disk encoding and must not
 // be reordered.
 const (
-	TypeAdd      Type = 1 // one vector appended
-	TypeAddBatch Type = 2 // a batch of vectors appended atomically
-	TypeDelete   Type = 3 // one id tombstoned
-	TypeCompact  Type = 4 // a compaction pass (min tombstone ratio)
-	TypeSeal     Type = 5 // the active segment force-sealed
+	TypeAdd       Type = 1 // one vector appended
+	TypeAddBatch  Type = 2 // a batch of vectors appended atomically
+	TypeDelete    Type = 3 // one id tombstoned
+	TypeCompact   Type = 4 // a compaction pass (min tombstone ratio)
+	TypeSeal      Type = 5 // the active segment force-sealed
+	TypeRecluster Type = 6 // sealed segments re-partitioned by k-means
 )
 
 const (
@@ -79,6 +81,13 @@ type Record struct {
 	ID uint64
 	// Ratio is the minimum tombstone ratio for TypeCompact.
 	Ratio float64
+	// K and Seed parameterize TypeRecluster. The record intentionally
+	// carries only the k-means inputs, not the resulting layout: replay
+	// re-runs the same deterministic clustering over the same state
+	// prefix, which reproduces the layout exactly (see bond's recluster
+	// contract).
+	K    uint64
+	Seed int64
 }
 
 // encode appends the record's frame to dst and returns the extended
@@ -120,6 +129,9 @@ func encode(dst []byte, rec Record) []byte {
 	case TypeCompact:
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Ratio))
 	case TypeSeal:
+	case TypeRecluster:
+		dst = binary.LittleEndian.AppendUint64(dst, rec.K)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.Seed))
 	default:
 		panic(fmt.Sprintf("wal: unknown record type %d", rec.Type))
 	}
@@ -186,6 +198,12 @@ func decodePayload(payload []byte) (Record, error) {
 		if len(body) != 0 {
 			return Record{}, fmt.Errorf("%w: seal body %d bytes", ErrCorrupt, len(body))
 		}
+	case TypeRecluster:
+		if len(body) != 16 {
+			return Record{}, fmt.Errorf("%w: recluster body %d bytes", ErrCorrupt, len(body))
+		}
+		rec.K = binary.LittleEndian.Uint64(body)
+		rec.Seed = int64(binary.LittleEndian.Uint64(body[8:]))
 	default:
 		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, rec.Type)
 	}

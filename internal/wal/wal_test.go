@@ -16,6 +16,7 @@ func sampleRecords() []Record {
 		{Type: TypeDelete, ID: 7},
 		{Type: TypeCompact, Ratio: 0.25},
 		{Type: TypeSeal},
+		{Type: TypeRecluster, K: 4, Seed: -17},
 	}
 }
 

@@ -1,0 +1,209 @@
+package bond
+
+// This file implements online re-clustering: a maintenance operation
+// that runs k-means over the sealed prefix and rewrites it so every
+// segment holds exactly one cluster. The point is the synopses — BOND's
+// segment skipping only fires when per-dimension min/max bounds are
+// tight, which a shuffled ingest order never produces. Re-clustering
+// makes skipping independent of arrival order: BENCH_recluster.json
+// shows the uniform-ingest shape converging to the cluster-contiguous
+// ceiling after one pass.
+//
+// Durability rides entirely on the PR-5 machinery, because a recluster
+// is just a Compact variant: one WAL record carrying only the k-means
+// inputs (k, seed), an in-memory segment-list swap under the write lock,
+// and write-once segment files at the next checkpoint. The record can be
+// that small because the resulting layout is a deterministic function of
+// (collection state, k, seed): replay re-runs the same clustering over
+// the same state prefix and reproduces the layout bit-for-bit. That
+// determinism is a contract — the k-means parameters below are pinned
+// and must never change for existing logs to stay replayable — and it is
+// what makes recovery land on exactly the pre- or post-recluster segment
+// set, never a mix (the crash matrix in crash_test.go proves it).
+
+import (
+	"fmt"
+
+	"bond/internal/cluster"
+	"bond/internal/core"
+	"bond/internal/vstore"
+	"bond/internal/wal"
+)
+
+// Pinned k-means parameters of the recluster operation. They are part of
+// the WAL replay contract: a TypeRecluster record logs only (k, seed),
+// so replay must run k-means with exactly the same iteration cap, batch
+// step, and tolerance to reproduce the logged layout. Changing any of
+// them would silently corrupt recovery of existing logs.
+const (
+	reclusterMaxIters = 25
+	reclusterStep     = 8
+	reclusterTol      = 1e-4
+)
+
+// reclusterGroups computes the cluster partition of a flattened sealed
+// prefix for the pinned parameters — the deterministic core shared by
+// the live operation and WAL replay.
+func reclusterGroups(flat *vstore.Store, k uint64, seed int64) ([][]int, error) {
+	kk := int(k)
+	if live := flat.Live(); k > uint64(live) {
+		kk = live // KMeans clamps too; this also keeps huge k out of int
+	}
+	res, err := cluster.KMeans(flat, cluster.Options{
+		K:        kk,
+		MaxIters: reclusterMaxIters,
+		Step:     reclusterStep,
+		Seed:     seed,
+		Tol:      reclusterTol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Groups(), nil
+}
+
+// applyRecluster replays one TypeRecluster record onto a store: same
+// deterministic clustering, same repartition. A record that does not fit
+// the state (no sealed live vectors, k 0) means the log does not belong
+// to this checkpoint.
+func applyRecluster(s *vstore.SegStore, k uint64, seed int64) error {
+	if k < 1 {
+		return fmt.Errorf("recluster record with k=0")
+	}
+	flat := s.FlattenSealed()
+	if flat == nil || flat.Live() == 0 {
+		return fmt.Errorf("recluster record on a store with no sealed live vectors")
+	}
+	groups, err := reclusterGroups(flat, k, seed)
+	if err != nil {
+		return err
+	}
+	s.Repartition(groups)
+	return nil
+}
+
+// Recluster re-partitions the sealed prefix into cluster-contiguous
+// segments (see ReclusterDurable) and panics if the operation cannot be
+// logged; use ReclusterDurable to handle that error.
+func (c *Collection) Recluster(k int, seed int64) []int {
+	mapping, err := c.ReclusterDurable(k, seed)
+	if err != nil {
+		panic(fmt.Sprintf("bond: Recluster: %v", err))
+	}
+	return mapping
+}
+
+// ReclusterDurable runs k-means over the sealed prefix and rewrites it
+// so each new sealed segment holds one cluster, giving every segment the
+// tightest per-dimension synopsis its members admit — which is what lets
+// queries skip it. Tombstones in the sealed prefix are dropped (a
+// recluster is also a compaction of that prefix); the active segment is
+// untouched except that its ids shift. k ≤ 0 selects one cluster per
+// segment-size worth of live sealed vectors; seed fixes the k-means
+// initialization.
+//
+// It returns the old-id → new-id mapping (−1 for dropped tombstones), or
+// (nil, nil) when there is nothing to recluster — no sealed segment, or
+// none with live vectors — in which case nothing is logged. On a durable
+// collection the operation is logged (and under FsyncAlways fsynced)
+// before any state changes; on error the collection is unchanged.
+//
+// The k-means pass and the swap run under the write lock, so concurrent
+// queries see either the old layout or the new one, never a mix, and
+// results stay byte-identical to the seqscan oracle throughout (modulo
+// the id remapping, which the returned mapping describes).
+func (c *Collection) ReclusterDurable(k int, seed int64) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	flat := c.store.FlattenSealed()
+	if flat == nil || flat.Live() == 0 {
+		return nil, nil
+	}
+	kk := k
+	if kk <= 0 {
+		kk = (flat.Live() + c.store.SegmentSize() - 1) / c.store.SegmentSize()
+	}
+	// Compute the partition before logging: a record is only appended for
+	// an operation that is certain to apply.
+	groups, err := reclusterGroups(flat, uint64(kk), seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.logMutation(wal.Record{Type: wal.TypeRecluster, K: uint64(kk), Seed: seed}); err != nil {
+		return nil, err
+	}
+	c.invalidatePlanCache()
+	mapping := c.store.Repartition(groups)
+	// Cost-model hygiene: the rewrite destroyed the segments the EWMA
+	// feedback was learned on, so blend the model toward its priors in
+	// proportion to the fraction of live vectors that moved. Live-path
+	// only — the model is heuristic state, not part of the replay
+	// contract, and recovery reloads it from the last checkpoint anyway.
+	if live := c.store.Live(); live > 0 {
+		c.model.DecayForRewrite(float64(flat.Live()) / float64(live))
+	}
+	c.reclusters++
+	c.reclusterMark = c.sealedLenLocked()
+	return mapping, nil
+}
+
+// sealedLenLocked returns the slot count of the sealed prefix; callers
+// hold at least the read lock.
+func (c *Collection) sealedLenLocked() int {
+	bases := c.store.Bases()
+	return bases[len(bases)-1]
+}
+
+// SealedSpread measures how loose the sealed segments' synopses are: the
+// size-weighted mean per-dimension width of each sealed segment's
+// synopsis relative to the collection's global extent (see
+// core.SynopsisSpread). ≈1 on a shuffled ingest order (every segment
+// spans everything — skipping cannot fire, a recluster would help), ≈0
+// on a cluster-contiguous layout. ok is false when it cannot be measured
+// (fewer than one sealed segment with a synopsis).
+func (c *Collection) SealedSpread() (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sealedSpreadLocked()
+}
+
+func (c *Collection) sealedSpreadLocked() (float64, bool) {
+	segs, bases := c.store.Segments(), c.store.Bases()
+	last := len(segs) - 1
+	views := make([]core.SegmentView, 0, last)
+	for i := 0; i < last; i++ {
+		views = append(views, core.SegmentView{Src: segs[i], Base: bases[i], DimRange: segs[i].DimRange})
+	}
+	return core.SynopsisSpread(views)
+}
+
+// ReclusterAdvice is the skip-efficiency heuristic a maintenance loop
+// triggers on: it reports the current sealed synopsis spread and whether
+// a recluster is advised — at least two sealed segments (with one there
+// is nothing to skip), a measurable spread of at least minSpread, and a
+// sealed prefix that grew or shrank since the last recluster (so a
+// layout the operation cannot improve is not rewritten on every tick).
+func (c *Collection) ReclusterAdvice(minSpread float64) (spread float64, advise bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	segs := c.store.NumSegments()
+	if segs-1 < 2 {
+		return 0, false
+	}
+	spread, ok := c.sealedSpreadLocked()
+	if !ok {
+		return 0, false
+	}
+	if c.sealedLenLocked() == c.reclusterMark {
+		return spread, false
+	}
+	return spread, spread >= minSpread
+}
+
+// Reclusters returns how many re-clustering passes completed on this
+// collection since it was opened.
+func (c *Collection) Reclusters() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.reclusters
+}
