@@ -9,9 +9,10 @@ import (
 
 // BenchmarkHotPath measures the query hot path end to end — sequential
 // Query latency and allocations, QueryBatch throughput at two batch
-// sizes, and the kernel-vs-scalar micro speedups — on the three benchmark
-// shapes, and writes the measurements to BENCH_hotpath.json (the CI perf
-// artifact). Run with:
+// sizes, the kernel-vs-scalar micro speedups on the three benchmark
+// shapes, and the durable rows (steady-state mmap-vs-heap per shape plus
+// the cold-open comparison) — and writes the measurements to
+// BENCH_hotpath.json (the CI perf artifact). Run with:
 //
 //	go test -run xxx -bench BenchmarkHotPath -benchmem -benchtime 1x .
 func BenchmarkHotPath(b *testing.B) {
@@ -22,13 +23,20 @@ func BenchmarkHotPath(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		durable, err := hotpath.RunMmap(hotpath.DefaultConfig(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = append(records, durable...)
 	}
 	for _, r := range records {
 		switch {
-		case r.Mode == "query":
+		case r.Mode == "query" && r.Backing == "":
 			b.ReportMetric(r.QPS, r.Shape+"_qps")
 		case r.Shape == "kernel":
 			b.ReportMetric(r.Speedup, r.Mode+"_speedup")
+		case r.Mode == "mmap_vs_heap":
+			b.ReportMetric(r.Speedup, r.Shape+"_mmap_vs_heap")
 		}
 	}
 	if err := hotpath.WriteJSON("BENCH_hotpath.json", records); err != nil {

@@ -99,6 +99,7 @@ import (
 	"bond/internal/bitmap"
 	"bond/internal/cluster"
 	"bond/internal/core"
+	"bond/internal/kernel"
 	"bond/internal/multifeature"
 	"bond/internal/plan"
 	"bond/internal/quant"
@@ -334,6 +335,9 @@ func Open(path string) (*Collection, error) {
 func (c *Collection) Save(path string) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		return err
+	}
 	return c.store.SaveFileWith(path, c.model.Marshal())
 }
 
@@ -363,6 +367,9 @@ type SegmentStats struct {
 	// Sealed marks immutable segments (eligible for compressed access
 	// paths); the unsealed tail is the active segment appends land in.
 	Sealed bool `json:"sealed"`
+	// Mapped marks segments whose exact columns alias a read-only memory
+	// mapping of their v2 segment file instead of heap memory.
+	Mapped bool `json:"mapped,omitempty"`
 	// Synopsis summarizes the per-dimension min/max synopsis; nil when the
 	// segment has none (empty, or a dimension with no observed data).
 	Synopsis *SegmentSynopsis `json:"synopsis,omitempty"`
@@ -390,6 +397,16 @@ type CollectionStats struct {
 	Reclusters     int64   `json:"reclusters"`
 	SealedSpread   float64 `json:"sealed_spread"`
 	SpreadMeasured bool    `json:"spread_measured"`
+	// MappedBytes is the total size of the memory mappings backing sealed
+	// segments (0 for heap-backed collections); HeapBytes the exact column
+	// bytes resident on the Go heap. Their sum is the collection's exact
+	// data footprint; the ratio shows how much of it the page cache, not
+	// the heap, is carrying.
+	MappedBytes int64 `json:"mapped_bytes"`
+	HeapBytes   int64 `json:"heap_bytes"`
+	// SIMD names the vector instruction set the kernels dispatch to
+	// ("avx2", or "none" for the portable loops).
+	SIMD string `json:"simd"`
 	// Planner is the adaptive cost model's serializable view.
 	Planner PlannerModelStats `json:"planner"`
 	// Durability is the WAL/checkpoint gauge block of a collection opened
@@ -425,6 +442,8 @@ func (c *Collection) StatsSnapshot() CollectionStats {
 		Len:          c.store.Len(),
 		Live:         c.store.Live(),
 		Segments:     len(segs),
+		MappedBytes:  c.store.MappedBytes(),
+		SIMD:         kernel.SIMD(),
 		Planner:      c.model.Stats(),
 		SegmentStats: make([]SegmentStats, len(segs)),
 	}
@@ -437,7 +456,10 @@ func (c *Collection) StatsSnapshot() CollectionStats {
 		st.Durability = &ds
 	}
 	for i, g := range segs {
-		ss := SegmentStats{Base: bases[i], Len: g.Len(), Live: g.Live(), Sealed: g.Sealed()}
+		ss := SegmentStats{Base: bases[i], Len: g.Len(), Live: g.Live(), Sealed: g.Sealed(), Mapped: g.Mapped()}
+		if !g.Mapped() {
+			st.HeapBytes += int64(g.Len()) * int64(st.Dims) * 8
+		}
 		view := core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange}
 		if syn, ok := core.SummarizeSynopsis(view); ok {
 			syn := syn
@@ -494,6 +516,9 @@ func (c *Collection) SealActive() {
 func (c *Collection) Vector(id int) []float64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		panic("bond: Vector on closed collection with mapped segments")
+	}
 	return c.store.Row(id)
 }
 
@@ -504,7 +529,7 @@ func (c *Collection) Vector(id int) []float64 {
 func (c *Collection) TryVector(id int) (v []float64, ok bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if id < 0 || id >= c.store.Len() {
+	if id < 0 || id >= c.store.Len() || c.errIfUnmapped() != nil {
 		return nil, false
 	}
 	return c.store.Row(id), true
@@ -594,6 +619,18 @@ func (c *Collection) CompactRatio(minRatio float64) []int {
 // changes the store, so the steady-state query path allocates nothing
 // here. Callers must hold at least the read lock for the duration of the
 // search.
+// errIfUnmapped returns ErrClosed when Close has released the memory
+// mappings some sealed segments' columns aliased — from that point the
+// column data is simply gone, so read paths refuse instead of faulting.
+// Heap-backed collections never trip this: their reads keep working after
+// Close, as they always have. Callers hold at least the read lock.
+func (c *Collection) errIfUnmapped() error {
+	if c.store.MappingsReleased() {
+		return ErrClosed
+	}
+	return nil
+}
+
 func (c *Collection) planSegments() []plan.Segment {
 	if cached := c.planCache.Load(); cached != nil {
 		return *cached
@@ -609,6 +646,10 @@ func (c *Collection) planSegments() []plan.Segment {
 		out[i] = plan.Segment{
 			View:   core.SegmentView{Src: g, Base: bases[i], DimRange: g.DimRange},
 			Sealed: g.Sealed(),
+			Mapped: g.Mapped(),
+		}
+		if g.Mapped() {
+			out[i].NoteScan = g.NoteScan
 		}
 		if g.Sealed() {
 			g := g
@@ -689,6 +730,9 @@ func (c *Collection) snapshotViews() []core.SegmentView {
 func (c *Collection) Query(spec QuerySpec) (QueryResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		return QueryResult{}, err
+	}
 	p, err := plan.NewReusable(c.planSegments(), spec, c.model)
 	if err != nil {
 		return QueryResult{}, err
@@ -724,6 +768,9 @@ func (c *Collection) QueryBatch(specs []QuerySpec) ([]QueryResult, error) {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		return nil, err
+	}
 	segs := c.planSegments()
 	results := make([]QueryResult, len(specs))
 	fb := plan.NewFeedbackBatch()
@@ -795,6 +842,9 @@ func (c *Collection) QueryBatch(specs []QuerySpec) ([]QueryResult, error) {
 func (c *Collection) queryPlanned(spec QuerySpec) (QueryResult, *QueryPlan, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		return QueryResult{}, nil, err
+	}
 	p, err := plan.New(c.planSegments(), spec, c.model)
 	if err != nil {
 		return QueryResult{}, nil, err
@@ -859,6 +909,9 @@ type Progressive = core.Progressive
 func (c *Collection) SearchProgressive(q []float64, opts Options) (*Progressive, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		return nil, err
+	}
 	views := c.snapshotViews()
 	spec := plan.SpecFromOptions(q, opts)
 	spec.Strategy = StrategyBOND
@@ -914,6 +967,9 @@ func (c *Collection) SearchMIL(q []float64, opts MILOptions) (Result, error) {
 func (c *Collection) AsFeature(query []float64, weight float64) Feature {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		panic("bond: AsFeature on closed collection with mapped segments")
+	}
 	return Feature{Segments: c.snapshotViews(), Query: query, Weight: weight}
 }
 
@@ -943,6 +999,9 @@ func (c *Collection) NewExclusion() *bitmap.Bitmap {
 func (c *Collection) Cluster(opts ClusterOptions) (ClusterResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if err := c.errIfUnmapped(); err != nil {
+		return ClusterResult{}, err
+	}
 	return cluster.KMeans(c.store.Flatten(), opts)
 }
 

@@ -66,7 +66,8 @@ func main() {
 	k := flag.Int("k", 0, "neighbors per query (0 = configuration default)")
 	step := flag.Int("step", 0, "pruning step m (0 = configuration default)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = configuration default)")
-	qps := flag.Bool("qps", false, "run the hot-path QPS/throughput suite (Query vs QueryBatch, kernel micros)")
+	qps := flag.Bool("qps", false, "run the hot-path QPS/throughput suite (Query vs QueryBatch, kernel micros, mmap-vs-heap durable rows)")
+	mmapMode := flag.String("mmap", "on", "durable-suite segment backing: on (measure mmap and heap legs) or off (heap only)")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "where -qps writes its JSON measurements")
 	recluster := flag.Bool("recluster", false, "run the re-clustering suite (QPS before/after one background recluster, plus the cluster-contiguous ceiling)")
 	reclusterOut := flag.String("recluster-out", "BENCH_recluster.json", "where -recluster writes its JSON measurements")
@@ -117,11 +118,22 @@ func main() {
 		if *batch > 0 {
 			hcfg.Batch = *batch
 		}
+		switch *mmapMode {
+		case "on", "off":
+		default:
+			fatal(fmt.Errorf("-mmap must be on or off, got %q", *mmapMode))
+		}
+		hcfg.DisableMmap = *mmapMode == "off"
 		if *qps {
 			records, err := hotpath.Run(hcfg, os.Stdout)
 			if err != nil {
 				fatal(err)
 			}
+			durRecords, err := hotpath.RunMmap(hcfg, os.Stdout)
+			if err != nil {
+				fatal(err)
+			}
+			records = append(records, durRecords...)
 			if err := hotpath.WriteJSON(*hotpathOut, records); err != nil {
 				fatal(err)
 			}

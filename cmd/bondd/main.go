@@ -77,6 +77,7 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL flush policy: always (no acknowledged write ever lost), interval, or never")
 	walMax := flag.Int64("wal-max-bytes", 0, "per-collection WAL size that triggers a maintenance checkpoint (0 = 16 MiB)")
 	shutdownWait := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	useMmap := flag.Bool("mmap", true, "memory-map sealed segment files instead of loading them onto the heap (BOND_NO_MMAP=1 also disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-request and maintenance logging")
 	flag.Parse()
 
@@ -98,6 +99,7 @@ func main() {
 		Fsync:               fsyncPolicy,
 		WALMaxBytes:         *walMax,
 		MaintenanceInterval: *maintEvery,
+		DisableMmap:         !*useMmap,
 		Logf:                logf,
 	})
 	if err != nil {

@@ -103,6 +103,12 @@ type DurableOptions struct {
 	// FS overrides the filesystem every byte of durable state moves
 	// through — the crash-injection seam. nil selects the real one.
 	FS iofs.FS
+	// DisableMmap forces sealed segment files to be read into the heap
+	// instead of memory-mapped. Mapping already degrades to a heap read
+	// when the filesystem or platform cannot map (MemFS, crashfs, exotic
+	// OSes); this is the operator override. The BOND_NO_MMAP environment
+	// variable, when non-empty, forces it globally.
+	DisableMmap bool
 }
 
 // Errors of the durability layer.
@@ -260,7 +266,8 @@ func migrateLegacy(fs iofs.FS, path string) error {
 // tail, truncates any torn record, and hands back a live collection
 // appending to the recovered log.
 func openDurableDir(fs iofs.FS, dir string, opts DurableOptions) (*Collection, error) {
-	store, m, err := vstore.RecoverDir(fs, dir)
+	ropts := vstore.RecoverOptions{DisableMmap: opts.DisableMmap || os.Getenv("BOND_NO_MMAP") != ""}
+	store, m, err := vstore.RecoverDirOpts(fs, dir, ropts)
 	if errors.Is(err, vstore.ErrNoManifest) {
 		// A half-created directory (crash before the first checkpoint
 		// committed): nothing was ever acknowledged, so initializing
@@ -273,7 +280,7 @@ func openDurableDir(fs iofs.FS, dir string, opts DurableOptions) (*Collection, e
 		if ierr := initDurableDir(fs, dir, fresh, nil); ierr != nil {
 			return nil, ierr
 		}
-		store, m, err = vstore.RecoverDir(fs, dir)
+		store, m, err = vstore.RecoverDirOpts(fs, dir, ropts)
 	}
 	if err != nil {
 		return nil, err
@@ -595,8 +602,12 @@ func (c *Collection) recoverFromLogFailure(cause error) error {
 }
 
 // Close stops the interval-sync loop (if any), fsyncs the WAL so a clean
-// shutdown is durable under every policy, and releases the log. Further
-// mutations fail with ErrClosed; reads keep working. Close on a
+// shutdown is durable under every policy, releases the log, and unmaps
+// any memory-mapped sealed segment files. Further mutations fail with
+// ErrClosed. Reads keep working on a heap-backed collection; on a
+// collection with mapped segments their columns are gone with the
+// mappings, so queries fail with ErrClosed too (the unmap happens under
+// the write lock, so in-flight queries finish first). Close on a
 // non-durable collection is a no-op.
 func (c *Collection) Close() error {
 	if c.dur == nil {
@@ -616,10 +627,14 @@ func (c *Collection) Close() error {
 	c.dur.closed = true
 	serr := c.dur.w.Sync()
 	cerr := c.dur.w.Close()
+	merr := c.store.ReleaseMappings()
 	if serr != nil {
 		return serr
 	}
-	return cerr
+	if cerr != nil {
+		return cerr
+	}
+	return merr
 }
 
 // WALStats returns the durability gauges, with ok=false for a collection

@@ -38,6 +38,9 @@ type Config struct {
 	// Batch is the QueryBatch size compared against sequential Query (the
 	// full workload is always measured too).
 	Batch int
+	// DisableMmap skips the memory-mapped legs of the durable suite
+	// (RunMmap then measures heap-backed rows only).
+	DisableMmap bool
 }
 
 // DefaultConfig is sized for a seconds-scale smoke run.
@@ -69,6 +72,15 @@ type Record struct {
 	ReclusterMs  float64 `json:"recluster_ms,omitempty"`
 	SpreadBefore float64 `json:"spread_before,omitempty"`
 	SpreadAfter  float64 `json:"spread_after,omitempty"`
+	// Mmap suite fields (see RunMmap): which backing a durable query row
+	// ran on ("mmap" or "heap"); SIMD names the kernel dispatch the row
+	// was measured with (on kernel micro rows and mmap rows).
+	Backing string `json:"backing,omitempty"`
+	SIMD    string `json:"simd,omitempty"`
+	// ColdOpenMs is the wall time of one cold OpenDurable on the cold-open
+	// row (mmap and heap legs each get a row; their ratio lands in a
+	// summary row's Speedup).
+	ColdOpenMs float64 `json:"cold_open_ms,omitempty"`
 }
 
 // shape builds one benchmark collection plus its query workload.
@@ -294,7 +306,7 @@ func kernelMicros() []Record {
 			k = math.Min(k, time1(kernelFn))
 			s = math.Min(s, time1(scalarFn))
 		}
-		return Record{Shape: "kernel", Mode: name, KernelNs: k, ScalarNs: s, Speedup: s / k}
+		return Record{Shape: "kernel", Mode: name, KernelNs: k, ScalarNs: s, Speedup: s / k, SIMD: kernel.SIMD()}
 	}
 
 	recs := []Record{

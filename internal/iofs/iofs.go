@@ -19,6 +19,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"bond/internal/mmap"
 )
 
 // File is a sequentially writable file handle. Data written is durable
@@ -72,6 +74,22 @@ type FileInfo struct {
 	IsDir bool
 }
 
+// MapFS is the optional mapping extension of FS: filesystems that can
+// memory-map a file implement it (the real OS filesystem, on platforms
+// package mmap supports), and the segment loader type-asserts for it.
+// Filesystems that cannot — MemFS, the crash-injecting wrappers, or OS
+// on an unsupported platform — simply don't, and the loader falls back
+// to ReadFile-into-heap, so every recovery path is exercised identically
+// on both backings.
+type MapFS interface {
+	// MapFile maps name read-only and returns the mapping, which aliases
+	// the file's pages until UnmapFile releases it. An empty file maps to
+	// a nil slice.
+	MapFile(name string) ([]byte, error)
+	// UnmapFile releases a mapping returned by MapFile.
+	UnmapFile(b []byte) error
+}
+
 // OS is the production FS: a direct mapping onto the os package.
 type OS struct{}
 
@@ -122,6 +140,19 @@ func (OS) Stat(name string) (FileInfo, error) {
 	}
 	return FileInfo{Size: fi.Size(), IsDir: fi.IsDir()}, nil
 }
+
+// MapFile implements MapFS via package mmap. On platforms without mmap
+// support it returns mmap.ErrUnsupported and callers fall back to
+// ReadFile.
+func (OS) MapFile(name string) ([]byte, error) {
+	if !mmap.Supported() {
+		return nil, mmap.ErrUnsupported
+	}
+	return mmap.Map(name)
+}
+
+// UnmapFile implements MapFS.
+func (OS) UnmapFile(b []byte) error { return mmap.Unmap(b) }
 
 // SyncDir implements FS: open the directory and fsync it.
 func (OS) SyncDir(dir string) error {

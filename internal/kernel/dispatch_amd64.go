@@ -1,0 +1,81 @@
+//go:build amd64 && !purego
+
+package kernel
+
+// hasAVX2 is decided once at init: the exported kernels dispatch on it to
+// the assembly in kernel_amd64.s. Detection follows the architectural
+// checklist — AVX2 alone is not enough, the OS must have enabled saving
+// the ymm state (OSXSAVE + XCR0 bits 1 and 2), or the registers are
+// silently truncated on context switch.
+var hasAVX2 = detectAVX2()
+
+// cpuid and xgetbv0 are implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE state) and 2 (AVX state) must both be set by the
+	// operating system before ymm registers survive a context switch.
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// The assembly kernels. Every slice has been length-checked by the
+// wrapper; n is the number of slots to process and is a multiple of 4
+// (the wrapper runs the remainder in scalar Go). The Acc* gather kernels
+// preserve the scalar loops' one-addition-per-slot-per-column order and
+// are bit-identical to them; the dense kernels return four lane partials
+// for the wrapper to reduce like its scalar accumulators.
+
+//go:noescape
+func accSqDistAVX2(score, col *float64, cands *int, n int, qd float64)
+
+//go:noescape
+func accSqDistTailsAVX2(score, tails, col *float64, cands *int, n int, qd float64)
+
+//go:noescape
+func accWSqDistAVX2(score, col *float64, cands *int, n int, qd, w float64)
+
+//go:noescape
+func accWSqDistTailsAVX2(score, tails, col *float64, cands *int, n int, qd, w float64)
+
+//go:noescape
+func accMinQAVX2(score, col *float64, cands *int, n int, qd float64)
+
+//go:noescape
+func accMinQTailsAVX2(score, tails, col *float64, cands *int, n int, qd float64)
+
+//go:noescape
+func accWMinQAVX2(score, col *float64, cands *int, n int, qd, w float64)
+
+//go:noescape
+func accCodeBoundsAVX2(sLo, sHi *float64, codes *uint8, cands *int, n int, tLo, tHi *[256]float64)
+
+//go:noescape
+func vaRowSumAVX2(tbl *float64, row *uint8, n int, out *[4]float64)
+
+//go:noescape
+func sqDistAVX2(v, q *float64, n int, out *[4]float64)
+
+//go:noescape
+func minSumAVX2(h, q *float64, n int, out *[4]float64)
+
+//go:noescape
+func wSqDistAVX2(v, q, w *float64, n int, out *[4]float64)

@@ -1,0 +1,56 @@
+//go:build !amd64 || purego
+
+package kernel
+
+// hasAVX2 is a compile-time false here, so every dispatch branch in
+// kernel.go folds away and the stubs below are dead code the linker
+// drops — they exist only so the wrappers compile on every platform.
+const hasAVX2 = false
+
+func accSqDistAVX2(score, col *float64, cands *int, n int, qd float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func accSqDistTailsAVX2(score, tails, col *float64, cands *int, n int, qd float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func accWSqDistAVX2(score, col *float64, cands *int, n int, qd, w float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func accWSqDistTailsAVX2(score, tails, col *float64, cands *int, n int, qd, w float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func accMinQAVX2(score, col *float64, cands *int, n int, qd float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func accMinQTailsAVX2(score, tails, col *float64, cands *int, n int, qd float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func accWMinQAVX2(score, col *float64, cands *int, n int, qd, w float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func accCodeBoundsAVX2(sLo, sHi *float64, codes *uint8, cands *int, n int, tLo, tHi *[256]float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func vaRowSumAVX2(tbl *float64, row *uint8, n int, out *[4]float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func sqDistAVX2(v, q *float64, n int, out *[4]float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func minSumAVX2(h, q *float64, n int, out *[4]float64) {
+	panic("kernel: SIMD stub called")
+}
+
+func wSqDistAVX2(v, q, w *float64, n int, out *[4]float64) {
+	panic("kernel: SIMD stub called")
+}

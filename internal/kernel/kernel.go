@@ -2,27 +2,62 @@
 // engine: distance and similarity accumulation over decomposed columns,
 // 8-bit code-table lookups, and VA-File row sums.
 //
-// Every kernel is written for the Go compiler's strengths: a 4× unrolled
-// main loop with a scalar tail, slice re-slicing up front so bounds checks
-// hoist out of the loop body, and branch-free min selection via the
-// intrinsified min builtin instead of a data-dependent branch that
-// mispredicts ~50% of the time on random data. The gather kernels
-// accumulate into per-candidate slots, so each slot receives exactly one
-// addition per column in the same order as the scalar loops they replace —
-// scores are bit-identical, which is what keeps every access path's answer
-// byte-equal to the sequential-scan oracle. The dense kernels (whole-vector
-// distances) use four independent accumulators for instruction-level
-// parallelism; their sums can differ from a left-to-right fold in the last
-// ulp, which is inside the tolerance every consumer already grants.
+// Each kernel has two implementations. The portable one is written for
+// the Go compiler's strengths: a 4× unrolled main loop with a scalar
+// tail, slice re-slicing up front so bounds checks hoist out of the loop
+// body, and branch-free min selection via the intrinsified min builtin
+// instead of a data-dependent branch that mispredicts ~50% of the time on
+// random data. On amd64 an AVX2 variant (hand-written assembly, selected
+// once at init by CPUID feature detection) replaces the main loop; the
+// `purego` build tag forces the portable bodies everywhere, and every
+// exported function dispatches so callers never know which ran.
+//
+// The gather kernels accumulate into per-candidate slots, so each slot
+// receives exactly one addition per column in the same order as the
+// scalar loops they replace — scores are bit-identical whichever
+// implementation runs, which is what keeps every access path's answer
+// byte-equal to the sequential-scan oracle. Their AVX2 variants therefore
+// use plain vsubpd/vmulpd/vaddpd, never FMA: a fused multiply-add rounds
+// once where the scalar code rounds twice, and that last-bit difference
+// would break the oracle equality. The dense kernels (whole-vector
+// distances) instead use independent accumulators for instruction-level
+// parallelism — four scalar ones in the portable code, four 4-wide vector
+// ones in the AVX2 code — so their sums may differ from a left-to-right
+// fold (and between implementations) in the last few ulps, which is
+// inside the tolerance every consumer already grants.
 //
 // None of the kernels allocate.
 package kernel
+
+// simdMin is the slice length below which the exported wrappers skip the
+// AVX2 variants: under two vector iterations of work, the dispatch and
+// vzeroupper overhead costs more than the vectors save.
+const simdMin = 8
+
+// SIMD reports which vector instruction set the kernels dispatch to:
+// "avx2", or "none" for the portable Go bodies (non-amd64 platforms, the
+// purego build tag, or CPUs without AVX2).
+func SIMD() string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return "none"
+}
 
 // AccSqDist folds one column into partial squared-Euclidean scores:
 // score[i] += (col[cands[i]] − qd)² for every candidate. len(score) must be
 // at least len(cands).
 func AccSqDist(score []float64, col []float64, cands []int, qd float64) {
 	score = score[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accSqDistAVX2(&score[0], &col[0], &cands[0], n, qd)
+		for i := n; i < len(cands); i++ {
+			d := col[cands[i]] - qd
+			score[i] += d * d
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		c0, c1, c2, c3 := cands[i], cands[i+1], cands[i+2], cands[i+3]
@@ -47,6 +82,17 @@ func AccSqDist(score []float64, col []float64, cands []int, qd float64) {
 func AccSqDistTails(score, tails []float64, col []float64, cands []int, qd float64) {
 	score = score[:len(cands)]
 	tails = tails[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accSqDistTailsAVX2(&score[0], &tails[0], &col[0], &cands[0], n, qd)
+		for i := n; i < len(cands); i++ {
+			v := col[cands[i]]
+			d := v - qd
+			score[i] += d * d
+			tails[i] -= v
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		v0, v1, v2, v3 := col[cands[i]], col[cands[i+1]], col[cands[i+2]], col[cands[i+3]]
@@ -72,8 +118,18 @@ func AccSqDistTails(score, tails []float64, col []float64, cands []int, qd float
 }
 
 // AccWSqDist is the weighted variant: score[i] += w·(col[cands[i]] − qd)².
+// The product associates as (w·d)·d, matching the scalar loop exactly.
 func AccWSqDist(score []float64, col []float64, cands []int, qd, w float64) {
 	score = score[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accWSqDistAVX2(&score[0], &col[0], &cands[0], n, qd, w)
+		for i := n; i < len(cands); i++ {
+			d := col[cands[i]] - qd
+			score[i] += w * d * d
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		d0 := col[cands[i]] - qd
@@ -95,6 +151,17 @@ func AccWSqDist(score []float64, col []float64, cands []int, qd, w float64) {
 func AccWSqDistTails(score, tails []float64, col []float64, cands []int, qd, w float64) {
 	score = score[:len(cands)]
 	tails = tails[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accWSqDistTailsAVX2(&score[0], &tails[0], &col[0], &cands[0], n, qd, w)
+		for i := n; i < len(cands); i++ {
+			v := col[cands[i]]
+			d := v - qd
+			score[i] += w * d * d
+			tails[i] -= v
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		v0, v1, v2, v3 := col[cands[i]], col[cands[i+1]], col[cands[i+2]], col[cands[i+3]]
@@ -121,9 +188,19 @@ func AccWSqDistTails(score, tails []float64, col []float64, cands []int, qd, w f
 
 // AccMinQ folds one column into partial histogram-intersection scores:
 // score[i] += min(col[cands[i]], qd). The min builtin is intrinsified, so
-// on random data this replaces a mispredicting branch.
+// on random data this replaces a mispredicting branch; the AVX2 variant
+// reproduces the builtin's −0 < +0 ordering with a two-vminpd/vorpd
+// sequence (a single vminpd is not symmetric in its zero handling).
 func AccMinQ(score []float64, col []float64, cands []int, qd float64) {
 	score = score[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accMinQAVX2(&score[0], &col[0], &cands[0], n, qd)
+		for i := n; i < len(cands); i++ {
+			score[i] += min(col[cands[i]], qd)
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		score[i] += min(col[cands[i]], qd)
@@ -140,6 +217,16 @@ func AccMinQ(score []float64, col []float64, cands []int, qd float64) {
 func AccMinQTails(score, tails []float64, col []float64, cands []int, qd float64) {
 	score = score[:len(cands)]
 	tails = tails[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accMinQTailsAVX2(&score[0], &tails[0], &col[0], &cands[0], n, qd)
+		for i := n; i < len(cands); i++ {
+			v := col[cands[i]]
+			score[i] += min(v, qd)
+			tails[i] -= v
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		v0, v1, v2, v3 := col[cands[i]], col[cands[i+1]], col[cands[i+2]], col[cands[i+3]]
@@ -162,6 +249,14 @@ func AccMinQTails(score, tails []float64, col []float64, cands []int, qd float64
 // AccWMinQ is the weighted histogram variant: score[i] += w·min(v, qd).
 func AccWMinQ(score []float64, col []float64, cands []int, qd, w float64) {
 	score = score[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accWMinQAVX2(&score[0], &col[0], &cands[0], n, qd, w)
+		for i := n; i < len(cands); i++ {
+			score[i] += w * min(col[cands[i]], qd)
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		score[i] += w * min(col[cands[i]], qd)
@@ -181,6 +276,16 @@ func AccWMinQ(score []float64, col []float64, cands []int, qd, w float64) {
 func AccCodeBounds(sLo, sHi []float64, codes []uint8, cands []int, tLo, tHi *[256]float64) {
 	sLo = sLo[:len(cands)]
 	sHi = sHi[:len(cands)]
+	if hasAVX2 && len(cands) >= simdMin {
+		n := len(cands) &^ 3
+		accCodeBoundsAVX2(&sLo[0], &sHi[0], &codes[0], &cands[0], n, tLo, tHi)
+		for i := n; i < len(cands); i++ {
+			c := codes[cands[i]]
+			sLo[i] += tLo[c]
+			sHi[i] += tHi[c]
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= len(cands); i += 4 {
 		c0, c1, c2, c3 := codes[cands[i]], codes[cands[i+1]], codes[cands[i+2]], codes[cands[i+3]]
@@ -202,18 +307,28 @@ func AccCodeBounds(sLo, sHi []float64, codes []uint8, cands []int, tLo, tHi *[25
 
 // VARowSum sums a VA-File bound table over one row-major code row:
 // Σ_d tbl[d·256 + row[d]]. tbl must hold len(row)·256 entries (it panics
-// otherwise); four independent accumulators hide the load latency.
+// otherwise); four independent accumulators hide the load latency. The
+// AVX2 variant keeps accumulator j on exactly the dimensions 4k+j the
+// scalar s_j sees, so the result is bit-identical.
 func VARowSum(tbl []float64, row []uint8) float64 {
 	if len(tbl) < len(row)*256 {
 		panic("kernel: VA bound table shorter than 256 entries per dimension")
 	}
 	var s0, s1, s2, s3 float64
 	d := 0
-	for ; d+4 <= len(row); d += 4 {
-		s0 += tbl[d*256+int(row[d])]
-		s1 += tbl[(d+1)*256+int(row[d+1])]
-		s2 += tbl[(d+2)*256+int(row[d+2])]
-		s3 += tbl[(d+3)*256+int(row[d+3])]
+	if hasAVX2 && len(row) >= simdMin {
+		n := len(row) &^ 3
+		var part [4]float64
+		vaRowSumAVX2(&tbl[0], &row[0], n, &part)
+		s0, s1, s2, s3 = part[0], part[1], part[2], part[3]
+		d = n
+	} else {
+		for ; d+4 <= len(row); d += 4 {
+			s0 += tbl[d*256+int(row[d])]
+			s1 += tbl[(d+1)*256+int(row[d+1])]
+			s2 += tbl[(d+2)*256+int(row[d+2])]
+			s3 += tbl[(d+3)*256+int(row[d+3])]
+		}
 	}
 	for ; d < len(row); d++ {
 		s0 += tbl[d*256+int(row[d])]
@@ -222,20 +337,29 @@ func VARowSum(tbl []float64, row []uint8) float64 {
 }
 
 // SqDist returns the dense squared Euclidean distance Σ (v_i − q_i)² with
-// four independent accumulators. len(q) must be at least len(v).
+// independent accumulators; see the package comment for the few-ulp
+// tolerance this implies. len(q) must be at least len(v).
 func SqDist(v, q []float64) float64 {
 	q = q[:len(v)]
 	var s0, s1, s2, s3 float64
 	i := 0
-	for ; i+4 <= len(v); i += 4 {
-		d0 := v[i] - q[i]
-		d1 := v[i+1] - q[i+1]
-		d2 := v[i+2] - q[i+2]
-		d3 := v[i+3] - q[i+3]
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
+	if hasAVX2 && len(v) >= simdMin {
+		n := len(v) &^ 3
+		var part [4]float64
+		sqDistAVX2(&v[0], &q[0], n, &part)
+		s0, s1, s2, s3 = part[0], part[1], part[2], part[3]
+		i = n
+	} else {
+		for ; i+4 <= len(v); i += 4 {
+			d0 := v[i] - q[i]
+			d1 := v[i+1] - q[i+1]
+			d2 := v[i+2] - q[i+2]
+			d3 := v[i+3] - q[i+3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
 	}
 	for ; i < len(v); i++ {
 		d := v[i] - q[i]
@@ -245,16 +369,25 @@ func SqDist(v, q []float64) float64 {
 }
 
 // MinSum returns the dense histogram intersection Σ min(h_i, q_i), branch-
-// free. len(q) must be at least len(h).
+// free, with independent accumulators (few-ulp tolerance). len(q) must be
+// at least len(h).
 func MinSum(h, q []float64) float64 {
 	q = q[:len(h)]
 	var s0, s1, s2, s3 float64
 	i := 0
-	for ; i+4 <= len(h); i += 4 {
-		s0 += min(h[i], q[i])
-		s1 += min(h[i+1], q[i+1])
-		s2 += min(h[i+2], q[i+2])
-		s3 += min(h[i+3], q[i+3])
+	if hasAVX2 && len(h) >= simdMin {
+		n := len(h) &^ 3
+		var part [4]float64
+		minSumAVX2(&h[0], &q[0], n, &part)
+		s0, s1, s2, s3 = part[0], part[1], part[2], part[3]
+		i = n
+	} else {
+		for ; i+4 <= len(h); i += 4 {
+			s0 += min(h[i], q[i])
+			s1 += min(h[i+1], q[i+1])
+			s2 += min(h[i+2], q[i+2])
+			s3 += min(h[i+3], q[i+3])
+		}
 	}
 	for ; i < len(h); i++ {
 		s0 += min(h[i], q[i])
@@ -263,21 +396,30 @@ func MinSum(h, q []float64) float64 {
 }
 
 // WSqDist returns the dense weighted squared Euclidean distance
-// Σ w_i (v_i − q_i)². len(q) and len(w) must be at least len(v).
+// Σ w_i (v_i − q_i)² with independent accumulators (few-ulp tolerance).
+// len(q) and len(w) must be at least len(v).
 func WSqDist(v, q, w []float64) float64 {
 	q = q[:len(v)]
 	w = w[:len(v)]
 	var s0, s1, s2, s3 float64
 	i := 0
-	for ; i+4 <= len(v); i += 4 {
-		d0 := v[i] - q[i]
-		d1 := v[i+1] - q[i+1]
-		d2 := v[i+2] - q[i+2]
-		d3 := v[i+3] - q[i+3]
-		s0 += w[i] * d0 * d0
-		s1 += w[i+1] * d1 * d1
-		s2 += w[i+2] * d2 * d2
-		s3 += w[i+3] * d3 * d3
+	if hasAVX2 && len(v) >= simdMin {
+		n := len(v) &^ 3
+		var part [4]float64
+		wSqDistAVX2(&v[0], &q[0], &w[0], n, &part)
+		s0, s1, s2, s3 = part[0], part[1], part[2], part[3]
+		i = n
+	} else {
+		for ; i+4 <= len(v); i += 4 {
+			d0 := v[i] - q[i]
+			d1 := v[i+1] - q[i+1]
+			d2 := v[i+2] - q[i+2]
+			d3 := v[i+3] - q[i+3]
+			s0 += w[i] * d0 * d0
+			s1 += w[i+1] * d1 * d1
+			s2 += w[i+2] * d2 * d2
+			s3 += w[i+3] * d3 * d3
+		}
 	}
 	for ; i < len(v); i++ {
 		d := v[i] - q[i]
@@ -286,7 +428,10 @@ func WSqDist(v, q, w []float64) float64 {
 	return (s0 + s1) + (s2 + s3)
 }
 
-// Sum returns Σ x_i with four independent accumulators.
+// Sum returns Σ x_i with four independent accumulators. It stays pure Go
+// on every platform: one vector accumulator would replicate the scalar
+// chains bit-for-bit but gains nothing (one add per four elements either
+// way, bound by the same add latency), and more would change the result.
 func Sum(x []float64) float64 {
 	var s0, s1, s2, s3 float64
 	i := 0

@@ -1,0 +1,547 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 variants of the kernel inner loops. Shared conventions:
+//
+//   - n is a multiple of 4 (the Go wrapper runs the remainder); every
+//     loop retires 4 candidates/dimensions per iteration, except the
+//     dense kernels' 16-wide main loop.
+//   - The gather kernels must stay bit-identical to the scalar loops:
+//     one addition per slot per column, vsubpd/vmulpd/vaddpd only —
+//     never FMA, which rounds once where the scalar code rounds twice.
+//   - VGATHERQPD zeroes its mask register, so the all-ones mask is
+//     re-materialized (VPCMPEQD of a register with itself) before every
+//     gather; mask, index, and destination must be distinct registers.
+//   - min() is the Go builtin's ordering (−0 < +0, NaN poisons), which a
+//     single VMINPD does not give: VMINPD returns its second source on
+//     ties and NaNs. min_go(a,b) = VMINPD(a,b) | VMINPD(b,a) — on a tie
+//     of ±0 the OR keeps the sign bit, on distinct values both minima
+//     agree, and a NaN input ORs into a NaN.
+//   - VZEROUPPER before every RET: the callers return into SSE-era
+//     scalar code, and a dirty upper state would stall it.
+
+// func accSqDistAVX2(score, col *float64, cands *int, n int, qd float64)
+TEXT ·accSqDistAVX2(SB), NOSPLIT, $0-40
+	MOVQ         score+0(FP), DI
+	MOVQ         col+8(FP), SI
+	MOVQ         cands+16(FP), DX
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD qd+32(FP), Y0
+
+sqloop:
+	TESTQ      CX, CX
+	JZ         sqdone
+	VMOVDQU    (DX), Y1              // 4 candidate ids
+	VPCMPEQD   Y2, Y2, Y2            // gather mask: all lanes active
+	VGATHERQPD Y2, (SI)(Y1*8), Y3    // v = col[cands[i..i+3]]
+	VSUBPD     Y0, Y3, Y4            // d = v - qd
+	VMULPD     Y4, Y4, Y4            // d*d
+	VMOVUPD    (DI), Y5
+	VADDPD     Y4, Y5, Y5            // score += d*d
+	VMOVUPD    Y5, (DI)
+	ADDQ       $32, DI
+	ADDQ       $32, DX
+	SUBQ       $4, CX
+	JMP        sqloop
+
+sqdone:
+	VZEROUPPER
+	RET
+
+// func accSqDistTailsAVX2(score, tails, col *float64, cands *int, n int, qd float64)
+TEXT ·accSqDistTailsAVX2(SB), NOSPLIT, $0-48
+	MOVQ         score+0(FP), DI
+	MOVQ         tails+8(FP), R8
+	MOVQ         col+16(FP), SI
+	MOVQ         cands+24(FP), DX
+	MOVQ         n+32(FP), CX
+	VBROADCASTSD qd+40(FP), Y0
+
+sqtloop:
+	TESTQ      CX, CX
+	JZ         sqtdone
+	VMOVDQU    (DX), Y1
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VSUBPD     Y0, Y3, Y4
+	VMULPD     Y4, Y4, Y4
+	VMOVUPD    (DI), Y5
+	VADDPD     Y4, Y5, Y5
+	VMOVUPD    Y5, (DI)
+	VMOVUPD    (R8), Y6
+	VSUBPD     Y3, Y6, Y6            // tails -= v
+	VMOVUPD    Y6, (R8)
+	ADDQ       $32, DI
+	ADDQ       $32, R8
+	ADDQ       $32, DX
+	SUBQ       $4, CX
+	JMP        sqtloop
+
+sqtdone:
+	VZEROUPPER
+	RET
+
+// func accWSqDistAVX2(score, col *float64, cands *int, n int, qd, w float64)
+TEXT ·accWSqDistAVX2(SB), NOSPLIT, $0-48
+	MOVQ         score+0(FP), DI
+	MOVQ         col+8(FP), SI
+	MOVQ         cands+16(FP), DX
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD qd+32(FP), Y0
+	VBROADCASTSD w+40(FP), Y7
+
+wsqloop:
+	TESTQ      CX, CX
+	JZ         wsqdone
+	VMOVDQU    (DX), Y1
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VSUBPD     Y0, Y3, Y4            // d
+	VMULPD     Y4, Y7, Y5            // w*d
+	VMULPD     Y4, Y5, Y5            // (w*d)*d — the scalar association
+	VMOVUPD    (DI), Y6
+	VADDPD     Y5, Y6, Y6
+	VMOVUPD    Y6, (DI)
+	ADDQ       $32, DI
+	ADDQ       $32, DX
+	SUBQ       $4, CX
+	JMP        wsqloop
+
+wsqdone:
+	VZEROUPPER
+	RET
+
+// func accWSqDistTailsAVX2(score, tails, col *float64, cands *int, n int, qd, w float64)
+TEXT ·accWSqDistTailsAVX2(SB), NOSPLIT, $0-56
+	MOVQ         score+0(FP), DI
+	MOVQ         tails+8(FP), R8
+	MOVQ         col+16(FP), SI
+	MOVQ         cands+24(FP), DX
+	MOVQ         n+32(FP), CX
+	VBROADCASTSD qd+40(FP), Y0
+	VBROADCASTSD w+48(FP), Y7
+
+wsqtloop:
+	TESTQ      CX, CX
+	JZ         wsqtdone
+	VMOVDQU    (DX), Y1
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VSUBPD     Y0, Y3, Y4
+	VMULPD     Y4, Y7, Y5
+	VMULPD     Y4, Y5, Y5
+	VMOVUPD    (DI), Y6
+	VADDPD     Y5, Y6, Y6
+	VMOVUPD    Y6, (DI)
+	VMOVUPD    (R8), Y6
+	VSUBPD     Y3, Y6, Y6
+	VMOVUPD    Y6, (R8)
+	ADDQ       $32, DI
+	ADDQ       $32, R8
+	ADDQ       $32, DX
+	SUBQ       $4, CX
+	JMP        wsqtloop
+
+wsqtdone:
+	VZEROUPPER
+	RET
+
+// func accMinQAVX2(score, col *float64, cands *int, n int, qd float64)
+TEXT ·accMinQAVX2(SB), NOSPLIT, $0-40
+	MOVQ         score+0(FP), DI
+	MOVQ         col+8(FP), SI
+	MOVQ         cands+16(FP), DX
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD qd+32(FP), Y0
+
+mqloop:
+	TESTQ      CX, CX
+	JZ         mqdone
+	VMOVDQU    (DX), Y1
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (SI)(Y1*8), Y3    // v
+	VMINPD     Y0, Y3, Y4            // min(v,q), ties/NaN -> q
+	VMINPD     Y3, Y0, Y5            // min(q,v), ties/NaN -> v
+	VORPD      Y5, Y4, Y4            // Go min semantics
+	VMOVUPD    (DI), Y6
+	VADDPD     Y4, Y6, Y6
+	VMOVUPD    Y6, (DI)
+	ADDQ       $32, DI
+	ADDQ       $32, DX
+	SUBQ       $4, CX
+	JMP        mqloop
+
+mqdone:
+	VZEROUPPER
+	RET
+
+// func accMinQTailsAVX2(score, tails, col *float64, cands *int, n int, qd float64)
+TEXT ·accMinQTailsAVX2(SB), NOSPLIT, $0-48
+	MOVQ         score+0(FP), DI
+	MOVQ         tails+8(FP), R8
+	MOVQ         col+16(FP), SI
+	MOVQ         cands+24(FP), DX
+	MOVQ         n+32(FP), CX
+	VBROADCASTSD qd+40(FP), Y0
+
+mqtloop:
+	TESTQ      CX, CX
+	JZ         mqtdone
+	VMOVDQU    (DX), Y1
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VMINPD     Y0, Y3, Y4
+	VMINPD     Y3, Y0, Y5
+	VORPD      Y5, Y4, Y4
+	VMOVUPD    (DI), Y6
+	VADDPD     Y4, Y6, Y6
+	VMOVUPD    Y6, (DI)
+	VMOVUPD    (R8), Y6
+	VSUBPD     Y3, Y6, Y6
+	VMOVUPD    Y6, (R8)
+	ADDQ       $32, DI
+	ADDQ       $32, R8
+	ADDQ       $32, DX
+	SUBQ       $4, CX
+	JMP        mqtloop
+
+mqtdone:
+	VZEROUPPER
+	RET
+
+// func accWMinQAVX2(score, col *float64, cands *int, n int, qd, w float64)
+TEXT ·accWMinQAVX2(SB), NOSPLIT, $0-48
+	MOVQ         score+0(FP), DI
+	MOVQ         col+8(FP), SI
+	MOVQ         cands+16(FP), DX
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD qd+32(FP), Y0
+	VBROADCASTSD w+40(FP), Y7
+
+wmqloop:
+	TESTQ      CX, CX
+	JZ         wmqdone
+	VMOVDQU    (DX), Y1
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VMINPD     Y0, Y3, Y4
+	VMINPD     Y3, Y0, Y5
+	VORPD      Y5, Y4, Y4
+	VMULPD     Y4, Y7, Y4            // w*min
+	VMOVUPD    (DI), Y6
+	VADDPD     Y4, Y6, Y6
+	VMOVUPD    Y6, (DI)
+	ADDQ       $32, DI
+	ADDQ       $32, DX
+	SUBQ       $4, CX
+	JMP        wmqloop
+
+wmqdone:
+	VZEROUPPER
+	RET
+
+// func accCodeBoundsAVX2(sLo, sHi *float64, codes *uint8, cands *int, n int, tLo, tHi *[256]float64)
+TEXT ·accCodeBoundsAVX2(SB), NOSPLIT, $0-56
+	MOVQ sLo+0(FP), DI
+	MOVQ sHi+8(FP), SI
+	MOVQ codes+16(FP), BX
+	MOVQ cands+24(FP), DX
+	MOVQ n+32(FP), CX
+	MOVQ tLo+40(FP), R9
+	MOVQ tHi+48(FP), R10
+
+cbloop:
+	TESTQ    CX, CX
+	JZ       cbdone
+
+	// The codes of 4 candidates are scattered bytes — no vector byte
+	// gather exists, so load them scalar, pack into one dword, and
+	// zero-extend to 4 qword table indices.
+	MOVQ     0(DX), R11
+	MOVBLZX  (BX)(R11*1), R12
+	MOVQ     8(DX), R11
+	MOVBLZX  (BX)(R11*1), R13
+	MOVQ     16(DX), R11
+	MOVBLZX  (BX)(R11*1), R14
+	MOVQ     24(DX), R11
+	MOVBLZX  (BX)(R11*1), AX
+	SHLQ     $8, R13
+	ORQ      R13, R12
+	SHLQ     $16, R14
+	ORQ      R14, R12
+	SHLQ     $24, AX
+	ORQ      AX, R12
+	// VMOVQ, not MOVQ: a legacy-SSE write to X1 with dirty ymm uppers
+	// pays an AVX/SSE state-transition penalty every iteration.
+	VMOVQ    R12, X1
+	VPMOVZXBQ X1, Y1
+
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (R9)(Y1*8), Y3    // tLo[c]
+	VMOVUPD    (DI), Y4
+	VADDPD     Y3, Y4, Y4
+	VMOVUPD    Y4, (DI)
+	VPCMPEQD   Y5, Y5, Y5
+	VGATHERQPD Y5, (R10)(Y1*8), Y6   // tHi[c]
+	VMOVUPD    (SI), Y7
+	VADDPD     Y6, Y7, Y7
+	VMOVUPD    Y7, (SI)
+
+	ADDQ     $32, DI
+	ADDQ     $32, SI
+	ADDQ     $32, DX
+	SUBQ     $4, CX
+	JMP      cbloop
+
+cbdone:
+	VZEROUPPER
+	RET
+
+DATA vaiota<>+0(SB)/8, $0
+DATA vaiota<>+8(SB)/8, $256
+DATA vaiota<>+16(SB)/8, $512
+DATA vaiota<>+24(SB)/8, $768
+GLOBL vaiota<>(SB), RODATA|NOPTR, $32
+
+DATA vastep<>+0(SB)/8, $1024
+DATA vastep<>+8(SB)/8, $1024
+DATA vastep<>+16(SB)/8, $1024
+DATA vastep<>+24(SB)/8, $1024
+GLOBL vastep<>(SB), RODATA|NOPTR, $32
+
+// func vaRowSumAVX2(tbl *float64, row *uint8, n int, out *[4]float64)
+//
+// Accumulator lane j sees exactly the dimensions 4k+j the scalar s_j
+// sees, in the same order, so the lane partials are bit-identical to the
+// scalar accumulators.
+TEXT ·vaRowSumAVX2(SB), NOSPLIT, $0-32
+	MOVQ    tbl+0(FP), SI
+	MOVQ    row+8(FP), DX
+	MOVQ    n+16(FP), CX
+	MOVQ    out+24(FP), DI
+	VXORPD  Y8, Y8, Y8               // lane accumulators
+	VMOVDQU vaiota<>(SB), Y9         // {0,256,512,768} + d*256, d += 4/iter
+	VMOVDQU vastep<>(SB), Y10
+
+valoop:
+	TESTQ      CX, CX
+	JZ         vadone
+	MOVL       (DX), R11             // 4 code bytes
+	VMOVQ      R11, X1               // VEX-encoded: no SSE/AVX transition
+	VPMOVZXBQ  X1, Y1
+	VPADDQ     Y9, Y1, Y1            // idx = (d+j)*256 + row[d+j]
+	VPCMPEQD   Y2, Y2, Y2
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VADDPD     Y3, Y8, Y8
+	VPADDQ     Y10, Y9, Y9
+	ADDQ       $4, DX
+	SUBQ       $4, CX
+	JMP        valoop
+
+vadone:
+	VMOVUPD Y8, (DI)
+	VZEROUPPER
+	RET
+
+// func sqDistAVX2(v, q *float64, n int, out *[4]float64)
+//
+// Dense kernel: four independent vector accumulators, 16 elements per
+// main-loop iteration, so the reduction order differs from the scalar
+// code within its documented few-ulp tolerance.
+TEXT ·sqDistAVX2(SB), NOSPLIT, $0-32
+	MOVQ   v+0(FP), SI
+	MOVQ   q+8(FP), DX
+	MOVQ   n+16(FP), CX
+	MOVQ   out+24(FP), DI
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+sd16:
+	CMPQ    CX, $16
+	JLT     sd4
+	VMOVUPD 0(SI), Y1
+	VMOVUPD 0(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y8, Y8
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 32(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y9, Y9
+	VMOVUPD 64(SI), Y1
+	VMOVUPD 64(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y10, Y10
+	VMOVUPD 96(SI), Y1
+	VMOVUPD 96(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y11, Y11
+	ADDQ    $128, SI
+	ADDQ    $128, DX
+	SUBQ    $16, CX
+	JMP     sd16
+
+sd4:
+	TESTQ   CX, CX
+	JZ      sddone
+	VMOVUPD (SI), Y1
+	VMOVUPD (DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y8, Y8
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	SUBQ    $4, CX
+	JMP     sd4
+
+sddone:
+	VADDPD  Y9, Y8, Y8
+	VADDPD  Y11, Y10, Y10
+	VADDPD  Y10, Y8, Y8
+	VMOVUPD Y8, (DI)
+	VZEROUPPER
+	RET
+
+// func minSumAVX2(h, q *float64, n int, out *[4]float64)
+TEXT ·minSumAVX2(SB), NOSPLIT, $0-32
+	MOVQ   h+0(FP), SI
+	MOVQ   q+8(FP), DX
+	MOVQ   n+16(FP), CX
+	MOVQ   out+24(FP), DI
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+ms16:
+	CMPQ    CX, $16
+	JLT     ms4
+	VMOVUPD 0(SI), Y1
+	VMOVUPD 0(DX), Y2
+	VMINPD  Y2, Y1, Y3
+	VMINPD  Y1, Y2, Y4
+	VORPD   Y4, Y3, Y3
+	VADDPD  Y3, Y8, Y8
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 32(DX), Y2
+	VMINPD  Y2, Y1, Y3
+	VMINPD  Y1, Y2, Y4
+	VORPD   Y4, Y3, Y3
+	VADDPD  Y3, Y9, Y9
+	VMOVUPD 64(SI), Y1
+	VMOVUPD 64(DX), Y2
+	VMINPD  Y2, Y1, Y3
+	VMINPD  Y1, Y2, Y4
+	VORPD   Y4, Y3, Y3
+	VADDPD  Y3, Y10, Y10
+	VMOVUPD 96(SI), Y1
+	VMOVUPD 96(DX), Y2
+	VMINPD  Y2, Y1, Y3
+	VMINPD  Y1, Y2, Y4
+	VORPD   Y4, Y3, Y3
+	VADDPD  Y3, Y11, Y11
+	ADDQ    $128, SI
+	ADDQ    $128, DX
+	SUBQ    $16, CX
+	JMP     ms16
+
+ms4:
+	TESTQ   CX, CX
+	JZ      msdone
+	VMOVUPD (SI), Y1
+	VMOVUPD (DX), Y2
+	VMINPD  Y2, Y1, Y3
+	VMINPD  Y1, Y2, Y4
+	VORPD   Y4, Y3, Y3
+	VADDPD  Y3, Y8, Y8
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	SUBQ    $4, CX
+	JMP     ms4
+
+msdone:
+	VADDPD  Y9, Y8, Y8
+	VADDPD  Y11, Y10, Y10
+	VADDPD  Y10, Y8, Y8
+	VMOVUPD Y8, (DI)
+	VZEROUPPER
+	RET
+
+// func wSqDistAVX2(v, q, w *float64, n int, out *[4]float64)
+TEXT ·wSqDistAVX2(SB), NOSPLIT, $0-40
+	MOVQ   v+0(FP), SI
+	MOVQ   q+8(FP), DX
+	MOVQ   w+16(FP), BX
+	MOVQ   n+24(FP), CX
+	MOVQ   out+32(FP), DI
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+ws16:
+	CMPQ    CX, $16
+	JLT     ws4
+	VMOVUPD 0(SI), Y1
+	VMOVUPD 0(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMOVUPD 0(BX), Y4
+	VMULPD  Y3, Y4, Y4               // w*d
+	VMULPD  Y3, Y4, Y4               // (w*d)*d
+	VADDPD  Y4, Y8, Y8
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 32(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMOVUPD 32(BX), Y4
+	VMULPD  Y3, Y4, Y4
+	VMULPD  Y3, Y4, Y4
+	VADDPD  Y4, Y9, Y9
+	VMOVUPD 64(SI), Y1
+	VMOVUPD 64(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMOVUPD 64(BX), Y4
+	VMULPD  Y3, Y4, Y4
+	VMULPD  Y3, Y4, Y4
+	VADDPD  Y4, Y10, Y10
+	VMOVUPD 96(SI), Y1
+	VMOVUPD 96(DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMOVUPD 96(BX), Y4
+	VMULPD  Y3, Y4, Y4
+	VMULPD  Y3, Y4, Y4
+	VADDPD  Y4, Y11, Y11
+	ADDQ    $128, SI
+	ADDQ    $128, DX
+	ADDQ    $128, BX
+	SUBQ    $16, CX
+	JMP     ws16
+
+ws4:
+	TESTQ   CX, CX
+	JZ      wsdone
+	VMOVUPD (SI), Y1
+	VMOVUPD (DX), Y2
+	VSUBPD  Y2, Y1, Y3
+	VMOVUPD (BX), Y4
+	VMULPD  Y3, Y4, Y4
+	VMULPD  Y3, Y4, Y4
+	VADDPD  Y4, Y8, Y8
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, BX
+	SUBQ    $4, CX
+	JMP     ws4
+
+wsdone:
+	VADDPD  Y9, Y8, Y8
+	VADDPD  Y11, Y10, Y10
+	VADDPD  Y10, Y8, Y8
+	VMOVUPD Y8, (DI)
+	VZEROUPPER
+	RET

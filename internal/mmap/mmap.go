@@ -1,0 +1,29 @@
+// Package mmap is the thin platform seam behind memory-mapped sealed
+// segments: map a file read-only into the address space, unmap it again,
+// and report whether the platform supports doing so at all.
+//
+// The storage layer never calls this package directly — it goes through
+// the iofs filesystem seam (iofs.OS implements MapFile with it), so the
+// in-memory and crash-injecting test filesystems transparently fall back
+// to read-into-heap and the recovery protocol is exercised identically
+// on both backings.
+package mmap
+
+import "errors"
+
+// ErrUnsupported reports a platform without a usable mmap; callers fall
+// back to reading the file into the heap.
+var ErrUnsupported = errors.New("mmap: not supported on this platform")
+
+// Supported reports whether Map works on this platform.
+func Supported() bool { return supported }
+
+// Map maps the file at path read-only and returns the mapping. An empty
+// file returns a nil slice (nothing to map) with no error. The mapping
+// stays valid after the file is unlinked (POSIX keeps the pages) and
+// must be released with Unmap.
+func Map(path string) ([]byte, error) { return mapFile(path) }
+
+// Unmap releases a mapping returned by Map. Unmapping nil is a no-op.
+// After Unmap returns, any slice aliasing the mapping is invalid.
+func Unmap(b []byte) error { return unmapFile(b) }

@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package mmap
+
+const supported = false
+
+func mapFile(path string) ([]byte, error) { return nil, ErrUnsupported }
+
+func unmapFile(b []byte) error { return nil }

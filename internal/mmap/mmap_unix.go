@@ -1,0 +1,45 @@
+//go:build linux || darwin
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const supported = true
+
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: %s is %d bytes, larger than the address space", path, size)
+	}
+	// MAP_PRIVATE read-only: the segment file is write-once and never
+	// modified in place, so a private mapping reads the same bytes as a
+	// shared one without ever being able to dirty the page cache.
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: map %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func unmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -46,6 +46,46 @@ type Coefficients struct {
 	ComprNs float64 `json:"compr_ns_per_cell"`
 	VANs    float64 `json:"va_ns_per_cell"`
 	ExactNs float64 `json:"exact_ns_per_cell"`
+
+	// The same time coefficients for segments whose columns alias a memory
+	// mapping instead of heap memory. Mapped reads cost the same CPU once
+	// the pages are resident, but the page cache is not under the
+	// collection's control, so the two backings learn separately and a
+	// mapped segment is ranked by its own history. The very first scan of a
+	// mapped segment after open (page faults dominate) is discarded rather
+	// than averaged in — it would poison the steady-state coefficient with
+	// a one-time cost.
+	BondNsMapped  float64 `json:"bond_ns_per_cell_mapped,omitempty"`
+	ComprNsMapped float64 `json:"compr_ns_per_cell_mapped,omitempty"`
+	VANsMapped    float64 `json:"va_ns_per_cell_mapped,omitempty"`
+	ExactNsMapped float64 `json:"exact_ns_per_cell_mapped,omitempty"`
+}
+
+// pathNs returns the learned time coefficient for one path on one segment
+// backing.
+func (c Coefficients) pathNs(p Path, mapped bool) float64 {
+	if mapped {
+		switch p {
+		case PathBOND:
+			return c.BondNsMapped
+		case PathCompressed:
+			return c.ComprNsMapped
+		case PathVAFile:
+			return c.VANsMapped
+		default:
+			return c.ExactNsMapped
+		}
+	}
+	switch p {
+	case PathBOND:
+		return c.BondNs
+	case PathCompressed:
+		return c.ComprNs
+	case PathVAFile:
+		return c.VANs
+	default:
+		return c.ExactNs
+	}
 }
 
 // defaultCoefficients are the priors a fresh collection plans from,
@@ -60,6 +100,10 @@ func defaultCoefficients() Coefficients {
 		ComprNs:         defaultNsPerCell,
 		VANs:            defaultNsPerCell,
 		ExactNs:         defaultNsPerCell,
+		BondNsMapped:    defaultNsPerCell,
+		ComprNsMapped:   defaultNsPerCell,
+		VANsMapped:      defaultNsPerCell,
+		ExactNsMapped:   defaultNsPerCell,
 	}
 }
 
@@ -137,11 +181,14 @@ func (m *Model) releaseScratch(sc *execScratch) {
 
 // observer is the feedback sink the executor reports into: the model
 // directly, or a FeedbackBatch that aggregates a whole QueryBatch first.
+// mapped tags which backing the time was observed on; the fraction
+// observations are backing-neutral (pruning behaves the same either way)
+// and always update the shared coefficients.
 type observer interface {
-	observeBond(frac, ns float64)
-	observeCompressed(filterFrac, survive, ns float64)
-	observeVA(survive, ns float64)
-	observeExact(ns float64)
+	observeBond(frac, ns float64, mapped bool)
+	observeCompressed(filterFrac, survive, ns float64, mapped bool)
+	observeVA(survive, ns float64, mapped bool)
+	observeExact(ns float64, mapped bool)
 	countQuery()
 }
 
@@ -153,7 +200,10 @@ type observer interface {
 type FeedbackBatch struct {
 	mu      sync.Mutex
 	queries int64
-	sums    [4]pathSums // indexed by feedback slot below
+	// One slot per path and backing: heap observations in the first four,
+	// mapped in the second four, so a mixed batch (some segments heap, some
+	// mapped) lands each mean on the right coefficient.
+	sums [8]pathSums
 }
 
 type pathSums struct {
@@ -166,12 +216,16 @@ const (
 	fbCompr
 	fbVA
 	fbExact
+	fbMappedOff = 4
 )
 
 // NewFeedbackBatch returns an empty accumulator.
 func NewFeedbackBatch() *FeedbackBatch { return &FeedbackBatch{} }
 
-func (f *FeedbackBatch) add(slot int, a, b, ns float64) {
+func (f *FeedbackBatch) add(slot int, a, b, ns float64, mapped bool) {
+	if mapped {
+		slot += fbMappedOff
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := &f.sums[slot]
@@ -184,17 +238,26 @@ func (f *FeedbackBatch) add(slot int, a, b, ns float64) {
 	}
 }
 
-func (f *FeedbackBatch) observeBond(frac, ns float64)  { f.add(fbBond, frac, 0, ns) }
-func (f *FeedbackBatch) observeVA(survive, ns float64) { f.add(fbVA, survive, 0, ns) }
-func (f *FeedbackBatch) observeExact(ns float64)       { f.add(fbExact, 0, 0, ns) }
+func (f *FeedbackBatch) observeBond(frac, ns float64, mapped bool) {
+	f.add(fbBond, frac, 0, ns, mapped)
+}
+
+func (f *FeedbackBatch) observeVA(survive, ns float64, mapped bool) {
+	f.add(fbVA, survive, 0, ns, mapped)
+}
+
+func (f *FeedbackBatch) observeExact(ns float64, mapped bool) {
+	f.add(fbExact, 0, 0, ns, mapped)
+}
+
 func (f *FeedbackBatch) countQuery() {
 	f.mu.Lock()
 	f.queries++
 	f.mu.Unlock()
 }
 
-func (f *FeedbackBatch) observeCompressed(filterFrac, survive, ns float64) {
-	f.add(fbCompr, filterFrac, survive, ns)
+func (f *FeedbackBatch) observeCompressed(filterFrac, survive, ns float64, mapped bool) {
+	f.add(fbCompr, filterFrac, survive, ns, mapped)
 }
 
 // Flush applies the accumulated batch means to the model. A path that saw
@@ -212,23 +275,29 @@ func (f *FeedbackBatch) Flush(m *Model) {
 		}
 		return a, b, ns, true
 	}
-	if a, _, ns, ok := mean(&f.sums[fbBond]); ok {
-		m.observeBond(a, ns)
-	}
-	if a, b, ns, ok := mean(&f.sums[fbCompr]); ok {
-		m.observeCompressed(a, b, ns)
-	}
-	if a, _, ns, ok := mean(&f.sums[fbVA]); ok {
-		m.observeVA(a, ns)
-	}
-	if _, _, ns, ok := mean(&f.sums[fbExact]); ok && ns > 0 {
-		m.observeExact(ns)
+	for _, mapped := range [2]bool{false, true} {
+		off := 0
+		if mapped {
+			off = fbMappedOff
+		}
+		if a, _, ns, ok := mean(&f.sums[fbBond+off]); ok {
+			m.observeBond(a, ns, mapped)
+		}
+		if a, b, ns, ok := mean(&f.sums[fbCompr+off]); ok {
+			m.observeCompressed(a, b, ns, mapped)
+		}
+		if a, _, ns, ok := mean(&f.sums[fbVA+off]); ok {
+			m.observeVA(a, ns, mapped)
+		}
+		if _, _, ns, ok := mean(&f.sums[fbExact+off]); ok && ns > 0 {
+			m.observeExact(ns, mapped)
+		}
 	}
 	m.mu.Lock()
 	m.c.Queries += f.queries
 	m.mu.Unlock()
 	f.queries = 0
-	f.sums = [4]pathSums{}
+	f.sums = [8]pathSums{}
 }
 
 // NewModel returns a model at the default priors.
@@ -275,14 +344,31 @@ func clampCoefficients(c Coefficients) Coefficients {
 	c.ComprFilterFrac = clamp01(c.ComprFilterFrac)
 	c.ComprSurvive = clamp01(c.ComprSurvive)
 	c.VASurvive = clamp01(c.VASurvive)
-	c.BondNs = clampNs(c.BondNs)
-	c.ComprNs = clampNs(c.ComprNs)
-	c.VANs = clampNs(c.VANs)
-	c.ExactNs = clampNs(c.ExactNs)
+	c.BondNs = loadedNs(c.BondNs)
+	c.ComprNs = loadedNs(c.ComprNs)
+	c.VANs = loadedNs(c.VANs)
+	c.ExactNs = loadedNs(c.ExactNs)
+	c.BondNsMapped = loadedNs(c.BondNsMapped)
+	c.ComprNsMapped = loadedNs(c.ComprNsMapped)
+	c.VANsMapped = loadedNs(c.VANsMapped)
+	c.ExactNsMapped = loadedNs(c.ExactNsMapped)
 	if c.Queries < 0 {
 		c.Queries = 0
 	}
 	return c
+}
+
+// loadedNs sanitizes a time coefficient read from a persisted statistics
+// block. A live model never writes zero (every observation is clamped to
+// ≥ 0.05), so zero means the field was absent — a block written before
+// the coefficient existed. That must restore the prior, not clampNs's
+// floor: 0.05 would make the planner rank the path as 60× faster than its
+// peers on no evidence at all.
+func loadedNs(x float64) float64 {
+	if x == 0 {
+		return defaultNsPerCell
+	}
+	return clampNs(x)
 }
 
 func clamp01(x float64) float64 {
@@ -317,39 +403,55 @@ func ewmaNs(old, obs float64) float64 {
 // over the segment's full size, already divided by the plan's shape
 // factor so the stored coefficient stays shape-neutral; ns is the
 // measured wall time per coefficient-equivalent (0 when unusable).
-func (m *Model) observeBond(frac, ns float64) {
+func (m *Model) observeBond(frac, ns float64, mapped bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.c.BondFrac = ewma(m.c.BondFrac, frac)
 	if ns > 0 {
-		m.c.BondNs = ewmaNs(m.c.BondNs, ns)
+		if mapped {
+			m.c.BondNsMapped = ewmaNs(m.c.BondNsMapped, ns)
+		} else {
+			m.c.BondNs = ewmaNs(m.c.BondNs, ns)
+		}
 	}
 }
 
-func (m *Model) observeCompressed(filterFrac, survive, ns float64) {
+func (m *Model) observeCompressed(filterFrac, survive, ns float64, mapped bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.c.ComprFilterFrac = ewma(m.c.ComprFilterFrac, filterFrac)
 	m.c.ComprSurvive = ewma(m.c.ComprSurvive, survive)
 	if ns > 0 {
-		m.c.ComprNs = ewmaNs(m.c.ComprNs, ns)
+		if mapped {
+			m.c.ComprNsMapped = ewmaNs(m.c.ComprNsMapped, ns)
+		} else {
+			m.c.ComprNs = ewmaNs(m.c.ComprNs, ns)
+		}
 	}
 }
 
-func (m *Model) observeVA(survive, ns float64) {
+func (m *Model) observeVA(survive, ns float64, mapped bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.c.VASurvive = ewma(m.c.VASurvive, survive)
 	if ns > 0 {
-		m.c.VANs = ewmaNs(m.c.VANs, ns)
+		if mapped {
+			m.c.VANsMapped = ewmaNs(m.c.VANsMapped, ns)
+		} else {
+			m.c.VANs = ewmaNs(m.c.VANs, ns)
+		}
 	}
 }
 
-func (m *Model) observeExact(ns float64) {
+func (m *Model) observeExact(ns float64, mapped bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if ns > 0 {
-		m.c.ExactNs = ewmaNs(m.c.ExactNs, ns)
+		if mapped {
+			m.c.ExactNsMapped = ewmaNs(m.c.ExactNsMapped, ns)
+		} else {
+			m.c.ExactNs = ewmaNs(m.c.ExactNs, ns)
+		}
 	}
 }
 
@@ -388,6 +490,10 @@ func (m *Model) DecayForRewrite(frac float64) {
 	m.c.ComprNs = clampNs(blend(m.c.ComprNs, p.ComprNs))
 	m.c.VANs = clampNs(blend(m.c.VANs, p.VANs))
 	m.c.ExactNs = clampNs(blend(m.c.ExactNs, p.ExactNs))
+	m.c.BondNsMapped = clampNs(blend(m.c.BondNsMapped, p.BondNsMapped))
+	m.c.ComprNsMapped = clampNs(blend(m.c.ComprNsMapped, p.ComprNsMapped))
+	m.c.VANsMapped = clampNs(blend(m.c.VANsMapped, p.VANsMapped))
+	m.c.ExactNsMapped = clampNs(blend(m.c.ExactNsMapped, p.ExactNsMapped))
 }
 
 // --- Predictions ----------------------------------------------------------

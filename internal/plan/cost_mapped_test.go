@@ -1,0 +1,82 @@
+package plan
+
+import "testing"
+
+// Mapped and heap time observations must land on separate coefficients:
+// the planner ranks a mapped segment by its own history.
+func TestObserveRoutesByBacking(t *testing.T) {
+	m := NewModel()
+	m.observeBond(0.5, 9.0, false)
+	m.observeBond(0.5, 1.0, true)
+	c := m.Snapshot()
+	if c.BondNs <= c.BondNsMapped {
+		t.Fatalf("BondNs=%v should exceed BondNsMapped=%v after slow-heap/fast-mapped feedback",
+			c.BondNs, c.BondNsMapped)
+	}
+	if c.BondNsMapped == defaultNsPerCell {
+		t.Fatalf("mapped observation did not move BondNsMapped off the prior")
+	}
+
+	m2 := NewModel()
+	m2.observeExact(9.0, true)
+	c2 := m2.Snapshot()
+	if c2.ExactNs != defaultNsPerCell {
+		t.Fatalf("mapped exact observation leaked into heap ExactNs=%v", c2.ExactNs)
+	}
+	if c2.ExactNsMapped == defaultNsPerCell {
+		t.Fatalf("mapped exact observation did not move ExactNsMapped")
+	}
+}
+
+// A statistics block persisted before the mapped coefficients existed
+// unmarshals them as zero; the model must restore the prior, not clamp to
+// the 0.05 floor (which would rank mapped paths as wildly fast on no
+// evidence).
+func TestLoadModelAbsentMappedNsDefaults(t *testing.T) {
+	old := []byte(`{"queries":10,"bond_frac":0.4,"bond_ns_per_cell":5.5}`)
+	c := LoadModel(old).Snapshot()
+	if c.BondNs != 5.5 {
+		t.Fatalf("BondNs = %v, want the persisted 5.5", c.BondNs)
+	}
+	for name, got := range map[string]float64{
+		"BondNsMapped":  c.BondNsMapped,
+		"ComprNsMapped": c.ComprNsMapped,
+		"VANsMapped":    c.VANsMapped,
+		"ExactNsMapped": c.ExactNsMapped,
+		"ComprNs":       c.ComprNs,
+		"VANs":          c.VANs,
+		"ExactNs":       c.ExactNs,
+	} {
+		if got != defaultNsPerCell {
+			t.Fatalf("%s = %v, want the %v prior for an absent field", name, got, defaultNsPerCell)
+		}
+	}
+}
+
+// A batch with both backings must flush each mean onto its own
+// coefficient set.
+func TestFeedbackBatchSplitsBackings(t *testing.T) {
+	m := NewModel()
+	fb := NewFeedbackBatch()
+	fb.observeVA(0.1, 8.0, false)
+	fb.observeVA(0.1, 1.0, true)
+	fb.countQuery()
+	fb.Flush(m)
+	c := m.Snapshot()
+	if c.VANs <= c.VANsMapped {
+		t.Fatalf("VANs=%v should exceed VANsMapped=%v", c.VANs, c.VANsMapped)
+	}
+	if c.Queries != 1 {
+		t.Fatalf("Queries = %d, want 1", c.Queries)
+	}
+}
+
+// DecayForRewrite(1) must reset the mapped coefficients too.
+func TestDecayResetsMappedNs(t *testing.T) {
+	m := NewModel()
+	m.observeBond(0.5, 50, true)
+	m.DecayForRewrite(1)
+	if c := m.Snapshot(); c.BondNsMapped != defaultNsPerCell {
+		t.Fatalf("BondNsMapped = %v after full decay, want prior %v", c.BondNsMapped, defaultNsPerCell)
+	}
+}

@@ -483,6 +483,16 @@ func (p *Plan) feedback(st *Step, out stepOutcome, elapsed time.Duration) {
 	if st.ActualCost > 0 && elapsed > 0 {
 		ns = float64(elapsed.Nanoseconds()) / st.ActualCost
 	}
+	if st.mapped {
+		// The first scan of a mapped segment since open pays the page
+		// faults for every column it touches — a one-time cost that would
+		// poison the steady-state coefficient, so its time is dropped (the
+		// fraction observations stay: pruning behaves the same cold or
+		// warm).
+		if seg := &p.segs[st.Segment]; seg.NoteScan != nil && seg.NoteScan() {
+			ns = 0
+		}
+	}
 	sink := observer(p.model)
 	if p.fb != nil {
 		sink = p.fb
@@ -493,16 +503,16 @@ func (p *Plan) feedback(st *Step, out stepOutcome, elapsed time.Duration) {
 		if shape <= 0 {
 			shape = 1
 		}
-		sink.observeBond(float64(out.bondStats.ValuesScanned)/(nd*shape), ns)
+		sink.observeBond(float64(out.bondStats.ValuesScanned)/(nd*shape), ns, st.mapped)
 	case PathCompressed:
 		sink.observeCompressed(
 			float64(out.comp.FilterStats.ValuesScanned)/nd,
 			float64(out.comp.FilterCandidates)/n,
-			ns)
+			ns, st.mapped)
 	case PathVAFile:
-		sink.observeVA(float64(out.vaCands)/n, ns)
+		sink.observeVA(float64(out.vaCands)/n, ns, st.mapped)
 	case PathExact:
-		sink.observeExact(ns)
+		sink.observeExact(ns, st.mapped)
 	}
 }
 

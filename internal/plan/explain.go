@@ -22,6 +22,13 @@ func (p *Plan) Explain() string {
 		p.Model.BondFrac, p.Model.ComprFilterFrac, p.Model.ComprSurvive, p.Model.VASurvive, p.Model.Queries)
 	fmt.Fprintf(&b, "Cost:  ns/cell bond=%.2f compressed=%.2f vafile=%.2f exact=%.2f\n",
 		p.Model.BondNs, p.Model.ComprNs, p.Model.VANs, p.Model.ExactNs)
+	for i := range p.Steps {
+		if p.Steps[i].mapped {
+			fmt.Fprintf(&b, "       mapped  bond=%.2f compressed=%.2f vafile=%.2f exact=%.2f\n",
+				p.Model.BondNsMapped, p.Model.ComprNsMapped, p.Model.VANsMapped, p.Model.ExactNsMapped)
+			break
+		}
+	}
 	fmt.Fprintf(&b, "%4s  %-10s %8s %6s %12s %12s %12s %10s\n",
 		"seg", "path", "n", "par", "bound", "predicted", "actual", "candidates")
 	for i := range p.Steps {

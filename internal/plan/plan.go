@@ -75,6 +75,9 @@ type Step struct {
 	// shape is the BOND cost scale derived from the synopsis, kept so the
 	// executor can normalize it back out of observed costs.
 	shape float64
+	// mapped records the segment's backing at plan time, routing the
+	// step's time feedback to the matching coefficient set.
+	mapped bool
 }
 
 // Plan is a planned query: the validated spec, the ordered per-segment
@@ -213,7 +216,7 @@ func (p *Plan) init(segs []Segment, spec Spec, model *Model) error {
 		if n == 0 {
 			continue
 		}
-		st := Step{Segment: i, Base: s.View.Base, N: n, Sealed: s.Sealed}
+		st := Step{Segment: i, Base: s.View.Base, N: n, Sealed: s.Sealed, mapped: s.Mapped}
 		st.Bound, st.HasBound = core.SegBound(s.View, spec.Query, opts)
 		st.shape = shapeFactor(st.Bound, st.HasBound, dist, queryMass)
 		st.Path, st.PredCost = choosePath(p.Model, spec.Strategy, s, compressedOK, n, p.Dims, st.shape)
@@ -260,17 +263,19 @@ func choosePath(m Coefficients, strat Strategy, s Segment, compressedOK bool, n,
 	// ns/cell, so a path that reads few cells slowly (the compressed
 	// filter's per-step kfetch) loses to one that reads more cells in a
 	// tight loop. With a fresh model all ns priors are equal and the
-	// ranking reduces to cell count.
+	// ranking reduces to cell count. Mapped segments rank by their own
+	// learned coefficients — the page cache can make their reads behave
+	// differently from heap memory.
 	best, cost := PathBOND, m.predictBond(n, dims, shape)
-	bestTime := cost * m.BondNs
+	bestTime := cost * m.pathNs(PathBOND, s.Mapped)
 	if canCompress {
-		if c := m.predictCompressed(n, dims); c*m.ComprNs < bestTime {
-			best, cost, bestTime = PathCompressed, c, c*m.ComprNs
+		if c := m.predictCompressed(n, dims); c*m.pathNs(PathCompressed, s.Mapped) < bestTime {
+			best, cost, bestTime = PathCompressed, c, c*m.pathNs(PathCompressed, s.Mapped)
 		}
 	}
 	if canVA {
-		if c := m.predictVAFile(n, dims); c*m.VANs < bestTime {
-			best, cost, bestTime = PathVAFile, c, c*m.VANs
+		if c := m.predictVAFile(n, dims); c*m.pathNs(PathVAFile, s.Mapped) < bestTime {
+			best, cost, bestTime = PathVAFile, c, c*m.pathNs(PathVAFile, s.Mapped)
 		}
 	}
 	return best, cost

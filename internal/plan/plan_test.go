@@ -248,7 +248,7 @@ func TestFeedbackAdaptsModel(t *testing.T) {
 func TestDecayForRewriteBlendsTowardPriors(t *testing.T) {
 	m := NewModel()
 	for i := 0; i < 50; i++ {
-		m.observeBond(1.0, 9.0) // a layout where BOND pruning never fires
+		m.observeBond(1.0, 9.0, false) // a layout where BOND pruning never fires
 		m.countQuery()
 	}
 	learned := m.Snapshot()
@@ -279,8 +279,8 @@ func TestDecayForRewriteBlendsTowardPriors(t *testing.T) {
 
 func TestModelPersistenceRoundTrip(t *testing.T) {
 	m := NewModel()
-	m.observeBond(0.9, 2.5)
-	m.observeCompressed(0.4, 0.2, 7.5)
+	m.observeBond(0.9, 2.5, false)
+	m.observeCompressed(0.4, 0.2, 7.5, false)
 	m.countQuery()
 	got := LoadModel(m.Marshal()).Snapshot()
 	if got != m.Snapshot() {

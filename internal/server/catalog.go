@@ -56,9 +56,10 @@ var (
 // lock hold times stay off the query path: a Get is one map read in
 // steady state.
 type Catalog struct {
-	dir     string
-	segSize int              // default seal threshold for new collections (0 = library default)
-	fsync   bond.FsyncPolicy // WAL policy every collection opens with
+	dir         string
+	segSize     int              // default seal threshold for new collections (0 = library default)
+	fsync       bond.FsyncPolicy // WAL policy every collection opens with
+	disableMmap bool             // open with heap-decoded segments instead of mappings
 
 	mu      sync.RWMutex
 	cols    map[string]*bond.Collection
@@ -75,16 +76,17 @@ type Catalog struct {
 // Collections already on disk are not loaded eagerly; the first Get or
 // Create that names one loads it (replaying its WAL tail, and migrating
 // legacy snapshot files in place).
-func NewCatalog(dir string, segSize int, fsync bond.FsyncPolicy) (*Catalog, error) {
+func NewCatalog(dir string, segSize int, fsync bond.FsyncPolicy, disableMmap bool) (*Catalog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	return &Catalog{
-		dir:     dir,
-		segSize: segSize,
-		fsync:   fsync,
-		cols:    map[string]*bond.Collection{},
-		loading: map[string]chan struct{}{},
+		dir:         dir,
+		segSize:     segSize,
+		fsync:       fsync,
+		disableMmap: disableMmap,
+		cols:        map[string]*bond.Collection{},
+		loading:     map[string]chan struct{}{},
 	}, nil
 }
 
@@ -142,6 +144,7 @@ func (c *Catalog) open(name string, dims, segSize int) (*bond.Collection, error)
 		Dims:        dims,
 		SegmentSize: segSize,
 		Fsync:       c.fsync,
+		DisableMmap: c.disableMmap,
 	})
 }
 

@@ -56,6 +56,10 @@ type Config struct {
 	// loop. 0 disables the loop; RunMaintenance can still be driven
 	// manually (bondd always sets it).
 	MaintenanceInterval time.Duration
+	// DisableMmap opens every collection with heap-decoded segments
+	// instead of memory-mapping sealed v2 segment files (the BOND_NO_MMAP
+	// environment variable forces the same).
+	DisableMmap bool
 	// Logf receives one line per maintenance action and per served error
 	// (nil = silent).
 	Logf func(format string, args ...any)
@@ -104,7 +108,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WALMaxBytes <= 0 {
 		cfg.WALMaxBytes = 16 << 20
 	}
-	cat, err := NewCatalog(cfg.Dir, cfg.SegmentSize, cfg.Fsync)
+	cat, err := NewCatalog(cfg.Dir, cfg.SegmentSize, cfg.Fsync, cfg.DisableMmap)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,6 @@ import (
 	"strconv"
 	"strings"
 
-	"bond/internal/bitmap"
 	"bond/internal/iofs"
 )
 
@@ -51,8 +50,18 @@ const (
 	ManifestName = "MANIFEST"
 
 	manMagic   = "BONDMAN1"
-	manVersion = uint32(1)
+	manVersion = uint32(2)
 	maxSegs    = 1 << 24
+
+	// Segment file formats a manifest entry can name. SegFormatV1 is the
+	// legacy row-stream layout (Store.Save); SegFormatV2 is the
+	// column-major mmap-native layout (Store.WriteSegmentV2). Recovery
+	// still reads v1 files, but checkpoints only ever write v2 — a
+	// recovered v1 segment is re-persisted under a fresh id at the next
+	// checkpoint and the old file garbage-collected, which migrates a
+	// pre-mmap directory without ever rewriting a file in place.
+	SegFormatV1 = byte(1)
+	SegFormatV2 = byte(2)
 )
 
 // ErrNoManifest reports a directory without a MANIFEST — an empty or
@@ -90,6 +99,7 @@ func ParseWALSeq(name string) (uint64, bool) {
 type ManifestSegment struct {
 	ID      uint64
 	Len     int
+	Format  byte // SegFormatV1 or SegFormatV2
 	Deleted []int
 }
 
@@ -120,6 +130,7 @@ func EncodeManifest(m *Manifest) []byte {
 	for _, sg := range m.Segments {
 		b = binary.LittleEndian.AppendUint64(b, sg.ID)
 		b = binary.LittleEndian.AppendUint64(b, uint64(sg.Len))
+		b = append(b, sg.Format)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(sg.Deleted)))
 		for _, id := range sg.Deleted {
 			b = binary.LittleEndian.AppendUint64(b, uint64(id))
@@ -184,7 +195,9 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != manVersion {
+	// Version 1 manifests (pre-mmap directories) decode too: they lack the
+	// per-segment format byte, so every segment is implicitly v1.
+	if ver != 1 && ver != manVersion {
 		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, ver)
 	}
 	m := &Manifest{}
@@ -233,6 +246,18 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 			return nil, fmt.Errorf("%w: implausible segment length %d", ErrCorrupt, slen)
 		}
 		sg.Len = int(slen)
+		if ver >= 2 {
+			fb, err := c.bytes(1)
+			if err != nil {
+				return nil, err
+			}
+			sg.Format = fb[0]
+			if sg.Format != SegFormatV1 && sg.Format != SegFormatV2 {
+				return nil, fmt.Errorf("%w: unknown segment format %d", ErrCorrupt, sg.Format)
+			}
+		} else {
+			sg.Format = SegFormatV1
+		}
 		ndel, err := c.u32()
 		if err != nil {
 			return nil, err
@@ -346,16 +371,17 @@ func WriteCheckpoint(fs iofs.FS, dir string, cs *CheckpointState) error {
 	for _, sg := range cs.Sealed {
 		name := filepath.Join(dir, SegFileName(sg.ID))
 		if _, err := fs.Stat(name); err != nil {
-			// First checkpoint naming this segment: write its file once.
-			// Tombstones are deliberately excluded — they keep changing,
-			// and they belong to the manifest.
-			clean := *sg.Store
-			clean.deleted = bitmap.New(clean.n)
-			if err := iofs.WriteFileAtomic(fs, name, clean.Save); err != nil {
+			// First checkpoint naming this segment: write its file once, in
+			// the column-major v2 layout recovery can memory-map. Tombstones
+			// are deliberately excluded from the format — they keep
+			// changing, and they belong to the manifest.
+			if err := iofs.WriteFileAtomic(fs, name, sg.Store.WriteSegmentV2); err != nil {
 				return err
 			}
 		}
-		m.Segments = append(m.Segments, ManifestSegment{ID: sg.ID, Len: sg.Store.Len(), Deleted: sg.Deleted})
+		m.Segments = append(m.Segments, ManifestSegment{
+			ID: sg.ID, Len: sg.Store.Len(), Format: SegFormatV2, Deleted: sg.Deleted,
+		})
 	}
 	active := filepath.Join(dir, ActiveFileName(cs.WALSeq))
 	if err := iofs.WriteFileAtomic(fs, active, cs.Active.Save); err != nil {
@@ -405,12 +431,34 @@ func CleanDir(fs iofs.FS, dir string, m *Manifest) {
 	}
 }
 
+// RecoverOptions tunes RecoverDirOpts.
+type RecoverOptions struct {
+	// DisableMmap forces v2 sealed segments to be read into the heap even
+	// when the filesystem can memory-map them. Mapping already degrades to
+	// a heap read automatically when the filesystem does not implement
+	// iofs.MapFS or the platform lacks mmap; this flag is the operator
+	// override (bondd -mmap=false, BOND_NO_MMAP=1 in CI).
+	DisableMmap bool
+}
+
 // RecoverDir loads the durable directory's committed checkpoint: the
 // manifest, every sealed segment file it names (with the manifest's
 // tombstones applied), and the active-segment checkpoint. The caller
 // replays wal-<WALSeq>.log (and any later WALs a crashed checkpoint left
 // behind) on top. A directory without a manifest returns ErrNoManifest.
+//
+// Sealed v2 segments are memory-mapped when the filesystem supports it:
+// their columns alias the file's pages and fault in on first scan, so
+// recovery's cost is O(manifest + synopses), not O(data). Legacy v1
+// segment files are read into the heap and scheduled for re-persistence —
+// their persistent id is cleared, so the next checkpoint writes them as
+// fresh write-once v2 files and garbage-collects the old ones.
 func RecoverDir(fs iofs.FS, dir string) (*SegStore, *Manifest, error) {
+	return RecoverDirOpts(fs, dir, RecoverOptions{})
+}
+
+// RecoverDirOpts is RecoverDir with explicit options.
+func RecoverDirOpts(fs iofs.FS, dir string, opts RecoverOptions) (*SegStore, *Manifest, error) {
 	data, err := fs.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -423,38 +471,82 @@ func RecoverDir(fs iofs.FS, dir string) (*SegStore, *Manifest, error) {
 		return nil, nil, err
 	}
 	s := &SegStore{dims: m.Dims, segSize: m.SegSize, nextSegID: m.NextSegID}
+	mapper, canMap := fs.(iofs.MapFS)
+	if opts.DisableMmap {
+		canMap = false
+	}
 	base := 0
 	for _, sg := range m.Segments {
 		name := SegFileName(sg.ID)
-		b, err := fs.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			return nil, nil, fmt.Errorf("%w: segment %s: %v", ErrCorrupt, name, err)
+		path := filepath.Join(dir, name)
+		var (
+			st     *Store
+			mapped bool
+		)
+		if sg.Format == SegFormatV2 && canMap {
+			if mb, merr := mapper.MapFile(path); merr == nil {
+				st, err = MapSegmentV2(mb)
+				if err != nil {
+					_ = mapper.UnmapFile(mb)
+					s.ReleaseMappings()
+					return nil, nil, fmt.Errorf("segment %s: %w", name, err)
+				}
+				s.registerMapping(mapper, mb)
+				mapped = true
+			}
+			// A map failure (unsupported platform, exotic filesystem) is
+			// not corruption: fall through to the heap read, which will
+			// surface any real I/O error itself.
 		}
-		st, err := Load(bytes.NewReader(b))
-		if err != nil {
-			return nil, nil, fmt.Errorf("segment %s: %w", name, err)
+		if st == nil {
+			b, rerr := fs.ReadFile(path)
+			if rerr != nil {
+				s.ReleaseMappings()
+				return nil, nil, fmt.Errorf("%w: segment %s: %v", ErrCorrupt, name, rerr)
+			}
+			if sg.Format == SegFormatV2 {
+				st, err = DecodeSegmentV2(b)
+			} else {
+				st, err = Load(bytes.NewReader(b))
+			}
+			if err != nil {
+				s.ReleaseMappings()
+				return nil, nil, fmt.Errorf("segment %s: %w", name, err)
+			}
 		}
 		if st.Dims() != m.Dims || st.Len() != sg.Len || st.Live() != st.Len() {
+			s.ReleaseMappings()
 			return nil, nil, fmt.Errorf("%w: segment %s is %d×%d live %d, manifest wants %d×%d clean",
 				ErrCorrupt, name, st.Len(), st.Dims(), st.Live(), sg.Len, m.Dims)
 		}
 		for _, id := range sg.Deleted {
 			st.deleted.Set(id) // ids validated by DecodeManifest
 		}
-		s.segs = append(s.segs, &Segment{Store: st, sealed: true, persistID: sg.ID})
+		// A legacy v1 file keeps serving this recovery from the heap, but
+		// its persistent id is not carried forward: the next checkpoint
+		// sees an unpersisted segment, assigns a fresh id, and writes it in
+		// v2 — migration by the ordinary write-once path.
+		persistID := sg.ID
+		if sg.Format != SegFormatV2 {
+			persistID = 0
+		}
+		s.segs = append(s.segs, &Segment{Store: st, sealed: true, persistID: persistID, mapped: mapped})
 		s.bases = append(s.bases, base)
 		base += st.Len()
 	}
 	activeName := ActiveFileName(m.WALSeq)
 	ab, err := fs.ReadFile(filepath.Join(dir, activeName))
 	if err != nil {
+		s.ReleaseMappings()
 		return nil, nil, fmt.Errorf("%w: active checkpoint %s: %v", ErrCorrupt, activeName, err)
 	}
 	ast, err := Load(bytes.NewReader(ab))
 	if err != nil {
+		s.ReleaseMappings()
 		return nil, nil, fmt.Errorf("active checkpoint %s: %w", activeName, err)
 	}
 	if ast.Dims() != m.Dims || ast.Len() != m.ActiveLen {
+		s.ReleaseMappings()
 		return nil, nil, fmt.Errorf("%w: active checkpoint is %d×%d, manifest wants %d×%d",
 			ErrCorrupt, ast.Len(), ast.Dims(), m.ActiveLen, m.Dims)
 	}

@@ -218,8 +218,8 @@ func TestManifestRoundTrip(t *testing.T) {
 		ActiveLen:    17,
 		PlannerStats: []byte("opaque planner block"),
 		Segments: []ManifestSegment{
-			{ID: 1, Len: 128, Deleted: []int{0, 5, 127}},
-			{ID: 8, Len: 64},
+			{ID: 1, Len: 128, Format: SegFormatV2, Deleted: []int{0, 5, 127}},
+			{ID: 8, Len: 64, Format: SegFormatV1},
 		},
 	}
 	got, err := DecodeManifest(EncodeManifest(m))

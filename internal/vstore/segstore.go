@@ -11,7 +11,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"bond/internal/iofs"
 	"bond/internal/quant"
 )
 
@@ -39,10 +41,36 @@ type Segment struct {
 	// never reused, it names the write-once seg-<id>.seg file holding the
 	// segment's columns. 0 means not yet persisted.
 	persistID uint64
+
+	// mapped reports that the segment's columns alias a memory-mapped
+	// file (recovery mapped its v2 seg file): they cost no heap, fault in
+	// on first scan, and become invalid when the store's mappings are
+	// released.
+	mapped bool
+
+	// scans counts completed column sweeps over a mapped segment: the
+	// cost model uses it to tell a cold, page-faulting first scan from
+	// steady-state reads of resident pages.
+	scans atomic.Uint64
 }
 
 // Sealed reports whether the segment is frozen (immutable columns).
 func (g *Segment) Sealed() bool { return g.sealed }
+
+// Mapped reports whether the segment's columns alias a memory-mapped
+// segment file rather than heap memory.
+func (g *Segment) Mapped() bool { return g.mapped }
+
+// NoteScan records one completed column sweep and reports whether the
+// segment was cold — mapped and never swept before, meaning the sweep
+// paid page faults no later sweep of resident pages will. Unmapped
+// segments are never cold. Safe for concurrent use.
+func (g *Segment) NoteScan() (cold bool) {
+	if !g.mapped {
+		return false
+	}
+	return g.scans.Add(1) == 1
+}
 
 // Codes returns the segment's 8-bit compressed fragments, building them on
 // first use with the given quantizer. Only sealed segments may be encoded
@@ -100,6 +128,16 @@ type SegStore struct {
 	// nextSegID is the next unassigned persistent segment id (see
 	// Segment.persistID); 0 until the first checkpoint or recovery.
 	nextSegID uint64
+
+	// mapper and mappings are the memory-mapped segment files recovery
+	// opened: the mappings outlive the segments they back (compaction may
+	// drop a segment while a snapshot still reads its columns), so they
+	// are owned here and released only by ReleaseMappings — the
+	// collection's Close. released latches so late readers can be refused
+	// instead of touching unmapped pages.
+	mapper   iofs.MapFS
+	mappings [][]byte
+	released bool
 }
 
 // NewSegmented returns an empty segmented store. segSize <= 0 selects
@@ -161,6 +199,46 @@ func (s *SegStore) Live() int {
 	}
 	return live
 }
+
+// registerMapping records a memory mapping backing one or more of the
+// store's segments, to be released by ReleaseMappings.
+func (s *SegStore) registerMapping(mapper iofs.MapFS, b []byte) {
+	s.mapper = mapper
+	s.mappings = append(s.mappings, b)
+}
+
+// MappedBytes returns the total size of the memory-mapped segment files
+// backing the store — bytes that live in the page cache, not the Go heap.
+func (s *SegStore) MappedBytes() int64 {
+	var n int64
+	for _, b := range s.mappings {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// ReleaseMappings unmaps every memory-mapped segment file and latches the
+// store as released: the columns of mapped segments are invalid from here
+// on, and MappingsReleased reports true so readers can refuse instead of
+// faulting. Idempotent; a store with no mappings stays readable.
+func (s *SegStore) ReleaseMappings() error {
+	if len(s.mappings) == 0 {
+		return nil
+	}
+	var first error
+	for _, b := range s.mappings {
+		if err := s.mapper.UnmapFile(b); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.mappings = nil
+	s.released = true
+	return first
+}
+
+// MappingsReleased reports whether ReleaseMappings dropped mappings some
+// segments' columns aliased — after which reading them is invalid.
+func (s *SegStore) MappingsReleased() bool { return s.released }
 
 // ValueRange returns the smallest and largest coefficient over every
 // segment. An empty store returns (+Inf, −Inf).
