@@ -21,7 +21,25 @@
 //	POST   /collections/{name}/query/batch   {"queries": […]} through Collection.QueryBatch
 //	GET    /collections/{name}/explain       EXPLAIN by example (?id=17&k=10&strategy=auto); POST takes a spec
 //	GET    /healthz                          liveness
+//	GET    /readyz                           readiness (data dir writable, WALs appendable)
 //	GET    /stats                            server + per-collection + cost-model statistics
+//
+// # Coordinator mode
+//
+// With -coordinator, bondd serves the same HTTP API over a static
+// topology of shard bondd processes instead of local collections:
+//
+//	bondd -coordinator -topology topology.json -degrade partial
+//
+// The topology file maps shard ids to base URLs ({"shards": [{"id": 0,
+// "url": "http://host:8666"}, …]}). Ingest and deletes hash-route by
+// vector id to the owning shard; queries fan out to every shard and
+// exact-merge, so healthy-cluster answers are byte-identical to a
+// single node holding all the data. Every shard call runs inside a
+// robustness envelope (deadline carving, retries with backoff, hedged
+// requests, per-shard circuit breakers fed by a background prober);
+// -degrade picks what a missed shard costs: strict = clean error,
+// partial = top-k over the survivors marked "partial": true.
 //
 // # Durability
 //
@@ -63,6 +81,7 @@ import (
 
 	"bond"
 	"bond/internal/server"
+	"bond/internal/shard"
 )
 
 func main() {
@@ -79,11 +98,38 @@ func main() {
 	shutdownWait := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	useMmap := flag.Bool("mmap", true, "memory-map sealed segment files instead of loading them onto the heap (BOND_NO_MMAP=1 also disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-request and maintenance logging")
+	coordinator := flag.Bool("coordinator", false, "serve as a sharding coordinator over -topology instead of local collections")
+	topologyPath := flag.String("topology", "", "coordinator: JSON topology file mapping shard ids to base URLs")
+	degrade := flag.String("degrade", "strict", "coordinator: degradation policy when a shard stays missing: strict or partial")
+	shardRetries := flag.Int("shard-retries", 3, "coordinator: attempts per shard call, first try included")
+	retryBackoff := flag.Duration("retry-backoff", 20*time.Millisecond, "coordinator: base backoff between shard retries (exponential, jittered)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: hedge a second shard request after this much silence (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "coordinator: consecutive failures that open a shard's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "coordinator: how long an open breaker fast-fails before a trial call")
+	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator: background shard health-probe period (0 disables)")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "coordinator: fan-out budget for requests without timeout_ms")
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	if *coordinator {
+		runCoordinator(coordinatorFlags{
+			addr:             *addr,
+			topologyPath:     *topologyPath,
+			degrade:          *degrade,
+			shardRetries:     *shardRetries,
+			retryBackoff:     *retryBackoff,
+			hedgeAfter:       *hedgeAfter,
+			breakerThreshold: *breakerThreshold,
+			breakerCooldown:  *breakerCooldown,
+			probeInterval:    *probeInterval,
+			queryTimeout:     *queryTimeout,
+			shutdownWait:     *shutdownWait,
+			logf:             logf,
+		})
+		return
 	}
 	fsyncPolicy, err := bond.ParseFsync(*fsync)
 	if err != nil {
@@ -136,6 +182,82 @@ func main() {
 		fatal(fmt.Errorf("flush on shutdown: %w", err))
 	}
 	logf("bondd: flushed, bye")
+}
+
+type coordinatorFlags struct {
+	addr             string
+	topologyPath     string
+	degrade          string
+	shardRetries     int
+	retryBackoff     time.Duration
+	hedgeAfter       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	probeInterval    time.Duration
+	queryTimeout     time.Duration
+	shutdownWait     time.Duration
+	logf             func(string, ...any)
+}
+
+// runCoordinator serves coordinator mode: same HTTP surface, but every
+// request is fanned out to / routed across the shards in -topology.
+func runCoordinator(f coordinatorFlags) {
+	if f.topologyPath == "" {
+		fatal(errors.New("-coordinator requires -topology"))
+	}
+	topo, err := shard.LoadTopology(f.topologyPath)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := shard.ParsePolicy(f.degrade)
+	if err != nil {
+		fatal(err)
+	}
+	co, err := shard.NewCoordinator(shard.Config{
+		Topology: topo,
+		Envelope: shard.Envelope{
+			MaxAttempts: f.shardRetries,
+			BackoffBase: f.retryBackoff,
+			HedgeAfter:  f.hedgeAfter,
+		},
+		BreakerThreshold: f.breakerThreshold,
+		BreakerCooldown:  f.breakerCooldown,
+		ProbeInterval:    f.probeInterval,
+		DefaultTimeout:   f.queryTimeout,
+		DegradePolicy:    policy,
+		Logf:             f.logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              f.addr,
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		f.logf("bondd: coordinating %d shards on %s (policy %s)", topo.N(), f.addr, policy)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	f.logf("bondd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), f.shutdownWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		f.logf("bondd: drain: %v", err)
+	}
+	_ = co.Close()
+	f.logf("bondd: bye")
 }
 
 func fatal(err error) {

@@ -637,6 +637,28 @@ func (c *Collection) Close() error {
 	return merr
 }
 
+// ProbeWAL verifies the collection can still durably acknowledge
+// mutations: its write-ahead log is open and an fsync of it succeeds
+// (the WAL writer's error is sticky, so a log that already failed —
+// ENOSPC, yanked disk — surfaces here immediately). It is the substance
+// behind a serving layer's readiness probe: a nil return means the next
+// AddDurable will be able to append and sync. Non-durable collections
+// are trivially ready; a closed collection reports ErrClosed.
+func (c *Collection) ProbeWAL() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dur == nil {
+		return nil
+	}
+	if c.dur.closed {
+		return ErrClosed
+	}
+	// Sync under the read lock matches the interval sync loop's locking
+	// contract: Append and rotation hold the write lock, so the writer
+	// cannot change under us.
+	return c.dur.w.Sync()
+}
+
 // WALStats returns the durability gauges, with ok=false for a collection
 // not opened with OpenDurable.
 func (c *Collection) WALStats() (DurabilityStats, bool) {

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"bond"
+	"bond/internal/iofs"
 )
 
 // collectionExt is the on-disk suffix of a catalog collection: a durable
@@ -61,6 +62,11 @@ type Catalog struct {
 	fsync       bond.FsyncPolicy // WAL policy every collection opens with
 	disableMmap bool             // open with heap-decoded segments instead of mappings
 
+	// probeFS is the filesystem the readiness probe writes through —
+	// iofs.OS in production, injectable so tests can fail it without
+	// needing an actually broken disk.
+	probeFS iofs.FS
+
 	mu      sync.RWMutex
 	cols    map[string]*bond.Collection
 	loading map[string]chan struct{} // per-name single-flight for cold opens
@@ -85,9 +91,38 @@ func NewCatalog(dir string, segSize int, fsync bond.FsyncPolicy, disableMmap boo
 		segSize:     segSize,
 		fsync:       fsync,
 		disableMmap: disableMmap,
+		probeFS:     iofs.OS{},
 		cols:        map[string]*bond.Collection{},
 		loading:     map[string]chan struct{}{},
 	}, nil
+}
+
+// Ready reports whether the catalog can acknowledge writes: the data
+// directory accepts a freshly written file (through the iofs seam, so a
+// full or read-only disk fails here rather than on the next ingest) and
+// every loaded collection's WAL is appendable. It is the substance
+// behind GET /readyz.
+func (c *Catalog) Ready() error {
+	probe := filepath.Join(c.dir, ".readyz-probe")
+	f, err := c.probeFS.Create(probe)
+	if err != nil {
+		return fmt.Errorf("server: data dir not writable: %w", err)
+	}
+	_, werr := f.Write([]byte("ok"))
+	cerr := f.Close()
+	_ = c.probeFS.Remove(probe)
+	if werr != nil {
+		return fmt.Errorf("server: data dir not writable: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("server: data dir not writable: %w", cerr)
+	}
+	for name, col := range c.Loaded() {
+		if err := col.ProbeWAL(); err != nil {
+			return fmt.Errorf("server: collection %q cannot append to its WAL: %w", name, err)
+		}
+	}
+	return nil
 }
 
 func (c *Catalog) path(name string) string {

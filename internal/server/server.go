@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bond"
+	"bond/internal/api"
 )
 
 // Config configures a Server. The zero value serves from "./data" with
@@ -255,6 +256,7 @@ func (s *Server) RunMaintenance() (compacted, reclustered, checkpointed int, err
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /collections", s.handleList)
 	s.mux.HandleFunc("PUT /collections/{name}", s.handleCreate)
@@ -271,91 +273,34 @@ func (s *Server) routes() {
 }
 
 // --- Wire types -----------------------------------------------------------
+//
+// The JSON shapes live in package api, shared with the sharded
+// coordinator (internal/shard) so both layers speak the same protocol;
+// the local names below keep this package (and its tests) reading as
+// before. A single node ignores the coordinator-only fields (QuerySpec.
+// Policy) and never sets the degradation fields (QueryResponse.Partial,
+// MissedShards).
 
-type errorWire struct {
-	Error string `json:"error"`
-}
-
-type createRequest struct {
-	Dims        int `json:"dims"`
-	SegmentSize int `json:"segment_size,omitempty"`
-}
-
-type createResponse struct {
-	Name    string `json:"name"`
-	Dims    int    `json:"dims"`
-	Created bool   `json:"created"`
-}
-
-type ingestRequest struct {
-	// Vector ingests one vector; Vectors a batch. Exactly one must be set.
-	Vector  []float64   `json:"vector,omitempty"`
-	Vectors [][]float64 `json:"vectors,omitempty"`
-}
-
-type ingestResponse struct {
-	// FirstID is the id of the first ingested vector; the batch occupies
-	// ids [FirstID, FirstID+Count). Ids are positional and are remapped
-	// when background compaction rewrites tombstoned segments.
-	FirstID int `json:"first_id"`
-	Count   int `json:"count"`
-}
-
-// querySpecWire is the HTTP shape of bond.QuerySpec. Either Query (the
-// vector itself) or ID (query-by-example: use the stored vector with that
-// id) must be set.
-type querySpecWire struct {
-	Query     []float64 `json:"query,omitempty"`
-	ID        *int      `json:"id,omitempty"`
-	K         int       `json:"k"`
-	Criterion string    `json:"criterion,omitempty"`
-	Order     string    `json:"order,omitempty"`
-	Step      int       `json:"step,omitempty"`
-	Weights   []float64 `json:"weights,omitempty"`
-	Dims      []int     `json:"dims,omitempty"`
-	Strategy  string    `json:"strategy,omitempty"`
-	Parallel  int       `json:"parallel,omitempty"`
-	Tolerance float64   `json:"tolerance,omitempty"`
-	// TimeoutMs maps onto QuerySpec.Deadline relative to request arrival.
-	TimeoutMs int `json:"timeout_ms,omitempty"`
-}
-
-type neighborWire struct {
-	ID    int     `json:"id"`
-	Score float64 `json:"score"`
-}
-
-type statsWire struct {
-	ValuesScanned    int64 `json:"values_scanned"`
-	FinalCandidates  int   `json:"final_candidates"`
-	SegmentsSearched int   `json:"segments_searched"`
-	SegmentsSkipped  int   `json:"segments_skipped"`
-}
-
-type queryResponse struct {
-	Results   []neighborWire `json:"results"`
-	Stats     statsWire      `json:"stats"`
-	Truncated bool           `json:"truncated,omitempty"`
-}
-
-type batchRequest struct {
-	Queries []querySpecWire `json:"queries"`
-}
-
-type batchResponse struct {
-	Results []queryResponse `json:"results"`
-}
+type (
+	errorWire      = api.Error
+	createRequest  = api.CreateRequest
+	createResponse = api.CreateResponse
+	ingestRequest  = api.IngestRequest
+	ingestResponse = api.IngestResponse
+	querySpecWire  = api.QuerySpec
+	neighborWire   = api.Neighbor
+	statsWire      = api.QueryStats
+	queryResponse  = api.QueryResponse
+	batchRequest   = api.BatchRequest
+	batchResponse  = api.BatchResponse
+	vectorResponse = api.VectorResponse
+)
 
 type explainResponse struct {
 	queryResponse
 	// Plan is Plan.Explain's rendering: per-segment access path with
 	// predicted and actual cost.
 	Plan string `json:"plan"`
-}
-
-type vectorResponse struct {
-	ID     int       `json:"id"`
-	Vector []float64 `json:"vector"`
 }
 
 // reclusterRequest parameterizes a manual recluster; the body may be
@@ -452,11 +397,27 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
 		s.inflight.Add(1)
 		return true
 	case <-r.Context().Done():
-		s.writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("server overloaded: %d queries in flight", s.cfg.MaxInFlight))
+		// A structured rejection: the Retry-After header and the
+		// machine-readable body tell well-behaved clients (the
+		// coordinator's retry envelope among them) to back off instead of
+		// hammering a saturated node.
+		err := fmt.Errorf("server overloaded: %d queries in flight", s.cfg.MaxInFlight)
+		s.logf("bondd: %v", err)
+		w.Header().Set("Retry-After", strconv.Itoa(overloadedRetryAfterMs/1000))
+		writeJSON(w, http.StatusServiceUnavailable, errorWire{
+			Error:        err.Error(),
+			Code:         "overloaded",
+			RetryAfterMs: overloadedRetryAfterMs,
+		})
 		return false
 	}
 }
+
+// overloadedRetryAfterMs is the back-off hint a saturated node serves
+// with its 503: long enough to drain a slow query, short enough that a
+// retrying coordinator still lands well inside a typical request
+// deadline.
+const overloadedRetryAfterMs = 1000
 
 func (s *Server) release() {
 	s.inflight.Add(-1)
@@ -525,6 +486,23 @@ func toResponse(res bond.QueryResult) queryResponse {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe, distinct from liveness: a node is
+// ready only when it can actually acknowledge writes — the catalog
+// directory is writable and every loaded collection's WAL is appendable.
+// A node that accepts TCP but sits on a full or failing disk answers 503
+// here, so the coordinator's prober and load balancers stop routing
+// writes to it while /healthz still reports the process alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.cat.Ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorWire{
+			Error: fmt.Sprintf("not ready: %v", err),
+			Code:  "not_ready",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -608,4 +608,17 @@ func TestAdmissionRejectsWhenSaturated(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated query: status %d, want 503", rec.Code)
 	}
+	// The rejection must tell clients (and the coordinator's retry
+	// envelope) how to behave: a Retry-After header plus the structured
+	// error body with a stable code and a millisecond backoff hint.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	var e errorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("503 body %q is not structured JSON: %v", rec.Body.Bytes(), err)
+	}
+	if e.Code != "overloaded" || e.RetryAfterMs != 1000 || e.Error == "" {
+		t.Fatalf("503 body = %+v, want code overloaded with retry_after_ms 1000", e)
+	}
 }

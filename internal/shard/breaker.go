@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-shard circuit breaker. It opens after Threshold
+// consecutive failures, fast-failing every call for Cooldown so a dead
+// or drowning shard costs the coordinator one breaker check instead of a
+// full retry ladder per request. After the cooldown one trial call is
+// let through (half-open): success closes the circuit, failure re-opens
+// it for another cooldown. Both live traffic and the background health
+// prober feed it, so an idle coordinator still notices a shard coming
+// back.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int // consecutive failures while closed
+	openedAt  time.Time
+	trialLive bool // a half-open trial is in flight
+
+	opens int64 // cumulative closed→open transitions, for /stats
+}
+
+// NewBreaker returns a closed breaker opening after threshold
+// consecutive failures and cooling down for cooldown before a trial.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until the cooldown elapses, then admits exactly one trial call
+// (half-open) until that trial reports an outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trialLive = true
+		return true
+	default: // half-open
+		if b.trialLive {
+			return false
+		}
+		b.trialLive = true
+		return true
+	}
+}
+
+// Success reports a successful call (or probe), closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.trialLive = false
+}
+
+// Failure reports a failed call (or probe). The threshold counts
+// consecutive failures while closed; a half-open trial failure re-opens
+// immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	case breakerHalfOpen:
+		b.open()
+	case breakerOpen:
+		// Late failures from calls admitted before the open; nothing to do.
+	}
+}
+
+// open transitions to open; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.failures = 0
+	b.trialLive = false
+	b.opens++
+}
+
+// State names the current state for /stats.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// Opens returns how many times the circuit has opened since start.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

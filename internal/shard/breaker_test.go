@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still admits calls after 3 consecutive failures")
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(2, time.Hour)
+	b.Failure()
+	b.Success() // resets the consecutive count
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	b := NewBreaker(1, 10*time.Millisecond)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the trial call")
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+	// Only one trial at a time.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// A failed trial re-opens for another full cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("failed trial did not re-open the breaker")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker refused the next trial")
+	}
+	b.Success()
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after successful trial = %q, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+}

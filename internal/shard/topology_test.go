@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyValid(t *testing.T) {
+	topo, err := ParseTopology([]byte(`{"shards": [
+		{"id": 1, "url": "http://b:8666"},
+		{"id": 0, "url": "http://a:8666"},
+		{"id": 2, "url": "http://c:8666"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N() != 3 {
+		t.Fatalf("N = %d, want 3", topo.N())
+	}
+	// Shards are sorted by id regardless of file order.
+	for i, s := range topo.Shards {
+		if s.ID != i {
+			t.Fatalf("shard %d has id %d after parse", i, s.ID)
+		}
+	}
+	if topo.Shards[0].URL != "http://a:8666" {
+		t.Fatalf("shard 0 url = %q", topo.Shards[0].URL)
+	}
+}
+
+func TestParseTopologyRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":        `{"shards": []}`,
+		"gap":          `{"shards": [{"id": 0, "url": "http://a"}, {"id": 2, "url": "http://b"}]}`,
+		"duplicate id": `{"shards": [{"id": 0, "url": "http://a"}, {"id": 0, "url": "http://b"}]}`,
+		"dup url":      `{"shards": [{"id": 0, "url": "http://a"}, {"id": 1, "url": "http://a"}]}`,
+		"relative url": `{"shards": [{"id": 0, "url": "a:8666"}]}`,
+		"garbage":      `{"shards": [`,
+	}
+	for name, body := range cases {
+		if _, err := ParseTopology([]byte(body)); err == nil {
+			t.Errorf("%s: parse accepted %s", name, body)
+		}
+	}
+}
+
+func TestLoadTopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(`{"shards": [{"id": 0, "url": "http://a:1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N() != 1 {
+		t.Fatalf("N = %d", topo.N())
+	}
+	if _, err := LoadTopology(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	} else if !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("error %q does not mention the topology", err)
+	}
+}
+
+// TestPlacementRoundTrip pins the round-robin placement algebra: owner
+// and local id round-trip through Global, and LocalLen matches the count
+// of global ids each shard owns.
+func TestPlacementRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		topo := &Topology{}
+		for i := 0; i < n; i++ {
+			topo.Shards = append(topo.Shards, Shard{ID: i, URL: "http://x"})
+		}
+		const total = 100
+		perShard := make([]int, n)
+		for g := 0; g < total; g++ {
+			s, l := topo.Owner(g), topo.Local(g)
+			if s != g%n || l != g/n {
+				t.Fatalf("n=%d: g=%d placed at (%d,%d)", n, g, s, l)
+			}
+			if back := topo.Global(s, l); back != g {
+				t.Fatalf("n=%d: Global(%d,%d) = %d, want %d", n, s, l, back, g)
+			}
+			if l != perShard[s] {
+				t.Fatalf("n=%d: g=%d got local %d, shard had assigned %d", n, g, l, perShard[s])
+			}
+			perShard[s]++
+		}
+		for s := 0; s < n; s++ {
+			if got := topo.LocalLen(s, total); got != perShard[s] {
+				t.Fatalf("n=%d: LocalLen(%d, %d) = %d, want %d", n, s, total, got, perShard[s])
+			}
+		}
+	}
+}
