@@ -41,6 +41,23 @@
 // -degrade picks what a missed shard costs: strict = clean error,
 // partial = top-k over the survivors marked "partial": true.
 //
+// # Replication
+//
+// With -follow, bondd runs as a read-only replica of another bondd:
+//
+//	bondd -addr :8667 -data ./replica-data -follow http://leader:8666
+//
+// The replica bootstraps each collection from a leader checkpoint
+// snapshot, then tails the leader's write-ahead log (GET /wal),
+// appending the same frames to its own log and applying them — so its
+// on-disk state is byte-identical to the leader at every applied
+// offset. Mutations against a replica answer 409 until POST /promote
+// turns it into an ordinary leader; promotion refuses (409) if the
+// replica ever diverged. GET /replstatus reports lag, and a coordinator
+// whose topology lists the replica promotes it automatically when the
+// primary's breaker opens (-promote-replicas); -read-replicas also
+// steers idempotent reads to caught-up replicas.
+//
 // # Durability
 //
 // Collections live under -data as <name>.bond durable directories: an
@@ -98,6 +115,8 @@ func main() {
 	shutdownWait := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	useMmap := flag.Bool("mmap", true, "memory-map sealed segment files instead of loading them onto the heap (BOND_NO_MMAP=1 also disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-request and maintenance logging")
+	follow := flag.String("follow", "", "run as a replica tailing the leader bondd at this base URL (read-only until promoted via POST /promote)")
+	followInterval := flag.Duration("follow-interval", 500*time.Millisecond, "replica: leader sync period")
 	coordinator := flag.Bool("coordinator", false, "serve as a sharding coordinator over -topology instead of local collections")
 	topologyPath := flag.String("topology", "", "coordinator: JSON topology file mapping shard ids to base URLs")
 	degrade := flag.String("degrade", "strict", "coordinator: degradation policy when a shard stays missing: strict or partial")
@@ -108,6 +127,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "coordinator: how long an open breaker fast-fails before a trial call")
 	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator: background shard health-probe period (0 disables)")
 	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "coordinator: fan-out budget for requests without timeout_ms")
+	promoteReplicas := flag.Bool("promote-replicas", true, "coordinator: fail a dead shard over to a caught-up replica from the topology's replicas list")
+	readReplicas := flag.Bool("read-replicas", false, "coordinator: steer idempotent reads to caught-up replicas")
 	flag.Parse()
 
 	logf := log.Printf
@@ -126,6 +147,8 @@ func main() {
 			breakerCooldown:  *breakerCooldown,
 			probeInterval:    *probeInterval,
 			queryTimeout:     *queryTimeout,
+			promoteReplicas:  *promoteReplicas,
+			readReplicas:     *readReplicas,
 			shutdownWait:     *shutdownWait,
 			logf:             logf,
 		})
@@ -146,6 +169,8 @@ func main() {
 		WALMaxBytes:         *walMax,
 		MaintenanceInterval: *maintEvery,
 		DisableMmap:         !*useMmap,
+		FollowURL:           *follow,
+		FollowInterval:      *followInterval,
 		Logf:                logf,
 	})
 	if err != nil {
@@ -195,6 +220,8 @@ type coordinatorFlags struct {
 	breakerCooldown  time.Duration
 	probeInterval    time.Duration
 	queryTimeout     time.Duration
+	promoteReplicas  bool
+	readReplicas     bool
 	shutdownWait     time.Duration
 	logf             func(string, ...any)
 }
@@ -225,6 +252,8 @@ func runCoordinator(f coordinatorFlags) {
 		ProbeInterval:    f.probeInterval,
 		DefaultTimeout:   f.queryTimeout,
 		DegradePolicy:    policy,
+		PromoteReplicas:  f.promoteReplicas,
+		ReadReplicas:     f.readReplicas,
 		Logf:             f.logf,
 	})
 	if err != nil {

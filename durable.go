@@ -138,6 +138,16 @@ type durability struct {
 	walSeq uint64
 	closed bool
 
+	// rotations remembers the final byte size of recently rotated-out
+	// WAL generations (guarded by the collection lock). A replica that
+	// consumed an old generation completely asks for its next byte after
+	// the file is checkpoint-deleted; the recorded endpoint lets the
+	// leader answer "that log is complete, rotate" instead of forcing a
+	// snapshot re-bootstrap. In-memory only — after a leader restart a
+	// follower parked exactly on a deleted boundary re-bootstraps, which
+	// is correct, just slower.
+	rotations map[uint64]int64
+
 	// ckptMu serializes checkpoints; mutations proceed under the
 	// collection lock while a checkpoint writes outside it.
 	ckptMu sync.Mutex
@@ -528,7 +538,13 @@ func (c *Collection) Checkpoint() error {
 	}
 	c.dur.ckptMu.Lock()
 	defer c.dur.ckptMu.Unlock()
+	return c.checkpointLocked()
+}
 
+// checkpointLocked is Checkpoint's body; the caller holds ckptMu (so a
+// snapshot capture can read the freshly committed files before another
+// checkpoint can replace them).
+func (c *Collection) checkpointLocked() error {
 	c.mu.Lock()
 	if c.dur.closed {
 		c.mu.Unlock()
@@ -554,6 +570,7 @@ func (c *Collection) Checkpoint() error {
 		return err
 	}
 	old := c.dur.w
+	c.recordRotationLocked(c.dur.walSeq, old.Size())
 	c.dur.w, c.dur.walSeq = nw, newSeq
 	cs := c.store.CaptureCheckpoint(newSeq, c.model.Marshal())
 	c.mu.Unlock()
@@ -595,10 +612,30 @@ func (c *Collection) recoverFromLogFailure(cause error) error {
 		return fmt.Errorf("bond: new log after failed log (%v): %w", cause, err)
 	}
 	_ = c.dur.w.Close()
+	// Delete the failed log (best-effort) and record no rotation
+	// endpoint for it: it may end in a phantom record, so a replica
+	// tailing it must get "gone" and re-bootstrap rather than be served
+	// bytes that were never acknowledged.
+	_ = c.dur.fs.Remove(filepath.Join(c.dur.dir, vstore.WALFileName(c.dur.walSeq)))
 	c.dur.w, c.dur.walSeq = nw, newSeq
 	c.dur.checkpoints++
 	c.dur.lastCkptUnix = time.Now().Unix()
 	return nil
+}
+
+// recordRotationLocked remembers where a rotated-out WAL generation
+// ended, pruning the memory to the most recent few; the caller holds
+// the write lock.
+func (c *Collection) recordRotationLocked(seq uint64, end int64) {
+	if c.dur.rotations == nil {
+		c.dur.rotations = make(map[uint64]int64)
+	}
+	c.dur.rotations[seq] = end
+	for s := range c.dur.rotations {
+		if s+8 <= seq {
+			delete(c.dur.rotations, s)
+		}
+	}
 }
 
 // Close stops the interval-sync loop (if any), fsyncs the WAL so a clean

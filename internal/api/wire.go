@@ -121,3 +121,41 @@ type VectorResponse struct {
 	ID     int       `json:"id"`
 	Vector []float64 `json:"vector"`
 }
+
+// ReplCollection is one collection's replication gauges on a follower:
+// its own stream position, the leader position it last saw, and whether
+// it has applied everything the leader had at last contact.
+type ReplCollection struct {
+	Seq       uint64 `json:"seq"`
+	Off       int64  `json:"off"`
+	LeaderSeq uint64 `json:"leader_seq"`
+	LeaderOff int64  `json:"leader_off"`
+	LagBytes  int64  `json:"lag_bytes"`
+	CaughtUp  bool   `json:"caught_up"`
+	Diverged  bool   `json:"diverged"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ReplStatus is the body of GET /replstatus — a follower's self-report,
+// and the evidence the coordinator's prober demands before promoting
+// it. CaughtUp is as of the last successful leader contact: a follower
+// that fully drained the stream before the leader died keeps reporting
+// true (it is safe to promote), while one that was lagging reports
+// false forever (promoting it would lose acknowledged writes).
+type ReplStatus struct {
+	// Following is the leader base URL; empty on a node that was never a
+	// follower.
+	Following string `json:"following,omitempty"`
+	// Promoted is set once POST /promote succeeded; the node then
+	// accepts writes and no longer tails.
+	Promoted bool  `json:"promoted"`
+	CaughtUp bool  `json:"caught_up"`
+	Diverged bool  `json:"diverged"`
+	LagBytes int64 `json:"lag_bytes"`
+	// Syncs counts completed sync passes; LastSyncUnixMs stamps the last
+	// successful one.
+	Syncs          int64                     `json:"syncs"`
+	LastSyncUnixMs int64                     `json:"last_sync_unix_ms,omitempty"`
+	LastError      string                    `json:"last_error,omitempty"`
+	Collections    map[string]ReplCollection `json:"collections,omitempty"`
+}

@@ -1,0 +1,84 @@
+package repl
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bond/internal/wal"
+)
+
+// FuzzReplStream fuzzes the replication stream decoder with arbitrary
+// byte soup — torn frames, duplicated frames, CRC flips, garbage — and
+// asserts the decoder's safety contract:
+//
+//   - never panics,
+//   - consumed stays within [0, len(data)] and is frame-aligned: the
+//     consumed prefix re-decodes cleanly to the same records,
+//   - any non-nil error is wal.ErrCorrupt (fail closed, never a torn
+//     tail misreported as corruption),
+//   - decoding is prefix-stable: feeding the stream one torn cut at a
+//     time never yields records a whole-buffer decode would not.
+func FuzzReplStream(f *testing.F) {
+	valid := func(recs ...wal.Record) []byte {
+		var out []byte
+		for _, rec := range recs {
+			out = append(out, wal.EncodeFrame(nil, rec)...)
+		}
+		return out
+	}
+	stream := valid(
+		wal.Record{Type: wal.TypeAdd, Vectors: [][]float64{{1, 2, 3}}},
+		wal.Record{Type: wal.TypeAddBatch, Vectors: [][]float64{{4, 5, 6}, {7, 8, 9}}},
+		wal.Record{Type: wal.TypeDelete, ID: 1},
+		wal.Record{Type: wal.TypeCompact, Ratio: 0.5},
+		wal.Record{Type: wal.TypeSeal},
+		wal.Record{Type: wal.TypeRecluster, K: 2, Seed: 42},
+	)
+	f.Add([]byte(nil))
+	f.Add(stream)
+	f.Add(stream[:len(stream)-3]) // torn tail
+	f.Add(stream[:7])             // torn header
+	// Duplicated frames: replayed chunk overlap must decode, dedup is
+	// the applier's job.
+	f.Add(append(append([]byte(nil), stream...), stream...))
+	// CRC flip in the first frame's payload.
+	flipped := append([]byte(nil), stream...)
+	flipped[10] ^= 0xff
+	f.Add(flipped)
+	// Length field smashed to a huge value: looks torn, must not allocate
+	// or loop badly.
+	huge := append([]byte(nil), stream...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0x7f
+	f.Add(huge)
+	f.Add([]byte("not a frame at all, just prose"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, consumed, err := DecodeFrames(data)
+		if consumed < 0 || consumed > int64(len(data)) {
+			t.Fatalf("consumed %d outside [0,%d]", consumed, len(data))
+		}
+		if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+			t.Fatalf("non-corrupt error: %v", err)
+		}
+		again, c2, err2 := DecodeFrames(data[:consumed])
+		if err2 != nil {
+			t.Fatalf("consumed prefix dirty: %v", err2)
+		}
+		if c2 != consumed || !reflect.DeepEqual(again, recs) {
+			t.Fatalf("consumed prefix unstable: %d vs %d records %d vs %d",
+				c2, consumed, len(again), len(recs))
+		}
+		// Incremental decode of every prefix must agree with the whole-
+		// buffer decode on the records it can see.
+		for cut := 0; cut <= len(data); cut += 1 + len(data)/16 {
+			pr, pc, perr := DecodeFrames(data[:cut])
+			if pc > int64(cut) {
+				t.Fatalf("cut %d: consumed %d past cut", cut, pc)
+			}
+			if perr == nil && pc <= consumed && len(pr) > 0 && !reflect.DeepEqual(pr, recs[:len(pr)]) {
+				t.Fatalf("cut %d: prefix records diverge from full decode", cut)
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package repl
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"bond/internal/vstore"
+	"bond/internal/wal"
+)
+
+// frames builds a valid stream of encoded records.
+func frames(recs ...wal.Record) []byte {
+	var out []byte
+	for _, rec := range recs {
+		out = append(out, wal.EncodeFrame(nil, rec)...)
+	}
+	return out
+}
+
+func testRecords() []wal.Record {
+	return []wal.Record{
+		{Type: wal.TypeAdd, Vectors: [][]float64{{1, 2, 3}}},
+		{Type: wal.TypeAddBatch, Vectors: [][]float64{{4, 5, 6}, {7, 8, 9}}},
+		{Type: wal.TypeDelete, ID: 1},
+		{Type: wal.TypeCompact, Ratio: 0.25},
+		{Type: wal.TypeSeal},
+		{Type: wal.TypeRecluster, K: 2, Seed: -7},
+	}
+}
+
+func TestDecodeFramesRoundTrip(t *testing.T) {
+	want := testRecords()
+	data := frames(want...)
+	recs, consumed, err := DecodeFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != int64(len(data)) {
+		t.Fatalf("consumed %d of %d", consumed, len(data))
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", recs, want)
+	}
+}
+
+// TestDecodeFramesTorn: every truncation of a valid stream decodes the
+// complete frames and reports the torn tail as un-consumed, never as an
+// error — the next chunk completes it.
+func TestDecodeFramesTorn(t *testing.T) {
+	want := testRecords()
+	data := frames(want...)
+	for cut := 0; cut <= len(data); cut++ {
+		recs, consumed, err := DecodeFrames(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if consumed > int64(cut) {
+			t.Fatalf("cut %d: consumed %d past the cut", cut, consumed)
+		}
+		if len(recs) > 0 && !reflect.DeepEqual(recs, want[:len(recs)]) {
+			t.Fatalf("cut %d: prefix records diverged", cut)
+		}
+		// Whatever was consumed must re-decode identically and cleanly.
+		again, c2, err := DecodeFrames(data[:consumed])
+		if err != nil || c2 != consumed || !reflect.DeepEqual(again, recs) {
+			t.Fatalf("cut %d: consumed prefix is not clean (%v)", cut, err)
+		}
+	}
+}
+
+// TestDecodeFramesCorrupt: every single-bit-flipped byte either still
+// torn-waits (flips inside a length field can make a frame look
+// incomplete) or fails closed with wal.ErrCorrupt — and never yields a
+// record beyond the corruption point.
+func TestDecodeFramesCorrupt(t *testing.T) {
+	want := testRecords()
+	data := frames(want...)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		recs, consumed, err := DecodeFrames(mut)
+		if consumed > int64(len(mut)) {
+			t.Fatalf("flip %d: consumed %d of %d", i, consumed, len(mut))
+		}
+		if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+			t.Fatalf("flip %d: non-corrupt error %v", i, err)
+		}
+		if err == nil && consumed == int64(len(mut)) && len(recs) != len(want) {
+			t.Fatalf("flip %d: full consume with %d records", i, len(recs))
+		}
+		// The consumed prefix must always re-decode cleanly.
+		_, c2, err2 := DecodeFrames(mut[:consumed])
+		if err2 != nil || c2 != consumed {
+			t.Fatalf("flip %d: consumed prefix not clean: %v", i, err2)
+		}
+	}
+}
+
+func TestPositionBefore(t *testing.T) {
+	cases := []struct {
+		p, q Position
+		want bool
+	}{
+		{Position{0, 16}, Position{0, 17}, true},
+		{Position{0, 17}, Position{0, 16}, false},
+		{Position{0, 99}, Position{1, 16}, true},
+		{Position{1, 16}, Position{0, 99}, false},
+		{Position{2, 40}, Position{2, 40}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Before(c.q); got != c.want {
+			t.Errorf("%v Before %v = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestChunkEnd(t *testing.T) {
+	ch := Chunk{Seq: 3, From: 100, Data: make([]byte, 40)}
+	if got := ch.End(); got != (Position{Seq: 3, Off: 140}) {
+		t.Fatalf("End = %v", got)
+	}
+}
+
+// validSnapshot builds a minimal structurally valid snapshot.
+func validSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	m := &vstore.Manifest{Dims: 3, SegSize: 5, NextSegID: 2, WALSeq: 4, ActiveLen: 1,
+		Segments: []vstore.ManifestSegment{{ID: 1, Len: 5, Format: 2}}}
+	return &Snapshot{
+		Position: Position{Seq: 4, Off: wal.HeaderLen},
+		Files: map[string][]byte{
+			vstore.ManifestName:      vstore.EncodeManifest(m),
+			vstore.SegFileName(1):    {1, 2, 3},
+			vstore.ActiveFileName(4): {4, 5, 6},
+		},
+	}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	if err := validSnapshot(t).Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	s := validSnapshot(t)
+	delete(s.Files, vstore.ManifestName)
+	if err := s.Validate(); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+
+	s = validSnapshot(t)
+	s.Files[vstore.ManifestName] = []byte("garbage")
+	if err := s.Validate(); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+
+	// A stale snapshot position paired with a newer manifest generation
+	// must be rejected whole — the follower would tail the wrong log.
+	s = validSnapshot(t)
+	s.Position.Seq = 3
+	if err := s.Validate(); err == nil {
+		t.Fatal("stale position accepted")
+	}
+	s = validSnapshot(t)
+	s.Position.Off = wal.HeaderLen + 8
+	if err := s.Validate(); err == nil {
+		t.Fatal("mid-log position accepted")
+	}
+
+	s = validSnapshot(t)
+	delete(s.Files, vstore.SegFileName(1))
+	if err := s.Validate(); err == nil {
+		t.Fatal("missing segment accepted")
+	}
+
+	s = validSnapshot(t)
+	delete(s.Files, vstore.ActiveFileName(4))
+	if err := s.Validate(); err == nil {
+		t.Fatal("missing active checkpoint accepted")
+	}
+
+	s = validSnapshot(t)
+	s.Files["stray.bin"] = []byte{9}
+	if err := s.Validate(); err == nil {
+		t.Fatal("unexpected file accepted")
+	}
+
+	s = validSnapshot(t)
+	s.Files[vstore.SegFileName(1)] = nil
+	if err := s.Validate(); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}

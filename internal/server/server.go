@@ -64,6 +64,18 @@ type Config struct {
 	// Logf receives one line per maintenance action and per served error
 	// (nil = silent).
 	Logf func(format string, args ...any)
+	// FollowURL, when set, starts the server as a read-only replica of
+	// the leader at that base URL: every leader collection is
+	// bootstrapped from a snapshot and tailed through the WAL stream,
+	// client mutations are fenced with 409 read_only_replica, and
+	// POST /promote flips the node into a writable leader.
+	FollowURL string
+	// FollowInterval is the tail poll period (0 = 500ms; negative
+	// disables the background loop — tests drive SyncReplicaOnce).
+	FollowInterval time.Duration
+	// FollowClient overrides the HTTP client the follower tails the
+	// leader with (nil = a 30s-timeout client).
+	FollowClient *http.Client
 }
 
 // Server is the bondd serving layer: catalog + HTTP handlers + the
@@ -77,6 +89,11 @@ type Server struct {
 	sem      chan struct{} // in-flight query admission; one slot per query/batch/explain
 	inflight atomic.Int64
 	start    time.Time
+
+	// repl is the follower-mode tailer; nil unless Config.FollowURL was
+	// set. It outlives promotion (the promoted flag and gauges keep
+	// serving /replstatus).
+	repl *replicator
 
 	// Maintenance counters, exposed on /stats.
 	maintRuns   atomic.Int64
@@ -123,6 +140,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	if cfg.FollowURL != "" {
+		s.repl = newReplicator(s, cfg)
+	}
 	if cfg.MaintenanceInterval > 0 {
 		go s.maintainLoop()
 	} else {
@@ -146,6 +166,9 @@ func (s *Server) Catalog() *Catalog { return s.cat }
 // SIGKILL instead of a clean shutdown loses nothing acknowledged under
 // fsync=always — it only makes the next start cheap.
 func (s *Server) Close() error {
+	if s.repl != nil {
+		s.repl.stopLoop()
+	}
 	close(s.stop)
 	<-s.done
 	_, err := s.cat.CheckpointLoaded(0)
@@ -203,6 +226,14 @@ func (s *Server) maintainLoop() {
 // collection's own write lock, and checkpoint I/O runs outside it.
 func (s *Server) RunMaintenance() (compacted, reclustered, checkpointed int, err error) {
 	s.maintRuns.Add(1)
+	// A follower performs no maintenance of its own: compactions and
+	// re-clusters are WAL-logged mutations that arrive through the
+	// stream, and a local checkpoint would rotate the WAL out of
+	// lockstep with the leader's sequence numbering. Rotation happens
+	// exactly when the stream says the leader rotated.
+	if s.readOnlyReplica() {
+		return 0, 0, 0, nil
+	}
 	if s.cfg.CompactRatio >= 0 {
 		for name, col := range s.cat.Loaded() {
 			ratio := col.TombstoneRatio()
@@ -270,6 +301,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /collections/{name}/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("GET /collections/{name}/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /collections/{name}/explain", s.handleExplain)
+	// Replication: any node serves its WAL and snapshots (leader side);
+	// promote/replstatus are meaningful on followers.
+	s.mux.HandleFunc("GET /collections/{name}/wal", s.handleWALChunk)
+	s.mux.HandleFunc("POST /collections/{name}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
+	s.mux.HandleFunc("GET /replstatus", s.handleReplStatus)
 }
 
 // --- Wire types -----------------------------------------------------------
@@ -339,6 +376,12 @@ type serverStats struct {
 	Fsync       string                          `json:"fsync"`
 	WALMaxBytes int64                           `json:"wal_max_bytes"`
 	Collections map[string]bond.CollectionStats `json:"collections"`
+	// Role is "single" on a standalone node, "follower" on an unpromoted
+	// replica, "promoted" after POST /promote; Replication carries the
+	// follower's lag gauges (nil unless the node was started with
+	// -follow).
+	Role        string          `json:"role"`
+	Replication *api.ReplStatus `json:"replication,omitempty"`
 }
 
 // --- Helpers --------------------------------------------------------------
@@ -521,6 +564,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for name, col := range s.cat.Loaded() {
 		st.Collections[name] = col.StatsSnapshot()
 	}
+	st.Role = "single"
+	if s.repl != nil {
+		rs := s.ReplStatus()
+		st.Replication = &rs
+		if rs.Promoted {
+			st.Role = "promoted"
+		} else {
+			st.Role = "follower"
+		}
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -534,6 +587,9 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.fenceReplica(w) {
+		return
+	}
 	var req createRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -553,6 +609,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if s.fenceReplica(w) {
+		return
+	}
 	if err := s.cat.Drop(r.PathValue("name")); err != nil {
 		s.writeError(w, catalogStatus(err), err)
 		return
@@ -570,6 +629,9 @@ func (s *Server) handleCollectionStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.fenceReplica(w) {
+		return
+	}
 	name := r.PathValue("name")
 	col, err := s.cat.Get(name)
 	if err != nil {
@@ -635,6 +697,9 @@ func (s *Server) handleGetVector(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteVector(w http.ResponseWriter, r *http.Request) {
+	if s.fenceReplica(w) {
+		return
+	}
 	name := r.PathValue("name")
 	col, err := s.cat.Get(name)
 	if err != nil {
@@ -665,6 +730,9 @@ func (s *Server) handleDeleteVector(w http.ResponseWriter, r *http.Request) {
 // the new layout is on stable storage and the next open replays no
 // k-means.
 func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
+	if s.fenceReplica(w) {
+		return
+	}
 	name := r.PathValue("name")
 	col, err := s.cat.Get(name)
 	if err != nil {

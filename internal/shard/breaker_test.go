@@ -41,10 +41,8 @@ func TestBreakerHalfOpenTrial(t *testing.T) {
 	if b.Allow() {
 		t.Fatal("open breaker admitted a call before cooldown")
 	}
-	time.Sleep(20 * time.Millisecond)
-	if !b.Allow() {
-		t.Fatal("cooled-down breaker refused the trial call")
-	}
+	// Allow's first true claims the half-open trial slot.
+	waitUntil(t, time.Second, "cooldown to elapse and admit the trial", b.Allow)
 	if got := b.State(); got != "half-open" {
 		t.Fatalf("state = %q, want half-open", got)
 	}
@@ -60,10 +58,7 @@ func TestBreakerHalfOpenTrial(t *testing.T) {
 	if b.Opens() != 2 {
 		t.Fatalf("opens = %d, want 2", b.Opens())
 	}
-	time.Sleep(20 * time.Millisecond)
-	if !b.Allow() {
-		t.Fatal("re-opened breaker refused the next trial")
-	}
+	waitUntil(t, time.Second, "second cooldown to elapse and admit the trial", b.Allow)
 	b.Success()
 	if got := b.State(); got != "closed" {
 		t.Fatalf("state after successful trial = %q, want closed", got)

@@ -265,10 +265,8 @@ func TestCoordinatorBreakerOpensAndRecovers(t *testing.T) {
 	// Shard comes back; the prober notices and closes the breaker without
 	// waiting for live traffic to gamble on a trial.
 	cl.proxies[1].setMode(faultNone)
-	time.Sleep(cfg.BreakerCooldown + 10*time.Millisecond)
-	if n := cl.co.ProbeNow(); n != 3 {
-		t.Fatalf("ProbeNow after recovery = %d healthy, want 3", n)
-	}
+	waitUntil(t, 5*time.Second, "probe round to find every shard healthy again",
+		func() bool { return cl.co.ProbeNow() == 3 })
 	doJSON(t, http.MethodGet, cl.front.URL+"/stats", nil, &st)
 	if st.Shards[1].Breaker != "closed" || !st.Shards[1].Healthy {
 		t.Fatalf("shard 1 after probe = %+v, want closed and healthy", st.Shards[1])

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,23 +95,47 @@ type client struct {
 	env   Envelope
 	brk   *Breaker
 
+	// active is the base URL calls are served from. It starts at the
+	// primary's URL and is swapped by a failover promotion; everything the
+	// envelope does (attempts, hedges, probes) reads it per round trip, so
+	// a promotion redirects in-flight retries too.
+	active atomic.Pointer[string]
+	// steer is a caught-up replica's base URL idempotent reads prefer
+	// (nil = read from active). Only the prober writes it, and only when
+	// the coordinator has ReadReplicas on; a failed steered attempt clears
+	// it so retries and later calls fall back to the primary.
+	steer atomic.Pointer[string]
+
+	// promoMu guards candidates — the replicas not yet promoted or ruled
+	// out (diverged / fenced). The prober's promotion pass is the only
+	// consumer.
+	promoMu    sync.Mutex
+	candidates []string
+
 	healthy atomic.Bool
 
-	requests  atomic.Int64 // calls attempted (excluding breaker fast-fails)
-	retries   atomic.Int64 // extra attempts after a transient failure
-	hedges    atomic.Int64 // hedged second requests launched
-	hedgeWins atomic.Int64 // hedges that answered before the primary
-	failures  atomic.Int64 // calls that exhausted the envelope
-	fastFails atomic.Int64 // calls rejected by an open breaker
-	probes    atomic.Int64 // health probes sent
-	probeFail atomic.Int64 // health probes failed
+	requests   atomic.Int64 // calls attempted (excluding breaker fast-fails)
+	retries    atomic.Int64 // extra attempts after a transient failure
+	hedges     atomic.Int64 // hedged second requests launched
+	hedgeWins  atomic.Int64 // hedges that answered before the primary
+	failures   atomic.Int64 // calls that exhausted the envelope
+	fastFails  atomic.Int64 // calls rejected by an open breaker
+	probes     atomic.Int64 // health probes sent
+	probeFail  atomic.Int64 // health probes failed
+	promotions atomic.Int64 // replica promotions performed
+	steered    atomic.Int64 // idempotent reads steered to a replica
 }
 
 func newClient(s Shard, hc *http.Client, env Envelope, brk *Breaker) *client {
 	c := &client{shard: s, hc: hc, env: env.withDefaults(), brk: brk}
+	c.active.Store(&s.URL)
+	c.candidates = append([]string(nil), s.Replicas...)
 	c.healthy.Store(true) // optimistic until the first probe says otherwise
 	return c
 }
+
+// activeURL returns the base URL this shard's calls currently target.
+func (c *client) activeURL() string { return *c.active.Load() }
 
 // call performs one logical API call against the shard inside the full
 // envelope. body is re-sent verbatim on every attempt; a 2xx response is
@@ -119,7 +144,7 @@ func newClient(s Shard, hc *http.Client, env Envelope, brk *Breaker) *client {
 func (c *client) call(ctx context.Context, method, path string, body []byte, out any, hedge bool) error {
 	if !c.brk.Allow() {
 		c.fastFails.Add(1)
-		return fmt.Errorf("shard %d (%s): %w", c.shard.ID, c.shard.URL, ErrCircuitOpen)
+		return fmt.Errorf("shard %d (%s): %w", c.shard.ID, c.activeURL(), ErrCircuitOpen)
 	}
 	c.requests.Add(1)
 	var lastErr error
@@ -127,7 +152,17 @@ func (c *client) call(ctx context.Context, method, path string, body []byte, out
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		raw, err := c.attempt(ctx, method, path, body, hedge, attempt)
+		// Idempotent reads may steer to a caught-up replica on the first
+		// attempt; retries always go to the active node, so a flaky replica
+		// costs at most one attempt.
+		base, steered := c.activeURL(), false
+		if hedge && attempt == 0 {
+			if s := c.steer.Load(); s != nil {
+				base, steered = *s, true
+				c.steered.Add(1)
+			}
+		}
+		raw, err := c.attempt(ctx, base, method, path, body, hedge, attempt)
 		if err == nil && out != nil {
 			if derr := json.Unmarshal(raw, out); derr != nil {
 				// A 2xx with an undecodable body is a garbage-responding
@@ -137,10 +172,22 @@ func (c *client) call(ctx context.Context, method, path string, body []byte, out
 			}
 		}
 		if err == nil {
-			c.brk.Success()
+			if !steered {
+				c.brk.Success()
+			}
 			return nil
 		}
 		lastErr = err
+		if steered {
+			// The replica failed, not the primary: clear the steering so
+			// later reads go back to the active node, and keep the breaker
+			// out of it.
+			c.steer.Store(nil)
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
 		if !transientError(err) {
 			// The shard is alive and made a decision; that is a healthy
 			// signal for the breaker even though the call failed.
@@ -156,7 +203,7 @@ func (c *client) call(ctx context.Context, method, path string, body []byte, out
 		}
 	}
 	c.failures.Add(1)
-	return fmt.Errorf("shard %d (%s): %w", c.shard.ID, c.shard.URL, lastErr)
+	return fmt.Errorf("shard %d (%s): %w", c.shard.ID, c.activeURL(), lastErr)
 }
 
 // backoff sleeps the jittered exponential backoff for the given attempt,
@@ -197,7 +244,7 @@ func (c *client) backoff(ctx context.Context, attempt int, cause error) bool {
 // attempt runs one (possibly hedged) attempt under the carved slice of
 // the call's remaining deadline: remaining budget divided by attempts
 // left, so early attempts cannot starve later ones.
-func (c *client) attempt(ctx context.Context, method, path string, body []byte, hedge bool, attempt int) ([]byte, error) {
+func (c *client) attempt(ctx context.Context, base, method, path string, body []byte, hedge bool, attempt int) ([]byte, error) {
 	attemptCtx := ctx
 	var cancel context.CancelFunc
 	if dl, ok := ctx.Deadline(); ok {
@@ -211,15 +258,15 @@ func (c *client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	hedgeAfter := c.env.HedgeAfter
 	if !hedge || hedgeAfter <= 0 {
-		return c.roundTrip(attemptCtx, method, path, body)
+		return c.roundTrip(attemptCtx, base, method, path, body)
 	}
-	return c.hedged(attemptCtx, method, path, body, hedgeAfter)
+	return c.hedged(attemptCtx, base, method, path, body, hedgeAfter)
 }
 
 // hedged races the primary request against a second one launched after
 // hedgeAfter of silence. The first success wins and cancels the loser;
 // if both fail the primary's error is reported.
-func (c *client) hedged(ctx context.Context, method, path string, body []byte, hedgeAfter time.Duration) ([]byte, error) {
+func (c *client) hedged(ctx context.Context, base, method, path string, body []byte, hedgeAfter time.Duration) ([]byte, error) {
 	type outcome struct {
 		raw    []byte
 		err    error
@@ -230,7 +277,7 @@ func (c *client) hedged(ctx context.Context, method, path string, body []byte, h
 	results := make(chan outcome, 2)
 	launch := func(hedged bool) {
 		go func() {
-			raw, err := c.roundTrip(ctx, method, path, body)
+			raw, err := c.roundTrip(ctx, base, method, path, body)
 			results <- outcome{raw: raw, err: err, hedged: hedged}
 		}()
 	}
@@ -270,8 +317,8 @@ func (c *client) hedged(ctx context.Context, method, path string, body []byte, h
 
 // roundTrip performs one HTTP exchange: 2xx returns the raw body, non-
 // 2xx a *StatusError carrying the structured error body when present.
-func (c *client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.shard.URL+path, bytes.NewReader(body))
+func (c *client) roundTrip(ctx context.Context, base, method, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +352,7 @@ func (c *client) probe(ctx context.Context, path string, timeout time.Duration) 
 	c.probes.Add(1)
 	pctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	_, err := c.roundTrip(pctx, http.MethodGet, path, nil)
+	_, err := c.roundTrip(pctx, c.activeURL(), http.MethodGet, path, nil)
 	if err != nil {
 		c.probeFail.Add(1)
 		c.healthy.Store(false)

@@ -77,6 +77,15 @@ type Config struct {
 	// DegradePolicy is the default degradation policy; a query may
 	// override it per request via the policy field.
 	DegradePolicy Policy
+	// PromoteReplicas lets a probe round fail a dead shard over to a
+	// caught-up replica (probe failed + breaker open → promote) instead of
+	// degrading until the primary returns. Only meaningful for shards
+	// whose topology entry lists replicas.
+	PromoteReplicas bool
+	// ReadReplicas steers idempotent reads (queries, point reads, stats)
+	// to a caught-up replica when the probe round found one, shedding read
+	// load off primaries. Writes always go to the active node.
+	ReadReplicas bool
 	// HTTPClient overrides the HTTP client shard calls go through (tests
 	// inject httptest clients); nil uses a fresh default client.
 	HTTPClient *http.Client
@@ -313,19 +322,26 @@ func (co *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // shardStatsWire is one shard's robustness gauges on /stats.
 type shardStatsWire struct {
-	ID           int    `json:"id"`
-	URL          string `json:"url"`
-	Healthy      bool   `json:"healthy"`
-	Breaker      string `json:"breaker"`
-	BreakerOpens int64  `json:"breaker_opens"`
-	Requests     int64  `json:"requests"`
-	Retries      int64  `json:"retries"`
-	Hedges       int64  `json:"hedges"`
-	HedgeWins    int64  `json:"hedge_wins"`
-	Failures     int64  `json:"failures"`
-	FastFails    int64  `json:"fast_fails"`
-	Probes       int64  `json:"probes"`
-	ProbeFails   int64  `json:"probe_failures"`
+	ID  int    `json:"id"`
+	URL string `json:"url"`
+	// ActiveURL is where calls are actually going: the primary URL until
+	// a failover promotes a replica.
+	ActiveURL    string   `json:"active_url,omitempty"`
+	Replicas     []string `json:"replicas,omitempty"`
+	ReadingFrom  string   `json:"reading_from,omitempty"`
+	Promotions   int64    `json:"promotions,omitempty"`
+	SteeredReads int64    `json:"steered_reads,omitempty"`
+	Healthy      bool     `json:"healthy"`
+	Breaker      string   `json:"breaker"`
+	BreakerOpens int64    `json:"breaker_opens"`
+	Requests     int64    `json:"requests"`
+	Retries      int64    `json:"retries"`
+	Hedges       int64    `json:"hedges"`
+	HedgeWins    int64    `json:"hedge_wins"`
+	Failures     int64    `json:"failures"`
+	FastFails    int64    `json:"fast_fails"`
+	Probes       int64    `json:"probes"`
+	ProbeFails   int64    `json:"probe_failures"`
 }
 
 type coordinatorStats struct {
@@ -337,6 +353,7 @@ type coordinatorStats struct {
 	Fanouts          int64            `json:"fanouts"`
 	PartialResponses int64            `json:"partial_responses"`
 	StrictErrors     int64            `json:"strict_errors"`
+	Promotions       int64            `json:"promotions"`
 	Shards           []shardStatsWire `json:"shards"`
 }
 
@@ -352,9 +369,19 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
 		StrictErrors:     co.strictErrors.Load(),
 	}
 	for _, c := range co.clients {
+		reading := ""
+		if s := c.steer.Load(); s != nil {
+			reading = *s
+		}
+		st.Promotions += c.promotions.Load()
 		st.Shards = append(st.Shards, shardStatsWire{
 			ID:           c.shard.ID,
 			URL:          c.shard.URL,
+			ActiveURL:    c.activeURL(),
+			Replicas:     c.shard.Replicas,
+			ReadingFrom:  reading,
+			Promotions:   c.promotions.Load(),
+			SteeredReads: c.steered.Load(),
 			Healthy:      c.healthy.Load(),
 			Breaker:      c.brk.State(),
 			BreakerOpens: c.brk.Opens(),

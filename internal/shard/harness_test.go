@@ -178,6 +178,25 @@ type rankedBody struct {
 	MissedShards []int           `json:"missed_shards"`
 }
 
+// waitUntil polls cond until it reports true or the deadline passes,
+// failing the test on timeout. It replaces fixed sleeps around timing-
+// dependent state (breaker cooldowns, prober rounds): the suite then
+// waits exactly as long as the transition takes instead of guessing,
+// which keeps -race -count=5 runs on loaded machines deterministic.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // deterministicVectors generates count vectors of the given dims from a
 // fixed linear-congruential stream, so shards and oracle see identical
 // data without sharing state.

@@ -29,6 +29,13 @@ func (co *Coordinator) proberLoop(interval time.Duration) {
 // ProbeNow probes every shard once, concurrently, and returns how many
 // answered healthy. The prober loop calls it on its ticker; tests call
 // it directly to advance health state deterministically.
+//
+// The probe round is also where failover happens: when a shard's probe
+// fails while its breaker is open — live traffic and probes have both
+// given up on the primary — and the config allows promotion, the round
+// tries to promote one of the shard's caught-up replicas in its place
+// (see maybePromote). With read steering on, the round also repoints
+// each healthy shard's idempotent reads at a caught-up replica.
 func (co *Coordinator) ProbeNow() int {
 	timeout := co.cfg.ProbeInterval
 	if timeout <= 0 || timeout > time.Second {
@@ -40,7 +47,14 @@ func (co *Coordinator) ProbeNow() int {
 		wg.Add(1)
 		go func(i int, c *client) {
 			defer wg.Done()
-			healthy[i] = c.probe(context.Background(), co.cfg.ProbePath, timeout)
+			ok := c.probe(context.Background(), co.cfg.ProbePath, timeout)
+			if !ok && co.cfg.PromoteReplicas && c.brk.State() == "open" {
+				ok = co.maybePromote(context.Background(), c, timeout)
+			}
+			if co.cfg.ReadReplicas {
+				co.refreshSteer(context.Background(), c, timeout)
+			}
+			healthy[i] = ok
 		}(i, c)
 	}
 	wg.Wait()

@@ -1,0 +1,546 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bond/internal/api"
+	"bond/internal/server"
+)
+
+// replCluster is a testCluster whose every shard has one follower
+// replica tailing its primary directly (bypassing the fault proxy, like
+// a replication link on a separate network path). Followers run with the
+// background tail loop off; tests drive syncAll for deterministic lag.
+type replCluster struct {
+	*testCluster
+	followers      []*server.Server
+	followerFronts []*httptest.Server
+}
+
+// newReplCluster mirrors newTestCluster plus one follower per shard,
+// registered as the shard's replica in the topology.
+func newReplCluster(t *testing.T, n int, cfg Config) *replCluster {
+	t.Helper()
+	rc := &replCluster{testCluster: &testCluster{t: t}}
+	topo := &Topology{}
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.Config{Dir: t.TempDir(), Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		raw := httptest.NewServer(s.Handler())
+		t.Cleanup(raw.Close)
+		proxy := &faultProxy{backend: s.Handler()}
+		front := httptest.NewServer(proxy)
+		t.Cleanup(front.Close)
+
+		f, err := server.New(server.Config{
+			Dir:            t.TempDir(),
+			Logf:           func(string, ...any) {},
+			FollowURL:      raw.URL,
+			FollowInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		ffront := httptest.NewServer(f.Handler())
+		t.Cleanup(ffront.Close)
+
+		rc.raw = append(rc.raw, raw)
+		rc.proxies = append(rc.proxies, proxy)
+		rc.followers = append(rc.followers, f)
+		rc.followerFronts = append(rc.followerFronts, ffront)
+		topo.Shards = append(topo.Shards, Shard{ID: i, URL: front.URL, Replicas: []string{ffront.URL}})
+	}
+	cfg.Topology = topo
+	cfg.ProbeInterval = 0
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	rc.co = co
+	rc.front = httptest.NewServer(co.Handler())
+	t.Cleanup(rc.front.Close)
+	return rc
+}
+
+// syncAll runs one tail pass on every follower.
+func (rc *replCluster) syncAll(t *testing.T) {
+	t.Helper()
+	for i, f := range rc.followers {
+		if err := f.SyncReplicaOnce(); err != nil {
+			t.Fatalf("follower %d sync: %v", i, err)
+		}
+	}
+}
+
+// replChaosConfig is fastTestConfig tuned so one failed probe opens the
+// breaker and triggers the promotion pass.
+func replChaosConfig() Config {
+	cfg := fastTestConfig()
+	cfg.BreakerThreshold = 1
+	cfg.Envelope.MaxAttempts = 1
+	cfg.PromoteReplicas = true
+	return cfg
+}
+
+// queryRanked issues one pinned-strategy query and returns the response
+// with results kept as raw bytes for byte-exact comparison.
+func queryRanked(t *testing.T, base, name string, spec api.QuerySpec) (int, rankedBody) {
+	t.Helper()
+	var resp rankedBody
+	status, _ := doJSON(t, http.MethodPost, base+"/collections/"+name+"/query", spec, &resp)
+	return status, resp
+}
+
+// getStats reads the coordinator's gauges into a fresh struct — fresh
+// because several fields are omitempty, so decoding into a reused struct
+// would let stale values survive a field going empty.
+func getStats(t *testing.T, front string) coordinatorStats {
+	t.Helper()
+	var st coordinatorStats
+	if status, _ := doJSON(t, http.MethodGet, front+"/stats", nil, &st); status != http.StatusOK {
+		t.Fatalf("/stats: status %d", status)
+	}
+	return st
+}
+
+// TestChaosPromoteFailover is the failover acceptance test, under both
+// degradation policies: kill a primary, drive one probe round, and the
+// coordinator must promote the caught-up follower and answer the next
+// query full — not partial — byte-identical to the single-node oracle.
+// Writes must keep flowing through the promoted follower too.
+func TestChaosPromoteFailover(t *testing.T) {
+	for _, policy := range []Policy{Strict, Partial} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := replChaosConfig()
+			cfg.DegradePolicy = policy
+			rc := newReplCluster(t, 2, cfg)
+			oracle := newOracleServer(t)
+			const name, dims = "c", 6
+
+			create := api.CreateRequest{Dims: dims, SegmentSize: 8}
+			if status, _ := doJSON(t, http.MethodPut, rc.front.URL+"/collections/"+name, create, nil); status != http.StatusCreated {
+				t.Fatal("create failed")
+			}
+			if status, _ := doJSON(t, http.MethodPut, oracle.URL+"/collections/"+name, create, nil); status != http.StatusCreated {
+				t.Fatal("oracle create failed")
+			}
+			vectors := deterministicVectors(30, dims)
+			ingestBoth(t, rc.testCluster, oracle.URL, name, [][][]float64{vectors[:13], vectors[13:30]})
+			rc.syncAll(t)
+
+			spec := api.QuerySpec{Query: deterministicVectors(31, dims)[30], K: 8, Strategy: "exact", TimeoutMs: chaosBudgetMs}
+			status, healthy := queryRanked(t, rc.front.URL, name, spec)
+			if status != http.StatusOK || healthy.Partial {
+				t.Fatalf("healthy query: status %d partial %v", status, healthy.Partial)
+			}
+			_, want := queryRanked(t, oracle.URL, name, spec)
+			if string(healthy.Results) != string(want.Results) {
+				t.Fatal("healthy cluster diverges from oracle")
+			}
+
+			// Kill primary 0. One probe round: probe fails, breaker opens
+			// (threshold 1), the promotion pass adopts the caught-up follower.
+			rc.proxies[0].setMode(faultKill)
+			if n := rc.co.ProbeNow(); n != 2 {
+				t.Fatalf("ProbeNow after kill+promote = %d healthy, want 2", n)
+			}
+
+			status, resp := queryRanked(t, rc.front.URL, name, spec)
+			if status != http.StatusOK {
+				t.Fatalf("post-failover query: status %d", status)
+			}
+			if resp.Partial {
+				t.Fatalf("post-failover query degraded to partial under %s", policy)
+			}
+			if string(resp.Results) != string(want.Results) {
+				t.Fatalf("post-failover results diverge from oracle:\n  got:  %s\n  want: %s", resp.Results, want.Results)
+			}
+
+			st := getStats(t, rc.front.URL)
+			if st.Promotions != 1 {
+				t.Fatalf("promotions gauge = %d, want 1", st.Promotions)
+			}
+			if st.Shards[0].ActiveURL != rc.followerFronts[0].URL {
+				t.Fatalf("shard 0 active_url = %q, want promoted follower %q", st.Shards[0].ActiveURL, rc.followerFronts[0].URL)
+			}
+			chaosLog(t, "failover policy=%s promotions=%d active=%s", policy, st.Promotions, st.Shards[0].ActiveURL)
+
+			// Writes flow through the promoted follower; the cluster keeps
+			// matching the oracle afterwards.
+			more := deterministicVectors(40, dims)[30:]
+			ingestBoth(t, rc.testCluster, oracle.URL, name, [][][]float64{more})
+			status, resp = queryRanked(t, rc.front.URL, name, spec)
+			_, want = queryRanked(t, oracle.URL, name, spec)
+			if status != http.StatusOK || resp.Partial || string(resp.Results) != string(want.Results) {
+				t.Fatalf("post-failover ingest+query: status %d partial %v", status, resp.Partial)
+			}
+
+			// A later probe round must not promote again.
+			rc.co.ProbeNow()
+			st = getStats(t, rc.front.URL)
+			if st.Promotions != 1 {
+				t.Fatalf("promotions gauge after settled round = %d, want 1", st.Promotions)
+			}
+		})
+	}
+}
+
+// TestChaosLaggingReplicaNotPromoted: a replica that has never caught up
+// must not be promoted — the coordinator keeps degrading instead. Once
+// the replica catches up over the (still healthy) replication link, the
+// next probe round promotes it and full answers resume.
+func TestChaosLaggingReplicaNotPromoted(t *testing.T) {
+	cfg := replChaosConfig()
+	cfg.DegradePolicy = Partial
+	rc := newReplCluster(t, 2, cfg)
+	const name, dims = "c", 6
+	if status, _ := doJSON(t, http.MethodPut, rc.front.URL+"/collections/"+name, api.CreateRequest{Dims: dims, SegmentSize: 8}, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	vectors := deterministicVectors(24, dims)
+	if status, _ := doJSON(t, http.MethodPost, rc.front.URL+"/collections/"+name+"/vectors", api.IngestRequest{Vectors: vectors}, nil); status != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	// Followers never sync: both replicas are lagging the whole way down.
+
+	spec := api.QuerySpec{Query: deterministicVectors(25, dims)[24], K: 6, Strategy: "exact", TimeoutMs: chaosBudgetMs}
+	rc.proxies[0].setMode(faultKill)
+	rc.co.ProbeNow()
+
+	st := getStats(t, rc.front.URL)
+	if st.Promotions != 0 {
+		t.Fatalf("promoted a lagging replica: %+v", st.Shards[0])
+	}
+	if st.Shards[0].Healthy {
+		t.Fatal("dead shard with only a lagging replica reported healthy")
+	}
+	// The coordinator degrades instead of serving the replica's stale data.
+	status, resp := queryRanked(t, rc.front.URL, name, spec)
+	if status != http.StatusOK || !resp.Partial {
+		t.Fatalf("query during lag: status %d partial %v, want partial 200", status, resp.Partial)
+	}
+	survivors := survivorTopK(t, rc.testCluster, name, spec, map[int]bool{0: true})
+	var got []api.Neighbor
+	if err := json.Unmarshal(resp.Results, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !neighborsEqual(got, survivors) {
+		t.Fatalf("partial answer is not the survivors' top-k:\n  got:  %v\n  want: %v", got, survivors)
+	}
+	chaosLog(t, "lagging replica held back: promotions=0 partial=%v", resp.Partial)
+
+	// The replica catches up over its direct link to the (still running)
+	// primary process, then the next round promotes it.
+	if err := rc.followers[0].SyncReplicaOnce(); err != nil {
+		t.Fatal(err)
+	}
+	rc.co.ProbeNow()
+	st = getStats(t, rc.front.URL)
+	if st.Promotions != 1 {
+		t.Fatalf("caught-up replica not promoted: %+v", st.Shards[0])
+	}
+	status, resp = queryRanked(t, rc.front.URL, name, spec)
+	if status != http.StatusOK || resp.Partial {
+		t.Fatalf("post-catch-up query: status %d partial %v, want full 200", status, resp.Partial)
+	}
+	chaosLog(t, "lagging replica promoted after catch-up: active=%s", st.Shards[0].ActiveURL)
+}
+
+// TestChaosDivergedReplicaNeverPromoted is the replica-path fencing
+// regression: a follower whose history the leader disowns (here, the
+// leader's collection was dropped and rebuilt shorter behind the
+// follower's back) reports Diverged, and the coordinator must never
+// promote it — not on the first round, not on any later one — while the
+// replica itself keeps refusing POST /promote with 409.
+func TestChaosDivergedReplicaNeverPromoted(t *testing.T) {
+	cfg := replChaosConfig()
+	cfg.DegradePolicy = Partial
+	rc := newReplCluster(t, 2, cfg)
+	const name, dims = "c", 6
+	if status, _ := doJSON(t, http.MethodPut, rc.front.URL+"/collections/"+name, api.CreateRequest{Dims: dims, SegmentSize: 8}, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	vectors := deterministicVectors(20, dims)
+	if status, _ := doJSON(t, http.MethodPost, rc.front.URL+"/collections/"+name+"/vectors", api.IngestRequest{Vectors: vectors}, nil); status != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	rc.syncAll(t)
+
+	// Rewrite primary 0's history behind the follower's back: drop and
+	// recreate the collection with less data than the follower applied.
+	// The follower's position now points past the new leader history.
+	if status, _ := doJSON(t, http.MethodDelete, rc.raw[0].URL+"/collections/"+name, nil, nil); status != http.StatusNoContent {
+		t.Fatal("direct drop failed")
+	}
+	if status, _ := doJSON(t, http.MethodPut, rc.raw[0].URL+"/collections/"+name, api.CreateRequest{Dims: dims, SegmentSize: 8}, nil); status != http.StatusCreated {
+		t.Fatal("direct recreate failed")
+	}
+	if err := rc.followers[0].SyncReplicaOnce(); err == nil {
+		t.Fatal("follower synced cleanly against a rewritten leader history")
+	}
+	if st := rc.followers[0].ReplStatus(); !st.Diverged {
+		t.Fatalf("follower not fenced as diverged: %+v", st)
+	}
+
+	// Direct promotion is refused with 409.
+	var e api.Error
+	if status, _ := doJSON(t, http.MethodPost, rc.followerFronts[0].URL+"/promote", nil, &e); status != http.StatusConflict || e.Code != "replica_diverged" {
+		t.Fatalf("promote on diverged follower: status %d code %q, want 409 replica_diverged", status, e.Code)
+	}
+
+	// Kill the primary: rounds of probing must keep degrading, never
+	// silently promote the fenced follower.
+	rc.proxies[0].setMode(faultKill)
+	for round := 0; round < 3; round++ {
+		rc.co.ProbeNow()
+		st := getStats(t, rc.front.URL)
+		if st.Promotions != 0 {
+			t.Fatalf("round %d: diverged replica was promoted: %+v", round, st.Shards[0])
+		}
+		if st.Shards[0].Healthy {
+			t.Fatalf("round %d: shard with only a diverged replica reported healthy", round)
+		}
+	}
+	status, resp := queryRanked(t, rc.front.URL, name, api.QuerySpec{Query: vectors[0], K: 5, Strategy: "exact", TimeoutMs: chaosBudgetMs})
+	if status != http.StatusOK || !resp.Partial {
+		t.Fatalf("query with fenced replica: status %d partial %v, want partial 200", status, resp.Partial)
+	}
+	chaosLog(t, "diverged replica fenced: promotions=0 partial=%v", resp.Partial)
+}
+
+// TestChaosPromotedStaleReplicaDriftFenced pins the data-loss window's
+// fencing: a follower that was caught up at its last leader contact —
+// but missed writes acked after it — is legitimately promoted (it cannot
+// know), and the coordinator's positional-id audit must then refuse
+// ingest with 409 topology_drift instead of silently acknowledging a
+// batch into a shard that lost acked rows.
+func TestChaosPromotedStaleReplicaDriftFenced(t *testing.T) {
+	cfg := replChaosConfig()
+	cfg.DegradePolicy = Partial
+	rc := newReplCluster(t, 2, cfg)
+	const name, dims = "c", 6
+	if status, _ := doJSON(t, http.MethodPut, rc.front.URL+"/collections/"+name, api.CreateRequest{Dims: dims, SegmentSize: 8}, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	vectors := deterministicVectors(28, dims)
+	if status, _ := doJSON(t, http.MethodPost, rc.front.URL+"/collections/"+name+"/vectors", api.IngestRequest{Vectors: vectors[:16]}, nil); status != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	rc.syncAll(t)
+	// Acked writes the follower never sees before the primary dies.
+	if status, _ := doJSON(t, http.MethodPost, rc.front.URL+"/collections/"+name+"/vectors", api.IngestRequest{Vectors: vectors[16:]}, nil); status != http.StatusOK {
+		t.Fatal("second ingest failed")
+	}
+	rc.proxies[0].setMode(faultKill)
+	rc.co.ProbeNow()
+
+	st := getStats(t, rc.front.URL)
+	if st.Promotions != 1 {
+		t.Fatalf("stale-but-caught-up follower not promoted: %+v", st.Shards[0])
+	}
+
+	// The promoted shard is shorter than the topology's id ledger says:
+	// the next ingest must be fenced, not silently acknowledged.
+	var e api.Error
+	status, _ := doJSON(t, http.MethodPost, rc.front.URL+"/collections/"+name+"/vectors",
+		api.IngestRequest{Vectors: deterministicVectors(3, dims)}, &e)
+	if status != http.StatusConflict || e.Code != "topology_drift" {
+		t.Fatalf("ingest into drifted promoted shard: status %d code %q, want 409 topology_drift", status, e.Code)
+	}
+	chaosLog(t, "promoted stale replica fenced on ingest: code=%s", e.Code)
+}
+
+// TestChaosReadSteering: with ReadReplicas on, idempotent reads steer to
+// a caught-up replica (byte-identical answers), a dying replica costs at
+// most one attempt before falling back to the primary, and promotion
+// disables steering.
+func TestChaosReadSteering(t *testing.T) {
+	cfg := replChaosConfig()
+	cfg.Envelope.MaxAttempts = 2
+	cfg.ReadReplicas = true
+	rc := newReplCluster(t, 2, cfg)
+	oracle := newOracleServer(t)
+	const name, dims = "c", 6
+	create := api.CreateRequest{Dims: dims, SegmentSize: 8}
+	if status, _ := doJSON(t, http.MethodPut, rc.front.URL+"/collections/"+name, create, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if status, _ := doJSON(t, http.MethodPut, oracle.URL+"/collections/"+name, create, nil); status != http.StatusCreated {
+		t.Fatal("oracle create failed")
+	}
+	vectors := deterministicVectors(26, dims)
+	ingestBoth(t, rc.testCluster, oracle.URL, name, [][][]float64{vectors})
+	rc.syncAll(t)
+	rc.co.ProbeNow() // the steering pass runs in the probe round
+
+	st := getStats(t, rc.front.URL)
+	for i := range st.Shards {
+		if st.Shards[i].ReadingFrom != rc.followerFronts[i].URL {
+			t.Fatalf("shard %d reading_from = %q, want %q", i, st.Shards[i].ReadingFrom, rc.followerFronts[i].URL)
+		}
+	}
+
+	spec := api.QuerySpec{Query: deterministicVectors(27, dims)[26], K: 7, Strategy: "exact", TimeoutMs: chaosBudgetMs}
+	status, resp := queryRanked(t, rc.front.URL, name, spec)
+	_, want := queryRanked(t, oracle.URL, name, spec)
+	if status != http.StatusOK || resp.Partial || string(resp.Results) != string(want.Results) {
+		t.Fatalf("steered query: status %d partial %v", status, resp.Partial)
+	}
+	st = getStats(t, rc.front.URL)
+	if st.Shards[0].SteeredReads == 0 && st.Shards[1].SteeredReads == 0 {
+		t.Fatal("no steered reads recorded with steering configured")
+	}
+
+	// A replica dying mid-steer costs one attempt: the retry lands on the
+	// primary, the answer stays full and correct, steering clears.
+	rc.followerFronts[1].Close()
+	status, resp = queryRanked(t, rc.front.URL, name, spec)
+	if status != http.StatusOK || resp.Partial || string(resp.Results) != string(want.Results) {
+		t.Fatalf("query with dead steered replica: status %d partial %v", status, resp.Partial)
+	}
+	rc.co.ProbeNow()
+	st = getStats(t, rc.front.URL)
+	if st.Shards[1].ReadingFrom != "" {
+		t.Fatalf("dead replica still steered: %q", st.Shards[1].ReadingFrom)
+	}
+	if st.Shards[1].Breaker != "closed" {
+		t.Fatalf("steered replica failure fed the primary's breaker: %+v", st.Shards[1])
+	}
+	chaosLog(t, "read steering: steered=%d+%d, fallback ok", st.Shards[0].SteeredReads, st.Shards[1].SteeredReads)
+
+	// Promotion of shard 0 turns its steering off — the remaining replica
+	// would be following a dead leader.
+	rc.proxies[0].setMode(faultKill)
+	rc.co.ProbeNow()
+	st = getStats(t, rc.front.URL)
+	if st.Shards[0].ActiveURL != rc.followerFronts[0].URL {
+		t.Fatalf("shard 0 not promoted: %+v", st.Shards[0])
+	}
+	if st.Shards[0].ReadingFrom != "" {
+		t.Fatalf("promoted shard still steering reads to %q", st.Shards[0].ReadingFrom)
+	}
+}
+
+// TestChaosRefollowAfterCheckpointPromote: a replica parked behind a
+// leader that checkpointed past WAL retention re-bootstraps from a fresh
+// snapshot (410 wal_gone path), catches up, and is then a legitimate
+// promotion target when the primary dies.
+func TestChaosRefollowAfterCheckpointPromote(t *testing.T) {
+	cfg := replChaosConfig()
+	cfg.DegradePolicy = Strict
+	rc := newReplCluster(t, 2, cfg)
+	const name, dims = "c", 6
+	if status, _ := doJSON(t, http.MethodPut, rc.front.URL+"/collections/"+name, api.CreateRequest{Dims: dims, SegmentSize: 8}, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if status, _ := doJSON(t, http.MethodPost, rc.front.URL+"/collections/"+name+"/vectors",
+		api.IngestRequest{Vectors: deterministicVectors(10, dims)}, nil); status != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	rc.syncAll(t)
+
+	// Rotate primary 0's WAL past the retention window while its replica
+	// is parked, by checkpointing through the direct endpoint.
+	extra := deterministicVectors(20, dims)[10:]
+	for i, v := range extra {
+		if status, _ := doJSON(t, http.MethodPost, rc.raw[0].URL+"/collections/"+name+"/vectors", api.IngestRequest{Vector: v}, nil); status != http.StatusOK {
+			t.Fatalf("direct ingest %d failed", i)
+		}
+		if status, _ := doJSON(t, http.MethodPost, rc.raw[0].URL+"/collections/"+name+"/snapshot", nil, nil); status != http.StatusOK {
+			t.Fatalf("rotation %d failed", i)
+		}
+	}
+
+	// The parked follower's next pass must transparently re-bootstrap.
+	if err := rc.followers[0].SyncReplicaOnce(); err != nil {
+		t.Fatalf("re-follow sync: %v", err)
+	}
+	if st := rc.followers[0].ReplStatus(); !st.CaughtUp || st.Diverged {
+		t.Fatalf("follower after re-bootstrap: %+v", st)
+	}
+
+	// Now the primary dies; the re-bootstrapped follower is promotable.
+	rc.proxies[0].setMode(faultKill)
+	rc.co.ProbeNow()
+	st := getStats(t, rc.front.URL)
+	if st.Promotions != 1 || st.Shards[0].ActiveURL != rc.followerFronts[0].URL {
+		t.Fatalf("re-bootstrapped follower not promoted: %+v", st.Shards[0])
+	}
+	// Strict policy and a full answer: nothing is missing.
+	status, resp := queryRanked(t, rc.front.URL, name, api.QuerySpec{Query: deterministicVectors(21, dims)[20], K: 6, Strategy: "exact", TimeoutMs: chaosBudgetMs})
+	if status != http.StatusOK || resp.Partial {
+		t.Fatalf("post-promotion strict query: status %d partial %v", status, resp.Partial)
+	}
+	chaosLog(t, "re-follow after checkpoint: promoted=%s", st.Shards[0].ActiveURL)
+}
+
+// TestChaosPromoteAfterLeaderDeathWithSyncLoop: in a real deployment
+// the follower's background loop keeps trying the dead leader between
+// the crash and the promotion probe, so its /replstatus carries a
+// transport last_error at promotion time. The drained follower must
+// still report caught_up (the assessment is as-of-last-successful-
+// contact) and the prober must still promote it. Regression: failed
+// sync passes used to clear the top-level caught_up flag, so the
+// promotion pass parked every real-world follower as "lagging" forever
+// — the chaos suite missed it because test followers run with the loop
+// disabled and nothing re-dialed the dead leader before ProbeNow.
+func TestChaosPromoteAfterLeaderDeathWithSyncLoop(t *testing.T) {
+	cfg := replChaosConfig()
+	cfg.DegradePolicy = Strict
+	rc := newReplCluster(t, 2, cfg)
+	oracle := newOracleServer(t)
+	const name, dims = "c", 6
+
+	create := api.CreateRequest{Dims: dims, SegmentSize: 8}
+	if status, _ := doJSON(t, http.MethodPut, rc.front.URL+"/collections/"+name, create, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if status, _ := doJSON(t, http.MethodPut, oracle.URL+"/collections/"+name, create, nil); status != http.StatusCreated {
+		t.Fatal("oracle create failed")
+	}
+	vectors := deterministicVectors(24, dims)
+	ingestBoth(t, rc.testCluster, oracle.URL, name, [][][]float64{vectors})
+	rc.syncAll(t)
+
+	// Kill primary 0 for real: the raw leader endpoint the follower
+	// tails dies along with the coordinator-facing proxy.
+	rc.proxies[0].setMode(faultKill)
+	rc.raw[0].Close()
+
+	// The follower's loop keeps running against the dead leader and
+	// fails; its status must keep the drained assessment.
+	if err := rc.followers[0].SyncReplicaOnce(); err == nil {
+		t.Fatal("follower sync against dead leader succeeded")
+	}
+	st := rc.followers[0].ReplStatus()
+	if st.LastError == "" || !st.CaughtUp || st.Diverged {
+		t.Fatalf("drained follower after leader death: %+v", st)
+	}
+
+	if n := rc.co.ProbeNow(); n != 2 {
+		t.Fatalf("ProbeNow after leader death = %d healthy, want 2 (promotion)", n)
+	}
+	cs := getStats(t, rc.front.URL)
+	if cs.Promotions != 1 {
+		t.Fatalf("promotions gauge = %d, want 1", cs.Promotions)
+	}
+	if cs.Shards[0].ActiveURL != rc.followerFronts[0].URL {
+		t.Fatalf("shard 0 active_url = %q, want promoted follower %q", cs.Shards[0].ActiveURL, rc.followerFronts[0].URL)
+	}
+
+	spec := api.QuerySpec{Query: deterministicVectors(25, dims)[24], K: 6, Strategy: "exact", TimeoutMs: chaosBudgetMs}
+	status, resp := queryRanked(t, rc.front.URL, name, spec)
+	_, want := queryRanked(t, oracle.URL, name, spec)
+	if status != http.StatusOK || resp.Partial || string(resp.Results) != string(want.Results) {
+		t.Fatalf("post-promotion query: status %d partial %v", status, resp.Partial)
+	}
+	chaosLog(t, "leader-death promote: promotions=%d active=%s", cs.Promotions, cs.Shards[0].ActiveURL)
+}

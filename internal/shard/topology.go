@@ -42,6 +42,12 @@ type Shard struct {
 	// URL is the shard's base URL (scheme://host:port), the bondd HTTP
 	// API rooted at "/".
 	URL string `json:"url"`
+	// Replicas are base URLs of bondd followers tailing this shard's WAL
+	// (bondd -follow <url>). When the primary's breaker opens, the
+	// coordinator promotes the first caught-up replica in listed order and
+	// swaps its calls over to it; with read steering enabled, idempotent
+	// reads also prefer a caught-up replica.
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // Topology is the static shard map the coordinator serves from: shard id
@@ -75,6 +81,18 @@ func ParseTopology(data []byte) (*Topology, error) {
 			return nil, fmt.Errorf("shard: shards %d and %d share url %q", prev, s.ID, s.URL)
 		}
 		seenURL[s.URL] = s.ID
+		// Replica URLs share the primaries' namespace: a replica serving two
+		// shards (or doubling as a primary) would corrupt both on promotion.
+		for _, rep := range s.Replicas {
+			ru, err := url.Parse(rep)
+			if err != nil || ru.Scheme == "" || ru.Host == "" {
+				return nil, fmt.Errorf("shard: shard %d has invalid replica url %q (want scheme://host:port)", s.ID, rep)
+			}
+			if prev, dup := seenURL[rep]; dup {
+				return nil, fmt.Errorf("shard: shard %d replica %q already serves shard %d", s.ID, rep, prev)
+			}
+			seenURL[rep] = s.ID
+		}
 	}
 	return &t, nil
 }

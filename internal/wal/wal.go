@@ -63,6 +63,12 @@ const (
 	maxBatch   = 1 << 31
 )
 
+// HeaderLen is the byte length of a WAL file's header — the offset of
+// the first record frame, and therefore the stream position of an empty
+// log. Replication positions are (file sequence, byte offset) pairs
+// where offset HeaderLen means "nothing applied from this log yet".
+const HeaderLen = int64(headerLen)
+
 // ErrCorrupt is returned when a WAL image fails structural validation
 // beyond a simple torn tail.
 var ErrCorrupt = errors.New("wal: corrupt log")
@@ -70,6 +76,10 @@ var ErrCorrupt = errors.New("wal: corrupt log")
 // ErrTorn is returned (wrapped) when a log ends mid-record or
 // mid-header — the expected shape after a crash during an append.
 var ErrTorn = errors.New("wal: torn tail")
+
+// IsTorn reports whether err is a torn-tail condition — an incomplete
+// frame that more bytes would complete, as opposed to corruption.
+func IsTorn(err error) bool { return errors.Is(err, ErrTorn) }
 
 // Record is one logged mutation.
 type Record struct {
@@ -265,6 +275,43 @@ func DecodeAll(data []byte) (recs []Record, good int64, err error) {
 	}
 }
 
+// EncodeFrame appends rec's on-disk frame to dst and returns the
+// extended slice — the exact bytes Append would write, exposed so the
+// replication stream can be built and compared against raw log images.
+func EncodeFrame(dst []byte, rec Record) []byte {
+	return encode(dst, rec)
+}
+
+// ParseFrame examines the first record frame in data (a log image with
+// the file header already stripped). It returns the decoded record and
+// the frame's total byte length. The error distinguishes the two ways a
+// stream can end early: ErrTorn (wrapped) means data holds only a
+// prefix of a frame — on a live replication stream the remainder is
+// simply still in flight — while ErrCorrupt means the bytes can never
+// be a valid frame and the stream must be rejected from here on.
+func ParseFrame(data []byte) (rec Record, frameSize int64, err error) {
+	if int64(len(data)) < frameLen {
+		return Record{}, 0, fmt.Errorf("%w: %d-byte frame header", ErrTorn, len(data))
+	}
+	plen := int64(binary.LittleEndian.Uint32(data))
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if plen < 1 || plen > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	if plen > int64(len(data))-frameLen {
+		return Record{}, 0, fmt.Errorf("%w: %d-byte payload, %d present", ErrTorn, plen, int64(len(data))-frameLen)
+	}
+	payload := data[frameLen : frameLen+plen]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Record{}, 0, fmt.Errorf("%w: record checksum mismatch", ErrCorrupt)
+	}
+	rec, derr := decodePayload(payload)
+	if derr != nil {
+		return Record{}, 0, derr
+	}
+	return rec, frameLen + plen, nil
+}
+
 // Writer appends records to one WAL file. It is safe for one appender
 // racing a background Sync (the interval fsync policy); the collection's
 // write lock serializes appenders.
@@ -351,14 +398,45 @@ func (w *Writer) Append(rec Record, syncNow bool) error {
 		return w.err
 	}
 	w.buf = encode(w.buf[:0], rec)
-	if _, err := w.f.Write(w.buf); err != nil {
+	return w.appendLocked(w.buf, syncNow)
+}
+
+// AppendRaw logs one pre-encoded record frame verbatim — the
+// replication apply path, where a follower mirrors the leader's log
+// bytes so its file stays an exact byte prefix of the leader's. The
+// frame must be exactly one valid frame; AppendRaw re-validates before
+// writing so a corrupt stream can never reach the log.
+func (w *Writer) AppendRaw(frame []byte, syncNow bool) error {
+	if _, n, err := ParseFrame(frame); err != nil {
+		return err
+	} else if n != int64(len(frame)) {
+		return fmt.Errorf("%w: %d trailing bytes after frame", ErrCorrupt, int64(len(frame))-n)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.appendLocked(frame, syncNow)
+}
+
+// appendLocked writes one already-encoded frame. On a failed fsync the
+// size and record gauges are rolled back: the bytes may be in the file,
+// but the record was never acknowledged and the collection checkpoints
+// past this log (recoverFromLogFailure), so the acked size must never
+// include it — it is the high-water mark the replication stream serves
+// up to.
+func (w *Writer) appendLocked(frame []byte, syncNow bool) error {
+	if _, err := w.f.Write(frame); err != nil {
 		w.err = fmt.Errorf("wal: append: %w", err)
 		return w.err
 	}
-	w.size += int64(len(w.buf))
+	w.size += int64(len(frame))
 	w.records++
 	if syncNow {
 		if err := w.f.Sync(); err != nil {
+			w.size -= int64(len(frame))
+			w.records--
 			w.err = fmt.Errorf("wal: sync: %w", err)
 			return w.err
 		}
