@@ -74,6 +74,47 @@ type FileInfo struct {
 	IsDir bool
 }
 
+// RangeFS is the optional windowed-read extension of FS: filesystems
+// that can serve a byte range without materializing the whole file
+// implement it (OS via pread, MemFS by slicing under its lock), and
+// ReadFileRange type-asserts for it. The replication stream reads
+// bounded windows of potentially large WAL files on every follower
+// poll; without this seam each poll would be O(file size) in I/O and
+// allocation.
+type RangeFS interface {
+	// ReadFileRange returns up to n bytes of name starting at byte
+	// offset off. A result shorter than n (possibly empty) means the
+	// file ends before off+n; an offset at or past the end is not an
+	// error. n must be non-negative.
+	ReadFileRange(name string, off, n int64) ([]byte, error)
+}
+
+// ReadFileRange reads the window [off, off+n) of name through fs,
+// using the RangeFS fast path when available and falling back to a
+// whole-file read otherwise (the fault-injecting test filesystems wrap
+// FS without the extension and take the fallback, so both paths keep
+// identical semantics).
+func ReadFileRange(fs FS, name string, off, n int64) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if rfs, ok := fs.(RangeFS); ok {
+		return rfs.ReadFileRange(name, off, n)
+	}
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if off >= int64(len(data)) {
+		return nil, nil
+	}
+	end := off + n
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return append([]byte(nil), data[off:end]...), nil
+}
+
 // MapFS is the optional mapping extension of FS: filesystems that can
 // memory-map a file implement it (the real OS filesystem, on platforms
 // package mmap supports), and the segment loader type-asserts for it.
@@ -106,6 +147,21 @@ func (OS) Append(name string) (File, error) {
 
 // ReadFile implements FS.
 func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadFileRange implements RangeFS with one pread-sized allocation.
+func (OS) ReadFileRange(name string, off, n int64) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	m, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf[:m], nil
+}
 
 // Rename implements FS.
 func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

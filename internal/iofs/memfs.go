@@ -97,6 +97,24 @@ func (m *MemFS) ReadFile(name string) ([]byte, error) {
 	return append([]byte(nil), f.data...), nil
 }
 
+// ReadFileRange implements RangeFS.
+func (m *MemFS) ReadFileRange(name string, off, n int64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[clean(name)]
+	if f == nil {
+		return nil, notExist("read", name)
+	}
+	if off >= int64(len(f.data)) {
+		return nil, nil
+	}
+	end := off + n
+	if end > int64(len(f.data)) {
+		end = int64(len(f.data))
+	}
+	return append([]byte(nil), f.data[off:end]...), nil
+}
+
 // Rename implements FS. Renaming a directory moves everything below it.
 func (m *MemFS) Rename(oldpath, newpath string) error {
 	m.mu.Lock()

@@ -46,9 +46,11 @@ func (p Position) String() string {
 // GET /collections/{name}/wal.
 type Chunk struct {
 	// Seq and From echo the requested position; Data holds the raw
-	// CRC-framed record bytes starting there. Data always begins and
-	// ends on frame boundaries — the leader serves only acknowledged
-	// bytes, never a torn tail.
+	// CRC-framed record bytes starting there. The leader serves only
+	// acknowledged bytes, but a chunk may end mid-frame when a frame
+	// straddles the size cap: the consumer keeps the torn tail pending
+	// (DecodeFrames treats it as incomplete, not corrupt) and the next
+	// chunk, requested from the last complete frame, re-serves it.
 	Seq  uint64 `json:"seq"`
 	From int64  `json:"from"`
 	Data []byte `json:"data,omitempty"`

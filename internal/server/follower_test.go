@@ -80,15 +80,66 @@ func TestFollowerBootstrapAndTail(t *testing.T) {
 		t.Fatalf("collection status: %+v", cs)
 	}
 
-	// A collection dropped on the leader disappears from the follower.
+	// A collection dropped on the leader disappears from the follower —
+	// but only after the absence persists across replDropAfterMisses
+	// passes, so a transiently wrong leader listing cannot wipe a
+	// replica.
 	if code := doJSON(t, http.MethodDelete, lts.URL+"/collections/c", nil, nil); code != http.StatusNoContent {
 		t.Fatalf("drop: status %d", code)
+	}
+	for pass := 1; pass < replDropAfterMisses; pass++ {
+		if err := fs.SyncReplicaOnce(); err != nil {
+			t.Fatalf("drop sync pass %d: %v", pass, err)
+		}
+		if code := doJSON(t, http.MethodGet, fts.URL+"/collections/c", nil, nil); code != http.StatusOK {
+			t.Fatalf("replica dropped %q after only %d leader listings without it: status %d", "c", pass, code)
+		}
 	}
 	if err := fs.SyncReplicaOnce(); err != nil {
 		t.Fatalf("drop sync: %v", err)
 	}
 	if code := doJSON(t, http.MethodGet, fts.URL+"/collections/c", nil, nil); code != http.StatusNotFound {
 		t.Fatalf("dropped collection still served: status %d", code)
+	}
+}
+
+// TestFollowerRefusesMassWipe: a leader that suddenly lists zero
+// collections while the follower replicates several (the signature of a
+// leader restarted against a wrong or empty -data dir) must never cause
+// the follower to drop its replica data, no matter how many passes the
+// empty listing persists. A deliberate drop of individual collections
+// still converges.
+func TestFollowerRefusesMassWipe(t *testing.T) {
+	const dims = 4
+	_, lts := newTestServer(t, Config{})
+	for _, name := range []string{"a", "b"} {
+		if code := doJSON(t, http.MethodPut, lts.URL+"/collections/"+name,
+			createRequest{Dims: dims, SegmentSize: 5}, nil); code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", name, code)
+		}
+		ingestBatch(t, lts.URL, name, dataset.CorelLike(6, dims, 1))
+	}
+
+	fs, fts := newFollower(t, lts.URL)
+	if err := fs.SyncReplicaOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The leader loses everything at once.
+	for _, name := range []string{"a", "b"} {
+		if code := doJSON(t, http.MethodDelete, lts.URL+"/collections/"+name, nil, nil); code != http.StatusNoContent {
+			t.Fatalf("leader drop %s: status %d", name, code)
+		}
+	}
+	for pass := 0; pass < 3*replDropAfterMisses; pass++ {
+		if err := fs.SyncReplicaOnce(); err != nil {
+			t.Fatalf("sync pass %d: %v", pass, err)
+		}
+	}
+	for _, name := range []string{"a", "b"} {
+		if code := doJSON(t, http.MethodGet, fts.URL+"/collections/"+name, nil, nil); code != http.StatusOK {
+			t.Fatalf("mass wipe went through: collection %q gone (status %d)", name, code)
+		}
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 )
 
 // Replication over HTTP. A leader is any bondd node: it serves its WAL
-// as frame-aligned byte chunks (GET /collections/{name}/wal) and
+// as acknowledged byte chunks (GET /collections/{name}/wal) and
 // checkpoint snapshots for bootstrap (POST /collections/{name}/
 // snapshot). A follower is a bondd started with Config.FollowURL: it
 // tails every leader collection through bond.ApplyReplChunk — the same
@@ -55,6 +55,12 @@ type replicator struct {
 	// SyncReplicaOnce) and the promotion handshake against each other.
 	syncMu sync.Mutex
 
+	// missing counts, per local collection, how many consecutive sync
+	// passes the leader's listing has omitted it. Dropping replica data
+	// is irreversible, so one surprising listing is never enough — see
+	// replDropAfterMisses. Touched only under syncMu.
+	missing map[string]int
+
 	mu         sync.Mutex
 	promoted   bool
 	cols       map[string]*replColState
@@ -89,6 +95,7 @@ func newReplicator(s *Server, cfg Config) *replicator {
 		hc:       hc,
 		interval: cfg.FollowInterval,
 		cols:     map[string]*replColState{},
+		missing:  map[string]int{},
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -156,10 +163,19 @@ func (r *replicator) promote() error {
 
 var errReplicaDiverged = errors.New("server: replica diverged from leader")
 
+// replDropAfterMisses is how many consecutive sync passes a local
+// collection must be absent from the leader's listing before the
+// follower deletes its replica of it. Dropping is irreversible, so a
+// single surprising listing — a leader restarted against the wrong or
+// an empty -data dir, a follower pointed at the wrong URL — must not
+// wipe the replica; a real drop converges after this many passes.
+const replDropAfterMisses = 3
+
 // syncOnce runs one full tail pass: list the leader's collections, drop
-// local ones the leader no longer has, then for each collection
-// bootstrap if needed and stream until caught up. Deterministic and
-// re-entrant — tests drive it directly via Server.SyncReplicaOnce.
+// local ones the leader has persistently stopped listing (see
+// replDropAfterMisses), then for each collection bootstrap if needed
+// and stream until caught up. Deterministic and re-entrant — tests
+// drive it directly via Server.SyncReplicaOnce.
 func (r *replicator) syncOnce() error {
 	r.syncMu.Lock()
 	defer r.syncMu.Unlock()
@@ -183,15 +199,34 @@ func (r *replicator) syncOnce() error {
 		return err
 	}
 	for _, name := range local {
-		if !leaderHas[name] {
-			if derr := r.s.cat.Drop(name); derr != nil && !errors.Is(derr, ErrNotFound) {
-				r.noteSync(derr)
-				return derr
-			}
-			r.mu.Lock()
-			delete(r.cols, name)
-			r.mu.Unlock()
+		if leaderHas[name] {
+			delete(r.missing, name)
+			continue
 		}
+		r.missing[name]++
+		switch {
+		case r.missing[name] < replDropAfterMisses:
+			r.s.logf("bondd: replica: leader no longer lists collection %q (pass %d/%d), deferring drop",
+				name, r.missing[name], replDropAfterMisses)
+			continue
+		case len(names.Collections) == 0 && len(local) > 1:
+			// An empty listing against a multi-collection replica is far
+			// more likely a leader restarted on the wrong/empty -data dir
+			// than a deliberate drop of everything at once. Refuse the
+			// mass wipe; an operator can drop or re-bootstrap explicitly.
+			r.s.logf("bondd: replica: refusing to drop %q — leader lists no collections while this replica holds %d; check the leader's -data dir",
+				name, len(local))
+			continue
+		}
+		delete(r.missing, name)
+		r.s.logf("bondd: replica: dropping collection %q, absent from %d consecutive leader listings", name, replDropAfterMisses)
+		if derr := r.s.cat.Drop(name); derr != nil && !errors.Is(derr, ErrNotFound) {
+			r.noteSync(derr)
+			return derr
+		}
+		r.mu.Lock()
+		delete(r.cols, name)
+		r.mu.Unlock()
 	}
 	var firstErr error
 	for _, name := range names.Collections {
@@ -516,7 +551,8 @@ func replErrStatus(err error) (int, string) {
 }
 
 // handleWALChunk serves GET /collections/{name}/wal?seq=&from=&max= —
-// one frame-aligned slice of the collection's replication stream.
+// one slice of the collection's replication stream (acknowledged bytes
+// only; it may end mid-frame when a frame straddles max).
 func (s *Server) handleWALChunk(w http.ResponseWriter, r *http.Request) {
 	col, err := s.cat.Get(r.PathValue("name"))
 	if err != nil {

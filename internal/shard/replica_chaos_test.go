@@ -544,3 +544,130 @@ func TestChaosPromoteAfterLeaderDeathWithSyncLoop(t *testing.T) {
 	}
 	chaosLog(t, "leader-death promote: promotions=%d active=%s", cs.Promotions, cs.Shards[0].ActiveURL)
 }
+
+// TestChaosNoCascadedPromotionOntoStaleReplica pins the post-failover
+// data-loss window closed: after a promotion, the shard's remaining
+// replicas still tail the DEAD original primary, and their sticky
+// caught-up self-reports say nothing about the new primary's history.
+// If the promoted node dies too, the coordinator must degrade — a
+// second promotion onto a stale sibling would silently discard every
+// write the first promoted node acknowledged.
+func TestChaosNoCascadedPromotionOntoStaleReplica(t *testing.T) {
+	cfg := replChaosConfig()
+	cfg.DegradePolicy = Partial
+
+	// One shard with TWO followers, both tailing the primary directly.
+	s, err := server.New(server.Config{Dir: t.TempDir(), Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	raw := httptest.NewServer(s.Handler())
+	t.Cleanup(raw.Close)
+	proxy := &faultProxy{backend: s.Handler()}
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+
+	var followers []*server.Server
+	var fronts []*httptest.Server
+	for i := 0; i < 2; i++ {
+		f, err := server.New(server.Config{
+			Dir:            t.TempDir(),
+			Logf:           func(string, ...any) {},
+			FollowURL:      raw.URL,
+			FollowInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		ff := httptest.NewServer(f.Handler())
+		t.Cleanup(ff.Close)
+		followers = append(followers, f)
+		fronts = append(fronts, ff)
+	}
+	cfg.Topology = &Topology{Shards: []Shard{{
+		ID: 0, URL: front.URL, Replicas: []string{fronts[0].URL, fronts[1].URL},
+	}}}
+	cfg.ProbeInterval = 0
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	cofront := httptest.NewServer(co.Handler())
+	t.Cleanup(cofront.Close)
+
+	const name, dims = "c", 4
+	if status, _ := doJSON(t, http.MethodPut, cofront.URL+"/collections/"+name,
+		api.CreateRequest{Dims: dims, SegmentSize: 8}, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	vectors := deterministicVectors(12, dims)
+	if status, _ := doJSON(t, http.MethodPost, cofront.URL+"/collections/"+name+"/vectors",
+		api.IngestRequest{Vectors: vectors}, nil); status != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	for i, f := range followers {
+		if err := f.SyncReplicaOnce(); err != nil {
+			t.Fatalf("follower %d sync: %v", i, err)
+		}
+	}
+
+	// Kill the primary (proxy and raw endpoint both): one probe round
+	// promotes the first caught-up follower.
+	proxy.setMode(faultKill)
+	raw.Close()
+	if n := co.ProbeNow(); n != 1 {
+		t.Fatalf("ProbeNow after primary death = %d healthy, want 1 (promotion)", n)
+	}
+	st := getStats(t, cofront.URL)
+	if st.Promotions != 1 || st.Shards[0].ActiveURL != fronts[0].URL {
+		t.Fatalf("first failover: promotions=%d active=%q, want 1 promoted to %q",
+			st.Promotions, st.Shards[0].ActiveURL, fronts[0].URL)
+	}
+
+	// Writes land on the promoted follower only; its sibling still
+	// points at the dead original primary and never sees them.
+	if status, _ := doJSON(t, http.MethodPost, cofront.URL+"/collections/"+name+"/vectors",
+		api.IngestRequest{Vectors: deterministicVectors(16, dims)[12:]}, nil); status != http.StatusOK {
+		t.Fatal("post-failover ingest failed")
+	}
+
+	// The stale sibling still LOOKS promotable — sticky caught-up from
+	// before the old primary died — which is exactly why the coordinator
+	// must not trust it.
+	var sib api.ReplStatus
+	if status, _ := doJSON(t, http.MethodGet, fronts[1].URL+"/replstatus", nil, &sib); status != http.StatusOK {
+		t.Fatal("sibling replstatus failed")
+	}
+	if !sib.CaughtUp || sib.Diverged || sib.Promoted {
+		t.Fatalf("sibling not in the promotable-looking state the regression needs: %+v", sib)
+	}
+
+	// Kill the promoted node. The shard must degrade, not fail over
+	// again: promoting the sibling would rewind past the acknowledged
+	// post-failover writes.
+	fronts[0].Close()
+	for round := 0; round < 4; round++ {
+		if n := co.ProbeNow(); n != 0 {
+			t.Fatalf("round %d: ProbeNow = %d healthy after promoted node died, want 0", round, n)
+		}
+	}
+	st = getStats(t, cofront.URL)
+	if st.Promotions != 1 {
+		t.Fatalf("cascaded promotion onto a stale replica: promotions=%d, want 1", st.Promotions)
+	}
+	if st.Shards[0].ActiveURL != fronts[0].URL {
+		t.Fatalf("active_url moved to %q after promoted node died, want to stay %q",
+			st.Shards[0].ActiveURL, fronts[0].URL)
+	}
+	// No silent full answers from stale state either: with every live
+	// node gone the query degrades visibly.
+	spec := api.QuerySpec{Query: deterministicVectors(17, dims)[16], K: 4, Strategy: "exact", TimeoutMs: chaosBudgetMs}
+	status, resp := queryRanked(t, cofront.URL, name, spec)
+	if status == http.StatusOK && !resp.Partial {
+		t.Fatalf("query after double failure served full results from stale state: %s", resp.Results)
+	}
+	chaosLog(t, "no cascaded promotion: promotions=%d degraded status=%d partial=%v", st.Promotions, status, resp.Partial)
+}

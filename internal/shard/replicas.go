@@ -25,6 +25,14 @@ import (
 // double-checks on POST /promote and answers 409 if it cannot promote
 // safely; the coordinator treats that as a veto, drops the candidate,
 // and keeps degrading.
+//
+// Failover is single-shot per shard: a successful promotion discards
+// every other candidate. The siblings still tail the DEAD original
+// primary — nothing re-points them at the promoted node — so their
+// sticky caught-up self-reports describe a history that forks from the
+// new primary's the moment it acknowledges a write. If the promoted
+// node dies too, the shard degrades; cascaded failover is left to an
+// operator who has re-pointed followers at the new primary.
 
 // fetchReplStatus reads a replica's self-report, outside the envelope
 // (the prober's cadence is the retry).
@@ -47,7 +55,10 @@ func (c *client) fetchReplStatus(ctx context.Context, base string, timeout time.
 // unreachable or lagging ones stay candidates for the next probe round.
 // On success the shard's active URL swaps to the promoted follower, the
 // breaker closes, and the shard is healthy again — the fan-out path
-// never knew.
+// never knew. The remaining candidates are discarded too: they follow
+// the old primary, not the promoted one, and keeping them would set up
+// a later promotion that silently rewinds past everything the new
+// primary acknowledged.
 func (co *Coordinator) maybePromote(ctx context.Context, c *client, timeout time.Duration) bool {
 	c.promoMu.Lock()
 	defer c.promoMu.Unlock()
@@ -89,10 +100,18 @@ func (co *Coordinator) maybePromote(ctx context.Context, c *client, timeout time
 		rest = append(rest, c.candidates[i+1:]...)
 		break
 	}
-	c.candidates = rest
 	if promoted == "" {
+		c.candidates = rest
 		return false
 	}
+	// rest holds the siblings that would have stayed candidates. They
+	// tail the dead original primary, so from here on their caught-up
+	// reports are about the wrong history: drop them all and degrade if
+	// the new primary dies, rather than cascade onto stale state.
+	if len(rest) > 0 {
+		co.logf("coordinator: shard %d dropping stale replicas %v — they follow the old primary, not %s; re-point and re-follow to restore redundancy", c.shard.ID, rest, promoted)
+	}
+	c.candidates = nil
 	c.active.Store(&promoted)
 	c.steer.Store(nil)
 	c.promotions.Add(1)

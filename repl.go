@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 
@@ -66,12 +67,16 @@ func (c *Collection) ReplPosition() (repl.Position, error) {
 }
 
 // ReplChunk serves one slice of the replication stream starting at
-// (seq, from): up to max bytes of acknowledged, frame-aligned WAL
-// bytes. A request at the live position returns an empty chunk (the
-// follower is caught up); a request for a completed older generation
-// sets Rotated once its end is reached; a request for a generation a
-// checkpoint already deleted fails with ErrReplGone; a position the
-// leader never produced fails with ErrReplDiverged.
+// (seq, from): up to max bytes of acknowledged WAL bytes (the slice
+// may end mid-frame when a frame straddles max; the follower holds the
+// torn tail and the next chunk completes it). A request at the live
+// position returns an empty chunk (the follower is caught up); a
+// request for a completed older generation sets Rotated once its end
+// is reached; a request for a generation a checkpoint already deleted
+// fails with ErrReplGone; a position the leader never produced fails
+// with ErrReplDiverged. Caught-up polls — the steady state of every
+// follower — touch no file at all, and partial reads are windowed
+// (iofs.ReadFileRange), not whole-file.
 func (c *Collection) ReplChunk(seq uint64, from int64, max int) (repl.Chunk, error) {
 	if c.dur == nil {
 		return repl.Chunk{}, ErrNotDurable
@@ -92,57 +97,66 @@ func (c *Collection) ReplChunk(seq uint64, from int64, max int) (repl.Chunk, err
 	}
 	cur := repl.Position{Seq: c.dur.walSeq, Off: c.dur.w.Size()}
 	ch := repl.Chunk{Seq: seq, From: from, Leader: cur}
-	var end int64
-	switch {
-	case seq > cur.Seq:
+	name := filepath.Join(c.dur.dir, vstore.WALFileName(seq))
+	if seq > cur.Seq {
 		return repl.Chunk{}, fmt.Errorf("%w: requested wal-%d, leader at wal-%d", ErrReplDiverged, seq, cur.Seq)
-	case seq == cur.Seq:
+	}
+	if seq == cur.Seq {
 		// Serve only up to the acknowledged size: bytes past it (none
 		// today — a failed fsync rolls the gauge back) must never ship.
-		end = cur.Off
-	default:
-		rotEnd, rotated := c.dur.rotations[seq]
-		data, err := c.dur.fs.ReadFile(filepath.Join(c.dur.dir, vstore.WALFileName(seq)))
+		end := cur.Off
+		if from > end {
+			return repl.Chunk{}, fmt.Errorf("%w: offset %d past leader position %d", ErrReplDiverged, from, end)
+		}
+		if from == end {
+			return ch, nil // caught up: no file I/O
+		}
+		data, err := iofs.ReadFileRange(c.dur.fs, name, from, min(end, from+int64(max))-from)
 		if err != nil {
-			// The file is checkpoint-deleted. If the follower already
-			// consumed all of it, tell it to rotate; otherwise the bytes
-			// are gone and it must re-bootstrap.
-			if rotated && from == rotEnd {
-				ch.Rotated = true
-				return ch, nil
-			}
+			return repl.Chunk{}, err
+		}
+		ch.Data = data
+		return ch, nil
+	}
+
+	// Older generation.
+	rotEnd, rotated := c.dur.rotations[seq]
+	if rotated {
+		if from > rotEnd {
+			return repl.Chunk{}, fmt.Errorf("%w: offset %d past end %d of wal-%d", ErrReplDiverged, from, rotEnd, seq)
+		}
+		if from == rotEnd {
+			// The follower consumed the whole generation: tell it to
+			// rotate without touching the (possibly checkpoint-deleted)
+			// file.
+			ch.Rotated = true
+			return ch, nil
+		}
+	}
+	end := rotEnd
+	if !rotated {
+		fi, err := c.dur.fs.Stat(name)
+		if err != nil {
+			// Checkpoint-deleted and its endpoint unrecorded (leader
+			// restart): the bytes are gone, the follower re-bootstraps.
 			return repl.Chunk{}, fmt.Errorf("%w: wal-%d deleted by checkpoint", ErrReplGone, seq)
 		}
-		end = int64(len(data))
-		if rotated {
-			end = rotEnd
-		}
+		end = fi.Size
 		if from > end {
 			return repl.Chunk{}, fmt.Errorf("%w: offset %d past end %d of wal-%d", ErrReplDiverged, from, end, seq)
 		}
-		to := min(end, from+int64(max))
-		ch.Data = append([]byte(nil), data[from:to]...)
-		ch.Rotated = to == end
-		return ch, nil
-	}
-	if from > end {
-		return repl.Chunk{}, fmt.Errorf("%w: offset %d past leader position %d", ErrReplDiverged, from, end)
-	}
-	if from == end {
-		return ch, nil
-	}
-	data, err := c.dur.fs.ReadFile(filepath.Join(c.dur.dir, vstore.WALFileName(seq)))
-	if err != nil {
-		return repl.Chunk{}, err
-	}
-	if int64(len(data)) < end {
-		end = int64(len(data))
-	}
-	if from >= end {
-		return ch, nil
 	}
 	to := min(end, from+int64(max))
-	ch.Data = append([]byte(nil), data[from:to]...)
+	data, err := iofs.ReadFileRange(c.dur.fs, name, from, to-from)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// Deleted between the rotations lookup and the read.
+			return repl.Chunk{}, fmt.Errorf("%w: wal-%d deleted by checkpoint", ErrReplGone, seq)
+		}
+		return repl.Chunk{}, err
+	}
+	ch.Data = data
+	ch.Rotated = from+int64(len(data)) == end
 	return ch, nil
 }
 
